@@ -1,0 +1,81 @@
+// Command cmexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cmexp -list
+//	cmexp -exp fig6
+//	cmexp -exp all [-quick]
+//
+// Every experiment prints the same rows/series the paper reports plus a
+// note comparing against the paper's published values. -quick selects a
+// reduced configuration for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"counterminer/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment ID (fig1..fig16, tab1..tab4) or 'all'")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		quick   = flag.Bool("quick", false, "use the reduced quick configuration")
+		trees   = flag.Int("trees", 0, "override SGBRT ensemble size")
+		reps    = flag.Int("reps", 0, "override repetition count")
+		runs    = flag.Int("runs", 0, "override training-run count")
+		workers = flag.Int("workers", 0, "override worker-goroutine count")
+		budget  = flag.Int("events", 0, "override modelled-event budget (0 = all 229)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "cmexp: -exp required (or -list); e.g. cmexp -exp fig6")
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{}
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *trees > 0 {
+		cfg.Trees = *trees
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	if *budget > 0 {
+		cfg.EventBudget = *budget
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cmexp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		tab.Render(os.Stdout)
+		fmt.Printf("  (%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,76 @@
+// Command cmstore inspects a CounterMiner performance-data store (the
+// two-level run/series database written by the pipeline's -db option).
+//
+//	cmstore -db runs.db -stats
+//	cmstore -db runs.db -list [-bench wordcount] [-mode MLPX] [-event ICACHE.MISSES]
+//	cmstore -db runs.db -export -bench wordcount -run 101 -mode MLPX > run.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"counterminer/internal/store"
+)
+
+func main() {
+	var (
+		dbPath  = flag.String("db", "", "store path (required)")
+		doStats = flag.Bool("stats", false, "print store statistics")
+		doList  = flag.Bool("list", false, "list runs")
+		doCSV   = flag.Bool("export", false, "export one run as CSV to stdout")
+		bench   = flag.String("bench", "", "benchmark filter / export target")
+		mode    = flag.String("mode", "", "mode filter / export target (OCOE or MLPX)")
+		event   = flag.String("event", "", "keep only runs measuring this event")
+		runID   = flag.Int("run", 0, "run ID for -export")
+		minIv   = flag.Int("min-intervals", 0, "keep only runs at least this long")
+	)
+	flag.Parse()
+	if *dbPath == "" {
+		fmt.Fprintln(os.Stderr, "cmstore: -db required")
+		os.Exit(2)
+	}
+	db, err := store.Open(*dbPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *doStats:
+		s := db.Summarize()
+		fmt.Printf("runs:       %d\n", s.Runs)
+		fmt.Printf("benchmarks: %d\n", s.Benchmarks)
+		fmt.Printf("samples:    %d\n", s.Samples)
+		for m, n := range s.ByMode {
+			fmt.Printf("  %s runs: %d\n", m, n)
+		}
+	case *doList:
+		rows := db.Select(store.Query{
+			Benchmark:    *bench,
+			Mode:         *mode,
+			Event:        *event,
+			MinIntervals: *minIv,
+		})
+		fmt.Printf("%-20s %-6s %-5s %-10s %s\n", "benchmark", "run", "mode", "intervals", "events")
+		for _, m := range rows {
+			fmt.Printf("%-20s %-6d %-5s %-10d %d\n", m.Benchmark, m.RunID, m.Mode, m.Intervals, len(m.Events))
+		}
+	case *doCSV:
+		if *bench == "" || *mode == "" {
+			fmt.Fprintln(os.Stderr, "cmstore: -export needs -bench, -run, and -mode")
+			os.Exit(2)
+		}
+		if err := db.ExportCSV(os.Stdout, *bench, *runID, *mode); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "cmstore: one of -stats, -list, -export required")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmstore:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// Command counterminer runs the full CounterMiner pipeline — collect
+// (MLPX) → clean → importance ranking (EIR/MAPM) → interaction ranking
+// — on one benchmark of the simulated cluster and prints the mined
+// results.
+//
+// Usage:
+//
+//	counterminer -bench wordcount
+//	counterminer -bench sort -events "L2_RQSTS.*,BR_*,ISF,ICACHE.MISSES"
+//	counterminer -bench DataCaching -colocate GraphAnalytics
+//	counterminer -csv run.csv
+//	counterminer -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	counterminer "counterminer"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "", "benchmark to analyse (see -list)")
+		colocate = flag.String("colocate", "", "second benchmark to co-locate with -bench")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+		runs     = flag.Int("runs", 3, "benchmark executions to collect")
+		trees    = flag.Int("trees", 80, "SGBRT ensemble size")
+		events   = flag.String("events", "", "comma-separated event patterns (globs or abbreviations; empty = all 229)")
+		csvPath  = flag.String("csv", "", "analyse an external CSV data set (interval,<events...>,ipc) instead of a benchmark")
+		topK     = flag.Int("top", 10, "events/interactions to print")
+		skipEIR  = flag.Bool("fast", false, "skip EIR (single model fit)")
+		dbPath   = flag.String("db", "", "persist collected runs to this store path")
+	)
+	flag.Parse()
+
+	opts := counterminer.Options{
+		Runs:      *runs,
+		Trees:     *trees,
+		TopK:      *topK,
+		SkipEIR:   *skipEIR,
+		StorePath: *dbPath,
+	}
+	p, err := counterminer.NewPipeline(opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *list {
+		for _, b := range p.Benchmarks() {
+			fmt.Println(b)
+		}
+		return
+	}
+	start := time.Now()
+	var a *counterminer.Analysis
+	switch {
+	case *csvPath != "":
+		f, err := os.Open(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		data, err := counterminer.LoadCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		a, err = counterminer.AnalyzeData(data, opts)
+		if err != nil {
+			fatal(err)
+		}
+	case *bench != "":
+		if *events != "" {
+			sel, err := p.Catalogue().Select(strings.Split(*events, ","))
+			if err != nil {
+				fatal(err)
+			}
+			opts.Events = sel
+			p, err = counterminer.NewPipeline(opts)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		if *colocate != "" {
+			a, err = p.AnalyzeColocated(*bench, *colocate)
+		} else {
+			a, err = p.Analyze(*bench)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "counterminer: -bench or -csv required (see -list)")
+		os.Exit(2)
+	}
+
+	fmt.Printf("benchmark: %s  (analysed in %v)\n", a.Benchmark, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("events measured: %d   MAPM events: %d   model error: %.1f%%\n",
+		a.Events, a.MAPMEvents, a.ModelError)
+	fmt.Printf("cleaner: %d outliers replaced, %d missing values filled\n",
+		a.OutliersReplaced, a.MissingFilled)
+	fmt.Printf("one-three SMI count: %d\n\n", a.SMICount())
+
+	fmt.Printf("top %d important events:\n", *topK)
+	for i, e := range a.TopEvents(*topK) {
+		fmt.Printf("  %2d. %-4s %6.2f%%  %s\n", i+1, e.Abbrev, e.Importance, e.Event)
+	}
+	fmt.Printf("\ntop %d event-pair interactions:\n", *topK)
+	for i, pr := range a.TopInteractions(*topK) {
+		fmt.Printf("  %2d. %-9s %6.2f%%\n", i+1, pr.Key(), pr.Importance)
+	}
+	if len(a.EIRNumEvents) > 1 {
+		fmt.Printf("\nEIR curve (events: model error):\n ")
+		for i := range a.EIRNumEvents {
+			fmt.Printf(" %d:%.1f%%", a.EIRNumEvents[i], a.EIRErrors[i])
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "counterminer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,214 @@
+package counterminer
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"counterminer/internal/clean"
+	"counterminer/internal/interact"
+	"counterminer/internal/rank"
+	"counterminer/internal/sgbrt"
+)
+
+// This file is the adoption path for real counter data: everything
+// needed to run CounterMiner's cleaner and rankers on measurements that
+// did NOT come from the built-in simulator — e.g. perf-stat output
+// post-processed into per-interval rows.
+
+// DataSet is externally collected counter data: one row per sampling
+// interval, one column per event, plus the per-interval performance
+// metric (typically IPC from the fixed counters).
+type DataSet struct {
+	// Events names the columns of X.
+	Events []string
+	// X[i][j] is event j's value in interval i.
+	X [][]float64
+	// Y[i] is the performance metric in interval i.
+	Y []float64
+}
+
+// Validate checks the data set's shape.
+func (d *DataSet) Validate() error {
+	if len(d.Events) == 0 {
+		return errors.New("counterminer: data set without events")
+	}
+	if len(d.X) == 0 {
+		return errors.New("counterminer: data set without rows")
+	}
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("counterminer: %d rows but %d performance values", len(d.X), len(d.Y))
+	}
+	for i, row := range d.X {
+		if len(row) != len(d.Events) {
+			return fmt.Errorf("counterminer: row %d has %d values, want %d", i, len(row), len(d.Events))
+		}
+	}
+	return nil
+}
+
+// Clean runs the §III-B data cleaner over every event column in place
+// (outlier replacement and missing-value filling operate per column,
+// treating it as that event's time series). It returns the totals.
+func (d *DataSet) Clean(opts clean.Options) (outliers, missing int, err error) {
+	if err := d.Validate(); err != nil {
+		return 0, 0, err
+	}
+	col := make([]float64, len(d.X))
+	for j := range d.Events {
+		for i := range d.X {
+			col[i] = d.X[i][j]
+		}
+		cleaned, rep, err := clean.Series(col, opts)
+		if err != nil {
+			return 0, 0, fmt.Errorf("counterminer: clean column %s: %w", d.Events[j], err)
+		}
+		for i := range d.X {
+			d.X[i][j] = cleaned[i]
+		}
+		outliers += rep.Outliers
+		missing += rep.Missing
+	}
+	return outliers, missing, nil
+}
+
+// AnalyzeData runs the mining stages — optional cleaning, EIR/MAPM
+// importance ranking, and interaction ranking — on an external data
+// set. The simulator is not involved; this is the entry point for real
+// perf measurements. Options fields that concern collection (Runs,
+// Events, StorePath) are ignored.
+func AnalyzeData(d *DataSet, opts Options) (*Analysis, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+
+	ana := &Analysis{Benchmark: "external", Events: len(d.Events)}
+	out, miss, err := d.Clean(opts.CleanOptions)
+	if err != nil {
+		return nil, err
+	}
+	ana.OutliersReplaced, ana.MissingFilled = out, miss
+
+	ropts := rank.Options{
+		Params:    sgbrt.Params{Trees: opts.Trees, MaxDepth: 4, Seed: opts.Seed},
+		PruneStep: opts.PruneStep,
+		Seed:      opts.Seed,
+	}
+	var mapm *rank.Model
+	if opts.SkipEIR {
+		m, err := rank.Fit(d.X, d.Y, d.Events, ropts)
+		if err != nil {
+			return nil, err
+		}
+		mapm = m
+		ana.EIRNumEvents = []int{len(d.Events)}
+		ana.EIRErrors = []float64{m.TestError}
+	} else {
+		res, err := rank.EIR(d.X, d.Y, d.Events, ropts)
+		if err != nil {
+			return nil, err
+		}
+		mapm = res.MAPM()
+		ana.EIRNumEvents, ana.EIRErrors = res.Curve()
+	}
+	ana.ModelError = mapm.TestError
+	ana.MAPMEvents = len(mapm.Events)
+	for _, ei := range mapm.Ranking {
+		ana.Importance = append(ana.Importance, EventScore{
+			Event: ei.Event, Abbrev: ei.Event, Importance: ei.Importance,
+		})
+	}
+
+	top := mapm.TopK(opts.TopK)
+	if len(top) >= 2 {
+		names := make([]string, len(top))
+		for i, ei := range top {
+			names[i] = ei.Event
+		}
+		subX, err := matrixColumns(d.X, d.Events, names)
+		if err != nil {
+			return nil, err
+		}
+		iModel, err := rank.Fit(subX, d.Y, names, rank.Options{
+			Params: sgbrt.Params{Trees: opts.Trees * 2, MaxDepth: 4, Seed: opts.Seed},
+			Seed:   opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pairs, err := interact.RankPairs(iModel, subX, names, interact.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for _, ps := range pairs {
+			ana.Interactions = append(ana.Interactions, PairScore{
+				A: ps.A, B: ps.B, Importance: ps.Importance,
+			})
+		}
+	}
+	return ana, nil
+}
+
+// LoadCSV reads a data set in the layout ExportCSV (and cmstore
+// -export) writes: a header "interval,<event...>,ipc" followed by one
+// row per interval. The interval column is checked for monotonicity
+// but otherwise ignored.
+func LoadCSV(r io.Reader) (*DataSet, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("counterminer: csv header: %w", err)
+	}
+	if len(header) < 3 {
+		return nil, fmt.Errorf("counterminer: csv needs interval, >=1 event, and ipc columns; got %d", len(header))
+	}
+	if header[0] != "interval" {
+		return nil, fmt.Errorf("counterminer: first csv column is %q, want \"interval\"", header[0])
+	}
+	if header[len(header)-1] != "ipc" {
+		return nil, fmt.Errorf("counterminer: last csv column is %q, want \"ipc\"", header[len(header)-1])
+	}
+	d := &DataSet{Events: append([]string(nil), header[1:len(header)-1]...)}
+	prev := -1
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("counterminer: csv row: %w", err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("counterminer: csv row has %d fields, want %d", len(rec), len(header))
+		}
+		iv, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("counterminer: interval %q: %w", rec[0], err)
+		}
+		if iv <= prev {
+			return nil, fmt.Errorf("counterminer: interval column not increasing at %d", iv)
+		}
+		prev = iv
+		row := make([]float64, len(d.Events))
+		for j := range row {
+			v, err := strconv.ParseFloat(rec[j+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("counterminer: value %q: %w", rec[j+1], err)
+			}
+			row[j] = v
+		}
+		y, err := strconv.ParseFloat(rec[len(rec)-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("counterminer: ipc %q: %w", rec[len(rec)-1], err)
+		}
+		d.X = append(d.X, row)
+		d.Y = append(d.Y, y)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

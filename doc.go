@@ -1,0 +1,33 @@
+// Package counterminer reproduces "CounterMiner: Mining Big Performance
+// Data from Hardware Counters" (Lv et al., MICRO 2018) as a Go library.
+//
+// CounterMiner is a methodology for extracting value from the large,
+// error-laden data sets that hardware performance counters produce when
+// many microarchitecture events are multiplexed onto few counters. The
+// library implements the full pipeline:
+//
+//   - a data collector sampling event time series in OCOE
+//     (one-counter-one-event) or MLPX (multiplexed) mode;
+//   - a data cleaner that replaces outliers (mean + 5·std threshold,
+//     histogram-bin-median replacement) and fills missing values (KNN
+//     regression, k = 5) after sampling;
+//   - an importance ranker modelling IPC with stochastic gradient
+//     boosted regression trees and quantifying per-event importance by
+//     relative influence, refined by iteratively pruning the least
+//     important events (EIR) until the most accurate performance model
+//     (MAPM) is found;
+//   - an interaction ranker scoring event pairs by the residual
+//     variance of pairwise linear models.
+//
+// Because this build is hardware-free, the paper's 4-node Haswell-E
+// cluster, Linux perf, and the CloudSuite/HiBench benchmarks are
+// replaced by a deterministic simulation (internal/sim) with a known
+// ground truth; see DESIGN.md for the substitution table. The pipeline
+// above the collector is simulation-agnostic.
+//
+// The entry point is the Pipeline type:
+//
+//	p, err := counterminer.NewPipeline(counterminer.Options{})
+//	a, err := p.Analyze("wordcount")
+//	for _, e := range a.TopEvents(10) { fmt.Println(e.Abbrev, e.Importance) }
+package counterminer

@@ -1,0 +1,70 @@
+package counterminer_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	counterminer "counterminer"
+)
+
+// ExampleLoadCSV parses externally collected counter data in the
+// layout written by cmstore -export.
+func ExampleLoadCSV() {
+	csv := `interval,STALL_CYCLES,CACHE_MISSES,ipc
+0,120,30,1.10
+1,130,28,1.05
+2,110,35,1.15
+`
+	d, err := counterminer.LoadCSV(strings.NewReader(csv))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(d.Events), "events,", len(d.X), "intervals")
+	fmt.Println(d.Events[0], d.X[2][0], d.Y[2])
+	// Output:
+	// 2 events, 3 intervals
+	// STALL_CYCLES 110 1.15
+}
+
+// ExampleNewPipeline shows the minimal simulated-cluster flow: pick a
+// benchmark, mine it, read the ranking.
+func ExampleNewPipeline() {
+	p, err := counterminer.NewPipeline(counterminer.Options{
+		Runs:    1,
+		Trees:   30,
+		SkipEIR: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(p.Benchmarks()), "benchmarks available")
+	fmt.Println(p.Benchmarks()[0])
+	// Output:
+	// 16 benchmarks available
+	// wordcount
+}
+
+// ExampleAnalysis_SMICount demonstrates the one–three SMI check on a
+// hand-built ranking.
+func ExampleAnalysis_SMICount() {
+	a := &counterminer.Analysis{
+		Importance: []counterminer.EventScore{
+			{Abbrev: "ISF", Importance: 9.0},
+			{Abbrev: "BRE", Importance: 8.0},
+			{Abbrev: "ORA", Importance: 3.0},
+			{Abbrev: "IPD", Importance: 2.0},
+		},
+	}
+	fmt.Println(a.SMICount())
+	// Output:
+	// 2
+}
+
+// ExamplePairScore_Key shows the Fig. 11-style pair rendering.
+func ExamplePairScore_Key() {
+	p := counterminer.PairScore{A: "BRB", B: "BMP", Importance: 24.9}
+	fmt.Println(p.Key())
+	// Output:
+	// BRB-BMP
+}

@@ -1,0 +1,64 @@
+// Cloudprofile mirrors the paper's §V-B study: profile a set of cloud
+// benchmarks, report each one's most important events, and check the
+// one–three SMI law ("one to three events of a benchmark are
+// significantly more important than others").
+//
+//	go run ./examples/cloudprofile            # three representative benchmarks
+//	go run ./examples/cloudprofile -all       # all sixteen (minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	counterminer "counterminer"
+)
+
+func main() {
+	all := flag.Bool("all", false, "profile all sixteen benchmarks (slow)")
+	flag.Parse()
+
+	pipe, err := counterminer.NewPipeline(counterminer.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	benches := []string{"wordcount", "sort", "DataCaching"}
+	if *all {
+		benches = pipe.Benchmarks()
+	}
+
+	// A mid-sized configuration: 80 of the 229 events, no EIR — enough
+	// to surface each benchmark's designed top events in a few seconds
+	// per workload.
+	opts := counterminer.Options{
+		Runs:    3,
+		Trees:   60,
+		SkipEIR: true,
+		Events:  pipe.Catalogue().Events()[:80],
+	}
+	pipe, err = counterminer.NewPipeline(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	smiHolds := 0
+	for _, b := range benches {
+		start := time.Now()
+		a, err := pipe.Analyze(b)
+		if err != nil {
+			log.Fatalf("%s: %v", b, err)
+		}
+		fmt.Printf("%-18s (%.1fs)  top events:", b, time.Since(start).Seconds())
+		for _, e := range a.TopEvents(5) {
+			fmt.Printf("  %s %.1f%%", e.Abbrev, e.Importance)
+		}
+		smi := a.SMICount()
+		fmt.Printf("   [SMI count %d]\n", smi)
+		if smi >= 1 && smi <= 3 {
+			smiHolds++
+		}
+	}
+	fmt.Printf("\none-three SMI law holds for %d/%d benchmarks\n", smiHolds, len(benches))
+}

@@ -1,0 +1,56 @@
+// Quickstart: run the CounterMiner pipeline on one benchmark and print
+// the mined importance and interaction rankings.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	counterminer "counterminer"
+)
+
+func main() {
+	// A reduced configuration so the example finishes in seconds: 60 of
+	// the 229 events, a single model fit instead of the full EIR loop.
+	pipe, err := counterminer.NewPipeline(counterminer.Options{
+		Runs:    2,
+		Trees:   60,
+		SkipEIR: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := counterminer.Options{
+		Runs:    2,
+		Trees:   60,
+		SkipEIR: true,
+		Events:  pipe.Catalogue().Events()[:60],
+	}
+	pipe, err = counterminer.NewPipeline(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	analysis, err := pipe.Analyze("wordcount")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("CounterMiner quickstart — benchmark %q\n", analysis.Benchmark)
+	fmt.Printf("measured %d events over %d runs; model error %.1f%%\n",
+		analysis.Events, opts.Runs, analysis.ModelError)
+	fmt.Printf("cleaner repaired %d outliers and %d missing values\n\n",
+		analysis.OutliersReplaced, analysis.MissingFilled)
+
+	fmt.Println("five most important events:")
+	for i, e := range analysis.TopEvents(5) {
+		fmt.Printf("  %d. %-4s %5.1f%%  %s\n", i+1, e.Abbrev, e.Importance, e.Event)
+	}
+
+	fmt.Println("\nthree strongest event-pair interactions:")
+	for i, p := range analysis.TopInteractions(3) {
+		fmt.Printf("  %d. %-9s %5.1f%%\n", i+1, p.Key(), p.Importance)
+	}
+}

@@ -1,0 +1,235 @@
+package counterminer_test
+
+// Integration tests for the paper's six headline findings (§I), each
+// verified on data that went through the full measured pipeline
+// (MLPX collection → cleaning → model → ranking), not on the
+// simulation's ground truth. They run at a reduced budget and are
+// skipped under -short.
+
+import (
+	"strings"
+	"testing"
+
+	counterminer "counterminer"
+	"counterminer/internal/sim"
+)
+
+// findingsAnalyses profiles a representative benchmark subset once and
+// shares the results across the finding tests.
+var findingsCache = map[string]*counterminer.Analysis{}
+
+func analysisFor(t *testing.T, bench string) *counterminer.Analysis {
+	t.Helper()
+	if a, ok := findingsCache[bench]; ok {
+		return a
+	}
+	p, err := counterminer.NewPipeline(counterminer.Options{
+		Runs:    2,
+		Trees:   50,
+		SkipEIR: true,
+		TopK:    10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Analyze(bench)
+	if err != nil {
+		t.Fatalf("%s: %v", bench, err)
+	}
+	findingsCache[bench] = a
+	return a
+}
+
+var findingBenches = []string{"wordcount", "sort", "kmeans", "DataCaching", "WebServing", "GraphAnalytics"}
+
+// Finding 1: "the event of stall cycles due to instruction queue full
+// (ISF) is the most important event for most cloud programs". sort and
+// WebServing are designed exceptions (ORO / MSL lead), so demand ISF in
+// the top three for the rest.
+func TestFinding1ISFDominates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline finding test")
+	}
+	hits := 0
+	for _, b := range []string{"wordcount", "kmeans", "DataCaching", "GraphAnalytics"} {
+		a := analysisFor(t, b)
+		for _, e := range a.TopEvents(3) {
+			if e.Abbrev == "ISF" {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < 3 {
+		t.Errorf("ISF in top-3 for only %d/4 benchmarks", hits)
+	}
+}
+
+// Finding 2: "the branch related events interact with other events the
+// most strongly" — a majority of top interaction pairs contain a
+// branch event.
+func TestFinding2BranchInteractions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline finding test")
+	}
+	branch := map[string]bool{"BRE": true, "BRB": true, "BMP": true, "BRC": true, "BNT": true, "BAA": true}
+	withBranch, total := 0, 0
+	for _, b := range findingBenches {
+		a := analysisFor(t, b)
+		for _, p := range a.TopInteractions(5) {
+			total++
+			if branch[p.A] || branch[p.B] {
+				withBranch++
+			}
+		}
+	}
+	// Paper: 83.4% of top pairs contain a branch event; demand > 40%
+	// at this reduced budget.
+	if withBranch*10 < total*4 {
+		t.Errorf("branch events in %d/%d top pairs", withBranch, total)
+	}
+}
+
+// Finding 3: the one–three SMI law holds for every profiled benchmark.
+func TestFinding3OneThreeSMILaw(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline finding test")
+	}
+	for _, b := range findingBenches {
+		a := analysisFor(t, b)
+		if n := a.SMICount(); n < 1 || n > 3 {
+			t.Errorf("%s: SMI count = %d, want 1..3", b, n)
+		}
+	}
+}
+
+// Finding 4: "a number of noisy events of a modern processor can be
+// definitely removed" — the bottom half of the importance ranking
+// holds only a small share of total importance.
+func TestFinding4NoisyEventsRemovable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline finding test")
+	}
+	a := analysisFor(t, "wordcount")
+	half := len(a.Importance) / 2
+	bottom := 0.0
+	for _, e := range a.Importance[half:] {
+		bottom += e.Importance
+	}
+	if bottom > 25 {
+		t.Errorf("bottom half of the ranking holds %.1f%% importance", bottom)
+	}
+}
+
+// Finding 5: common important events relate to branches, TLBs, and
+// remote memory/cache operations — such events appear in every
+// benchmark's top ten.
+func TestFinding5CommonEventFamilies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline finding test")
+	}
+	families := func(abbrev string) string {
+		switch abbrev {
+		case "BRE", "BRB", "BMP", "BRC", "BNT", "BAA":
+			return "branch"
+		case "ITM", "IPD", "TFA", "PI3", "IMT":
+			return "tlb"
+		case "ORA", "ORO", "URA", "URS", "LRC", "LRA", "LHN", "CRX", "OTS":
+			return "remote"
+		}
+		return ""
+	}
+	for _, b := range findingBenches {
+		a := analysisFor(t, b)
+		found := map[string]bool{}
+		for _, e := range a.TopEvents(10) {
+			if f := families(e.Abbrev); f != "" {
+				found[f] = true
+			}
+		}
+		if len(found) < 2 {
+			t.Errorf("%s: only %d common event families in top 10", b, len(found))
+		}
+	}
+}
+
+// Finding 6: the HiBench top-10 lists are more diverse than
+// CloudSuite's. Verified on the designed profiles (the full measured
+// version is Fig. 9/10's job); here we check the measured lists still
+// differ across HiBench benchmarks.
+func TestFinding6SuiteDiversity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline finding test")
+	}
+	wc := analysisFor(t, "wordcount")
+	so := analysisFor(t, "sort")
+	wcTop := map[string]bool{}
+	for _, e := range wc.TopEvents(5) {
+		wcTop[e.Abbrev] = true
+	}
+	shared := 0
+	for _, e := range so.TopEvents(5) {
+		if wcTop[e.Abbrev] {
+			shared++
+		}
+	}
+	if shared >= 5 {
+		t.Error("wordcount and sort have identical top-5 events")
+	}
+	// And the designed ground truth satisfies the full cross-suite
+	// diversity claim.
+	inSuite := func(s sim.Suite) map[string]bool {
+		set := map[string]bool{}
+		for _, p := range sim.ProfilesBySuite(s) {
+			for _, ev := range p.TopEvents() {
+				set[ev] = true
+			}
+		}
+		return set
+	}
+	hi, cloud := inSuite(sim.HiBench), inSuite(sim.CloudSuite)
+	hiOnly, cloudOnly := 0, 0
+	for ev := range hi {
+		if !cloud[ev] {
+			hiOnly++
+		}
+	}
+	for ev := range cloud {
+		if !hi[ev] {
+			cloudOnly++
+		}
+	}
+	if hiOnly <= cloudOnly {
+		t.Errorf("HiBench-only events %d not > CloudSuite-only %d", hiOnly, cloudOnly)
+	}
+}
+
+// The co-location finding of §V-E, measured end to end: the
+// heterogeneous mix surfaces L2 events that the homogeneous mix does
+// not.
+func TestColocationSurfacesL2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline finding test")
+	}
+	p, err := counterminer.NewPipeline(counterminer.Options{
+		Runs:    2,
+		Trees:   50,
+		SkipEIR: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hetero, err := p.AnalyzeColocated("DataCaching", "GraphAnalytics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := 0
+	for _, e := range hetero.TopEvents(10) {
+		if strings.HasPrefix(e.Abbrev, "L2") {
+			l2++
+		}
+	}
+	if l2 < 3 {
+		t.Errorf("heterogeneous mix surfaced only %d L2 events", l2)
+	}
+}

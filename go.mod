@@ -1,0 +1,3 @@
+module counterminer
+
+go 1.22

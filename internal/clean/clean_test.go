@@ -1,0 +1,365 @@
+package clean
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"counterminer/internal/timeseries"
+)
+
+func TestSeriesValidation(t *testing.T) {
+	if _, _, err := Series(nil, Options{}); err == nil {
+		t.Error("empty series should error")
+	}
+}
+
+func TestOutlierReplacement(t *testing.T) {
+	// Stable series with two huge spikes.
+	values := make([]float64, 200)
+	rng := rand.New(rand.NewSource(1))
+	for i := range values {
+		values[i] = 100 + rng.NormFloat64()*5
+	}
+	values[50] = 1000
+	values[150] = 2000
+	out, rep, err := Series(values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outliers < 2 {
+		t.Errorf("detected %d outliers, want >= 2", rep.Outliers)
+	}
+	for _, i := range []int{50, 150} {
+		if out[i] > 150 {
+			t.Errorf("outlier at %d replaced by %v, still extreme", i, out[i])
+		}
+		if out[i] < 50 {
+			t.Errorf("outlier at %d replaced by %v, implausibly low", i, out[i])
+		}
+	}
+	// Input untouched.
+	if values[50] != 1000 {
+		t.Error("Series mutated its input")
+	}
+}
+
+func TestIterativeOutlierDetection(t *testing.T) {
+	// A colossal outlier inflates the std so a moderate one hides
+	// behind the first-pass threshold; the iteration must catch both.
+	values := make([]float64, 300)
+	rng := rand.New(rand.NewSource(2))
+	for i := range values {
+		values[i] = 10 + rng.NormFloat64()
+	}
+	values[10] = 10000 // colossal
+	values[20] = 40    // moderate (4x normal), hidden by the first pass
+	out, rep, err := Series(values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds < 2 {
+		t.Errorf("rounds = %d, expected iteration", rep.Rounds)
+	}
+	if out[10] > 20 {
+		t.Errorf("colossal outlier -> %v", out[10])
+	}
+	if out[20] > 20 {
+		t.Errorf("moderate outlier -> %v (threshold %v)", out[20], rep.Threshold)
+	}
+	if rep.Outliers < 2 {
+		t.Errorf("outliers = %d, want >= 2", rep.Outliers)
+	}
+}
+
+func TestMissingValueFilling(t *testing.T) {
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = 50 + float64(i%7)
+	}
+	for _, i := range []int{10, 11, 40, 90} {
+		values[i] = 0
+	}
+	out, rep, err := Series(values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Missing != 4 {
+		t.Errorf("missing = %d, want 4", rep.Missing)
+	}
+	for _, i := range []int{10, 11, 40, 90} {
+		if out[i] < 40 || out[i] > 65 {
+			t.Errorf("filled[%d] = %v, want near 50-56", i, out[i])
+		}
+	}
+}
+
+func TestGenuineZerosKept(t *testing.T) {
+	// §III-B-2: min == 0 and max < 0.01 means the zeros are real.
+	values := []float64{0, 0.005, 0, 0.003, 0, 0.008}
+	out, rep, err := Series(values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ZerosKeptGenuine {
+		t.Error("zeros should be classified genuine")
+	}
+	if rep.Missing != 0 {
+		t.Errorf("missing = %d, want 0", rep.Missing)
+	}
+	for i, v := range out {
+		if values[i] == 0 && v != 0 {
+			t.Errorf("genuine zero at %d was filled with %v", i, v)
+		}
+	}
+}
+
+func TestAllZerosSurvive(t *testing.T) {
+	// An event that never fired: nothing to learn from, nothing filled,
+	// and no error.
+	values := []float64{0, 0, 0, 0}
+	out, rep, err := Series(values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Missing != 0 || rep.Outliers != 0 {
+		t.Errorf("report = %+v on all-zero series", rep)
+	}
+	for _, v := range out {
+		if v != 0 {
+			t.Error("all-zero series changed")
+		}
+	}
+}
+
+func TestSkipFlags(t *testing.T) {
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = 10
+	}
+	values[5] = 0
+	values[50] = 500
+
+	out, rep, err := Series(values, Options{SkipOutliers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outliers != 0 || out[50] != 500 {
+		t.Error("SkipOutliers did not skip")
+	}
+	if rep.Missing != 1 || out[5] == 0 {
+		t.Error("missing not filled with SkipOutliers")
+	}
+
+	out, rep, err = Series(values, Options{SkipMissing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Missing != 0 || out[5] != 0 {
+		t.Error("SkipMissing did not skip")
+	}
+	if rep.Outliers == 0 || out[50] == 500 {
+		t.Error("outlier not replaced with SkipMissing")
+	}
+}
+
+func TestConstantSeriesUnchanged(t *testing.T) {
+	values := []float64{7, 7, 7, 7, 7}
+	out, rep, err := Series(values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outliers != 0 || rep.Missing != 0 {
+		t.Errorf("report = %+v for constant series", rep)
+	}
+	for _, v := range out {
+		if v != 7 {
+			t.Error("constant series changed")
+		}
+	}
+}
+
+func TestCleanSet(t *testing.T) {
+	set := timeseries.NewSet()
+	a := make([]float64, 100)
+	b := make([]float64, 100)
+	for i := range a {
+		a[i] = 10
+		b[i] = 20
+	}
+	a[3] = 0    // missing
+	b[4] = 9999 // outlier
+	set.Put(timeseries.New("A", a))
+	set.Put(timeseries.New("B", b))
+
+	out, rep, err := Set(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalMissing != 1 || rep.TotalOutliers != 1 {
+		t.Errorf("aggregate report = %+v", rep)
+	}
+	ca, _ := out.Get("A")
+	if ca.Values[3] == 0 {
+		t.Error("set cleaning did not fill missing")
+	}
+	cb, _ := out.Get("B")
+	if cb.Values[4] == 9999 {
+		t.Error("set cleaning did not replace outlier")
+	}
+	if rep.PerEvent["A"].Missing != 1 {
+		t.Errorf("per-event report = %+v", rep.PerEvent["A"])
+	}
+}
+
+func TestThresholdCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	values := make([]float64, 10000)
+	for i := range values {
+		values[i] = rng.NormFloat64()
+	}
+	// Gaussian data: mean+3σ covers ~99.87% of the upper side; since
+	// only the upper tail is excluded, coverage ≈ 99.87%.
+	cov3, err := ThresholdCoverage(values, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov3 < 99.5 || cov3 > 100 {
+		t.Errorf("coverage(n=3) = %v", cov3)
+	}
+	cov5, _ := ThresholdCoverage(values, 5)
+	if cov5 < cov3 {
+		t.Errorf("coverage(n=5)=%v < coverage(n=3)=%v", cov5, cov3)
+	}
+	if _, err := ThresholdCoverage(nil, 3); err == nil {
+		t.Error("empty should error")
+	}
+}
+
+func TestCoverageMonotoneInN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	values := make([]float64, 2000)
+	for i := range values {
+		values[i] = rng.ExpFloat64() * 10 // long tail
+	}
+	prev := -1.0
+	for _, n := range []float64{1, 2, 3, 4, 5, 6} {
+		cov, err := ThresholdCoverage(values, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cov < prev {
+			t.Fatalf("coverage not monotone at n=%v", n)
+		}
+		prev = cov
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.N != DefaultN || o.K != DefaultK {
+		t.Errorf("defaults = %+v", o)
+	}
+	o = Options{N: 3, K: 7}.withDefaults()
+	if o.N != 3 || o.K != 7 {
+		t.Errorf("explicit options overridden: %+v", o)
+	}
+}
+
+func TestCleanBoundedProperty(t *testing.T) {
+	// Cleaned values never exceed the observed max and never go
+	// negative.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 50 + rng.Intn(300)
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.ExpFloat64() * 100
+			if rng.Float64() < 0.05 {
+				values[i] = 0
+			}
+		}
+		max := 0.0
+		for _, v := range values {
+			if v > max {
+				max = v
+			}
+		}
+		out, _, err := Series(values, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("trial %d: cleaned[%d] = %v", trial, i, v)
+			}
+			if v > max+1e-9 {
+				t.Fatalf("trial %d: cleaned[%d] = %v above max %v", trial, i, v, max)
+			}
+		}
+	}
+}
+
+func TestCleanIdempotent(t *testing.T) {
+	// Cleaning an already-cleaned series changes (almost) nothing: the
+	// zeros are gone, and the values sit within the threshold.
+	rng := rand.New(rand.NewSource(6))
+	values := make([]float64, 300)
+	for i := range values {
+		values[i] = 50 + 10*rng.NormFloat64()
+		if rng.Float64() < 0.05 {
+			values[i] = 0
+		}
+		if rng.Float64() < 0.02 {
+			values[i] = 5000
+		}
+	}
+	once, _, err := Series(values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, rep, err := Series(once, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Missing != 0 {
+		t.Errorf("second pass filled %d missing values", rep.Missing)
+	}
+	changed := 0
+	for i := range once {
+		if once[i] != twice[i] {
+			changed++
+		}
+	}
+	if changed > len(once)/50 {
+		t.Errorf("second pass changed %d/%d values", changed, len(once))
+	}
+}
+
+func TestCleanPreservesCleanData(t *testing.T) {
+	// A well-behaved Gaussian series passes through almost untouched.
+	rng := rand.New(rand.NewSource(7))
+	values := make([]float64, 500)
+	for i := range values {
+		values[i] = 100 + 5*rng.NormFloat64()
+	}
+	out, rep, err := Series(values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Missing != 0 {
+		t.Errorf("clean data: %d missing filled", rep.Missing)
+	}
+	if rep.Outliers > 3 {
+		t.Errorf("clean data: %d outliers replaced", rep.Outliers)
+	}
+	unchanged := 0
+	for i := range values {
+		if out[i] == values[i] {
+			unchanged++
+		}
+	}
+	if unchanged < len(values)-3 {
+		t.Errorf("only %d/%d values unchanged", unchanged, len(values))
+	}
+}

@@ -1,0 +1,165 @@
+package collector
+
+import (
+	"testing"
+
+	"counterminer/internal/mlpx"
+	"counterminer/internal/sim"
+)
+
+func newTestCollector(t *testing.T) (*Collector, sim.Profile) {
+	t.Helper()
+	c := New(sim.NewCatalogue())
+	p, err := sim.ProfileByName("wordcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, p
+}
+
+func TestCollectOCOE(t *testing.T) {
+	c, p := newTestCollector(t)
+	run, err := c.Collect(p, 1, OCOE, []string{"ICACHE.MISSES", "IDQ.DSB_UOPS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Mode != OCOE || run.Groups != 1 {
+		t.Errorf("run = %+v", run)
+	}
+	if run.Series.Len() != 2 {
+		t.Errorf("series count = %d", run.Series.Len())
+	}
+	if len(run.IPC) == 0 {
+		t.Error("no IPC measured")
+	}
+	s, ok := run.Series.Get("ICACHE.MISSES")
+	if !ok || s.Len() != len(run.IPC) {
+		t.Errorf("series/IPC length mismatch: %v vs %d", s, len(run.IPC))
+	}
+}
+
+func TestCollectOCOECapacity(t *testing.T) {
+	c, p := newTestCollector(t)
+	events := mlpx.DefaultEventSet(c.Catalogue(), 5)
+	if _, err := c.Collect(p, 1, OCOE, events); err == nil {
+		t.Error("OCOE with 5 events should error")
+	}
+}
+
+func TestCollectMLPX(t *testing.T) {
+	c, p := newTestCollector(t)
+	events := mlpx.DefaultEventSet(c.Catalogue(), 10)
+	run, err := c.Collect(p, 1, MLPX, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Groups != 3 {
+		t.Errorf("groups = %d, want 3", run.Groups)
+	}
+	if run.Series.Len() != 10 {
+		t.Errorf("series count = %d", run.Series.Len())
+	}
+}
+
+func TestCollectValidation(t *testing.T) {
+	c, p := newTestCollector(t)
+	if _, err := c.Collect(p, 1, OCOE, nil); err == nil {
+		t.Error("no events should error")
+	}
+	if _, err := c.Collect(p, 1, Mode(99), []string{"ICACHE.MISSES"}); err == nil {
+		t.Error("unknown mode should error")
+	}
+	if _, err := c.Collect(sim.Profile{Name: "bad"}, 1, OCOE, []string{"ICACHE.MISSES"}); err == nil {
+		t.Error("invalid profile should error")
+	}
+}
+
+func TestSameRunIDSameBehaviour(t *testing.T) {
+	c, p := newTestCollector(t)
+	r1, err := c.Collect(p, 7, OCOE, []string{"ICACHE.MISSES"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Collect(p, 7, OCOE, []string{"ICACHE.MISSES"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := r1.Series.Get("ICACHE.MISSES")
+	s2, _ := r2.Series.Get("ICACHE.MISSES")
+	for i := range s1.Values {
+		if s1.Values[i] != s2.Values[i] {
+			t.Fatal("same run ID produced different measurements")
+		}
+	}
+}
+
+func TestDifferentRunsDifferentLengths(t *testing.T) {
+	c, p := newTestCollector(t)
+	lengths := map[int]bool{}
+	for run := 0; run < 8; run++ {
+		r, err := c.Collect(p, run, OCOE, []string{"ICACHE.MISSES"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lengths[len(r.IPC)] = true
+	}
+	if len(lengths) < 3 {
+		t.Errorf("8 runs produced only %d distinct lengths", len(lengths))
+	}
+}
+
+func TestCollectOCOESweep(t *testing.T) {
+	c, p := newTestCollector(t)
+	events := mlpx.DefaultEventSet(c.Catalogue(), 10)
+	runs, err := c.CollectOCOESweep(p, 100, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 { // ceil(10/4)
+		t.Fatalf("sweep runs = %d, want 3", len(runs))
+	}
+	total := 0
+	for i, r := range runs {
+		if r.RunID != 100+i {
+			t.Errorf("run %d has RunID %d", i, r.RunID)
+		}
+		if r.Mode != OCOE {
+			t.Errorf("sweep run mode = %v", r.Mode)
+		}
+		total += r.Series.Len()
+	}
+	if total != 10 {
+		t.Errorf("sweep covered %d events, want 10", total)
+	}
+	if _, err := c.CollectOCOESweep(p, 0, nil); err == nil {
+		t.Error("empty sweep should error")
+	}
+}
+
+func TestTrainingMatrix(t *testing.T) {
+	c, p := newTestCollector(t)
+	events := mlpx.DefaultEventSet(c.Catalogue(), 6)
+	run, err := c.Collect(p, 1, MLPX, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	X, y, err := run.TrainingMatrix(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(X) != len(y) {
+		t.Fatalf("X rows %d != y %d", len(X), len(y))
+	}
+	if len(X[0]) != 6 {
+		t.Errorf("X cols = %d", len(X[0]))
+	}
+	if _, _, err := run.TrainingMatrix([]string{"NOPE"}); err == nil {
+		t.Error("unknown event should error")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if OCOE.String() != "OCOE" || MLPX.String() != "MLPX" {
+		t.Error("Mode.String mismatch")
+	}
+}

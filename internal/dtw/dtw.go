@@ -1,0 +1,184 @@
+// Package dtw implements Dynamic Time Warping, the alignment distance
+// CounterMiner uses to compare event time series of different lengths
+// (§II-B, eq. (1)–(4)). Two runs of the same program produce series of
+// different lengths because of OS nondeterminism, so Euclidean or
+// Manhattan distance is undefined; DTW warps the time axes of both
+// series to minimise the accumulated pointwise distance.
+package dtw
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrEmptySeries is returned when either input series is empty.
+var ErrEmptySeries = errors.New("dtw: empty series")
+
+// Options controls the DTW computation.
+type Options struct {
+	// Window is the Sakoe-Chiba band half-width. Zero means an
+	// unconstrained (full) alignment. A window w only permits aligning
+	// s1[i] with s2[j] when |i·len2/len1 − j| <= w, which bounds both
+	// runtime and pathological warping.
+	Window int
+	// Distance is the pointwise distance; nil means absolute difference.
+	Distance func(a, b float64) float64
+}
+
+func absDist(a, b float64) float64 { return math.Abs(a - b) }
+
+// Distance returns the unconstrained DTW distance between s1 and s2
+// using absolute pointwise differences.
+func Distance(s1, s2 []float64) (float64, error) {
+	return DistanceOpt(s1, s2, Options{})
+}
+
+// DistanceOpt returns the DTW distance between s1 and s2 under opts.
+// The dynamic program uses O(min(len1,len2)) memory.
+func DistanceOpt(s1, s2 []float64, opts Options) (float64, error) {
+	if len(s1) == 0 || len(s2) == 0 {
+		return 0, ErrEmptySeries
+	}
+	dist := opts.Distance
+	if dist == nil {
+		dist = absDist
+	}
+	// Keep s2 as the inner (column) dimension; swap so columns are the
+	// shorter side for memory economy. DTW is symmetric for symmetric
+	// pointwise distances, and our band is defined relative to the
+	// diagonal so swapping is safe.
+	if len(s2) > len(s1) {
+		s1, s2 = s2, s1
+	}
+	n, m := len(s1), len(s2)
+
+	inf := math.Inf(1)
+	prev := make([]float64, m+1)
+	curr := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+
+	for i := 1; i <= n; i++ {
+		curr[0] = inf
+		lo, hi := 1, m
+		if opts.Window > 0 {
+			// Centre of the band for row i in column coordinates.
+			c := (i - 1) * m / n
+			lo = c + 1 - opts.Window
+			hi = c + 1 + opts.Window
+			if lo < 1 {
+				lo = 1
+			}
+			if hi > m {
+				hi = m
+			}
+			for j := 1; j < lo; j++ {
+				curr[j] = inf
+			}
+			for j := hi + 1; j <= m; j++ {
+				curr[j] = inf
+			}
+		}
+		for j := lo; j <= hi; j++ {
+			d := dist(s1[i-1], s2[j-1])
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if curr[j-1] < best {
+				best = curr[j-1] // deletion
+			}
+			if best == inf {
+				curr[j] = inf
+			} else {
+				curr[j] = d + best
+			}
+		}
+		prev, curr = curr, prev
+	}
+	if prev[m] == inf {
+		return 0, errors.New("dtw: window too narrow for series lengths")
+	}
+	return prev[m], nil
+}
+
+// Path returns the optimal alignment path as (i, j) index pairs, plus
+// the DTW distance. It uses the full O(n·m) matrix and is intended for
+// diagnostics and tests rather than bulk scoring.
+func Path(s1, s2 []float64) ([][2]int, float64, error) {
+	if len(s1) == 0 || len(s2) == 0 {
+		return nil, 0, ErrEmptySeries
+	}
+	n, m := len(s1), len(s2)
+	dp := make([][]float64, n+1)
+	for i := range dp {
+		dp[i] = make([]float64, m+1)
+		for j := range dp[i] {
+			dp[i][j] = math.Inf(1)
+		}
+	}
+	dp[0][0] = 0
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			d := absDist(s1[i-1], s2[j-1])
+			best := dp[i-1][j]
+			if dp[i-1][j-1] < best {
+				best = dp[i-1][j-1]
+			}
+			if dp[i][j-1] < best {
+				best = dp[i][j-1]
+			}
+			dp[i][j] = d + best
+		}
+	}
+	// Backtrack.
+	var path [][2]int
+	i, j := n, m
+	for i > 0 && j > 0 {
+		path = append(path, [2]int{i - 1, j - 1})
+		diag, up, left := dp[i-1][j-1], dp[i-1][j], dp[i][j-1]
+		switch {
+		case diag <= up && diag <= left:
+			i, j = i-1, j-1
+		case up <= left:
+			i--
+		default:
+			j--
+		}
+	}
+	// Reverse in place.
+	for a, b := 0, len(path)-1; a < b; a, b = a+1, b-1 {
+		path[a], path[b] = path[b], path[a]
+	}
+	return path, dp[n][m], nil
+}
+
+// MLPXError implements eq. (4) of the paper:
+//
+//	error = |1 - dist_ref / dist_mea| * 100%
+//
+// where dist_ref = DTW(ocoe1, ocoe2) is the distance between two OCOE
+// reference runs (nonzero only because of OS nondeterminism) and
+// dist_mea = DTW(mlpx, ocoe1) is the distance between an MLPX run and an
+// OCOE reference. The result is in percent.
+func MLPXError(ocoe1, ocoe2, mlpx []float64) (float64, error) {
+	distRef, err := Distance(ocoe1, ocoe2)
+	if err != nil {
+		return 0, err
+	}
+	distMea, err := Distance(mlpx, ocoe1)
+	if err != nil {
+		return 0, err
+	}
+	if distMea == 0 {
+		// A perfect MLPX measurement: by convention the error is zero
+		// when the reference distance is also ~zero.
+		if distRef == 0 {
+			return 0, nil
+		}
+		return 0, errors.New("dtw: zero measured distance with nonzero reference")
+	}
+	return math.Abs(1-distRef/distMea) * 100, nil
+}

@@ -1,0 +1,110 @@
+package dtw
+
+import (
+	"errors"
+	"math"
+)
+
+// LBKeogh computes the Keogh lower bound for the banded DTW distance
+// between query q and candidate c under a Sakoe-Chiba band of
+// half-width w: the accumulated distance of q's points to the envelope
+// of c. For any pair of equal-length series,
+//
+//	LBKeogh(q, c, w) <= DTW_w(q, c)
+//
+// so bulk nearest-neighbour searches over event time series can skip
+// full DTW evaluations whose lower bound already exceeds the best
+// distance found.
+func LBKeogh(q, c []float64, w int) (float64, error) {
+	if len(q) == 0 || len(c) == 0 {
+		return 0, ErrEmptySeries
+	}
+	if len(q) != len(c) {
+		return 0, errors.New("dtw: LBKeogh requires equal lengths")
+	}
+	if w < 0 {
+		return 0, errors.New("dtw: negative band width")
+	}
+	upper, lower := envelope(c, w)
+	sum := 0.0
+	for i, v := range q {
+		switch {
+		case v > upper[i]:
+			sum += v - upper[i]
+		case v < lower[i]:
+			sum += lower[i] - v
+		}
+	}
+	return sum, nil
+}
+
+// envelope returns the running max/min of series within ±w positions.
+func envelope(s []float64, w int) (upper, lower []float64) {
+	n := len(s)
+	upper = make([]float64, n)
+	lower = make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i - w
+		hi := i + w
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		u, l := math.Inf(-1), math.Inf(1)
+		for j := lo; j <= hi; j++ {
+			if s[j] > u {
+				u = s[j]
+			}
+			if s[j] < l {
+				l = s[j]
+			}
+		}
+		upper[i] = u
+		lower[i] = l
+	}
+	return upper, lower
+}
+
+// NearestNeighbor finds the index of the candidate series with the
+// smallest banded DTW distance to the query, using LBKeogh to prune
+// full DTW computations. Candidates whose length differs from the
+// query's are compared by full banded DTW directly (the lower bound
+// requires equal lengths). It returns the winning index and distance.
+func NearestNeighbor(query []float64, candidates [][]float64, window int) (int, float64, error) {
+	if len(query) == 0 {
+		return 0, 0, ErrEmptySeries
+	}
+	if len(candidates) == 0 {
+		return 0, 0, errors.New("dtw: no candidates")
+	}
+	best := -1
+	bestDist := math.Inf(1)
+	opts := Options{Window: window}
+	for i, c := range candidates {
+		if len(c) == 0 {
+			continue
+		}
+		if window > 0 && len(c) == len(query) {
+			lb, err := LBKeogh(query, c, window)
+			if err != nil {
+				return 0, 0, err
+			}
+			if lb >= bestDist {
+				continue // pruned
+			}
+		}
+		d, err := DistanceOpt(query, c, opts)
+		if err != nil {
+			return 0, 0, err
+		}
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if best < 0 {
+		return 0, 0, errors.New("dtw: all candidates empty")
+	}
+	return best, bestDist, nil
+}

@@ -1,0 +1,144 @@
+package dtw
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEnvelopeBoundsSeries(t *testing.T) {
+	s := []float64{1, 5, 2, 8, 3}
+	upper, lower := envelope(s, 1)
+	wantUpper := []float64{5, 5, 8, 8, 8}
+	wantLower := []float64{1, 1, 2, 2, 3}
+	for i := range s {
+		if upper[i] != wantUpper[i] || lower[i] != wantLower[i] {
+			t.Fatalf("envelope[%d] = (%v, %v), want (%v, %v)",
+				i, lower[i], upper[i], wantLower[i], wantUpper[i])
+		}
+	}
+	// Zero width: envelope is the series itself.
+	u0, l0 := envelope(s, 0)
+	for i := range s {
+		if u0[i] != s[i] || l0[i] != s[i] {
+			t.Fatal("w=0 envelope should equal series")
+		}
+	}
+}
+
+func TestLBKeoghIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 50; trial++ {
+		n := 20 + rng.Intn(80)
+		w := 1 + rng.Intn(10)
+		q := make([]float64, n)
+		c := make([]float64, n)
+		for i := range q {
+			q[i] = rng.NormFloat64() * 10
+			c[i] = rng.NormFloat64() * 10
+		}
+		lb, err := LBKeogh(q, c, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := DistanceOpt(q, c, Options{Window: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb > d+1e-9 {
+			t.Fatalf("trial %d: LB %v exceeds DTW %v (w=%d)", trial, lb, d, w)
+		}
+	}
+}
+
+func TestLBKeoghValidation(t *testing.T) {
+	if _, err := LBKeogh(nil, []float64{1}, 1); err == nil {
+		t.Error("empty query should error")
+	}
+	if _, err := LBKeogh([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("unequal lengths should error")
+	}
+	if _, err := LBKeogh([]float64{1}, []float64{1}, -1); err == nil {
+		t.Error("negative band should error")
+	}
+}
+
+func TestLBKeoghZeroForIdentical(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	lb, err := LBKeogh(s, s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 0 {
+		t.Errorf("LB of identical = %v", lb)
+	}
+}
+
+func TestNearestNeighborFindsTrueMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	base := make([]float64, 100)
+	for i := range base {
+		base[i] = 10 + 5*rng.NormFloat64()
+	}
+	// Candidate 2 is a slightly perturbed copy; others are unrelated.
+	candidates := make([][]float64, 5)
+	for k := range candidates {
+		c := make([]float64, 100)
+		for i := range c {
+			if k == 2 {
+				c[i] = base[i] + 0.1*rng.NormFloat64()
+			} else {
+				c[i] = 10 + 5*rng.NormFloat64()
+			}
+		}
+		candidates[k] = c
+	}
+	idx, dist, err := NearestNeighbor(base, candidates, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 2 {
+		t.Errorf("nearest = %d (dist %v), want 2", idx, dist)
+	}
+	// Pruned result must equal brute force.
+	bestBrute, bestDist := -1, 1e18
+	for i, c := range candidates {
+		d, err := DistanceOpt(base, c, Options{Window: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < bestDist {
+			bestBrute, bestDist = i, d
+		}
+	}
+	if bestBrute != idx {
+		t.Errorf("pruned search (%d) != brute force (%d)", idx, bestBrute)
+	}
+}
+
+func TestNearestNeighborRaggedCandidates(t *testing.T) {
+	q := []float64{1, 2, 3, 4, 5}
+	candidates := [][]float64{
+		{9, 9, 9},
+		{1, 2, 3, 4, 5, 6},
+		nil,
+	}
+	idx, _, err := NearestNeighbor(q, candidates, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Errorf("nearest = %d, want 1", idx)
+	}
+}
+
+func TestNearestNeighborValidation(t *testing.T) {
+	if _, _, err := NearestNeighbor(nil, [][]float64{{1}}, 1); err == nil {
+		t.Error("empty query should error")
+	}
+	if _, _, err := NearestNeighbor([]float64{1}, nil, 1); err == nil {
+		t.Error("no candidates should error")
+	}
+	if _, _, err := NearestNeighbor([]float64{1}, [][]float64{nil}, 1); err == nil {
+		t.Error("all-empty candidates should error")
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"counterminer/internal/sim"
+	"counterminer/internal/spark"
+)
+
+// Table2 regenerates Table II: the benchmark inventory.
+func Table2(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "tab2",
+		Title:  "Benchmarks (8 CloudSuite 3.0 + 8 HiBench/Spark 2.0)",
+		Header: []string{"benchmark", "abbrev", "suite", "framework", "category", "tiers"},
+	}
+	for _, p := range sim.Profiles() {
+		t.Rows = append(t.Rows, []string{
+			p.Name, p.Abbrev, p.Suite.String(), p.Framework, p.Category, fmt.Sprint(p.Tiers),
+		})
+	}
+	t.Notes = append(t.Notes, "CloudSuite uses diverse frameworks; HiBench uses Spark 2.0 throughout")
+	return t, nil
+}
+
+// Table3 regenerates Table III: the event name/abbreviation catalogue
+// for every event appearing in the importance figures.
+func Table3(cfg Config) (*Table, error) {
+	cat := sim.NewCatalogue()
+	t := &Table{
+		ID:     "tab3",
+		Title:  "Event names and descriptions (figure abbreviations)",
+		Header: []string{"abbrev", "event", "distribution", "description"},
+	}
+	for _, ab := range cat.NamedAbbrevs() {
+		ev, _ := cat.ByAbbrev(ab)
+		t.Rows = append(t.Rows, []string{ev.Abbrev, ev.Name, ev.Dist.String(), ev.Desc})
+	}
+	gauss, gev := cat.DistCensus()
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"full catalogue: %d events, %d gaussian / %d long-tail (paper census: 100/129 of 229)",
+		cat.Len(), gauss, gev))
+	return t, nil
+}
+
+// Table4 regenerates Table IV: Spark configuration parameter names and
+// abbreviations.
+func Table4(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "tab4",
+		Title:  "Spark configuration parameters",
+		Header: []string{"abbrev", "parameter", "grid", "default", "unit"},
+	}
+	for _, p := range spark.Params() {
+		grid := ""
+		for i, v := range p.Values {
+			if i > 0 {
+				grid += "/"
+			}
+			grid += fmt.Sprintf("%g", v)
+		}
+		t.Rows = append(t.Rows, []string{
+			p.Abbrev, p.Name, grid, fmt.Sprintf("%g", p.Values[p.Default]), p.Unit,
+		})
+	}
+	return t, nil
+}

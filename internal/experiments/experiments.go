@@ -1,0 +1,234 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§V). Each experiment is a function returning a
+// Table whose rows mirror what the paper plots; EXPERIMENTS.md records
+// paper-vs-measured values. The package is the single source used by
+// both the cmexp command and the benchmark harness.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"strings"
+	"sync"
+
+	"counterminer/internal/clean"
+	"counterminer/internal/collector"
+	"counterminer/internal/dtw"
+	"counterminer/internal/mlpx"
+	"counterminer/internal/sim"
+)
+
+// Config tunes experiment cost. The zero value selects full-fidelity
+// settings; Quick() selects settings sized for unit tests.
+type Config struct {
+	// Reps is how many (reference, reference, measurement) run triples
+	// average each error estimate (default 3).
+	Reps int
+	// Runs is how many runs feed each model-training matrix (default 3).
+	Runs int
+	// Trees is the SGBRT ensemble size (default 80).
+	Trees int
+	// Workers bounds experiment-internal parallelism (default 8).
+	Workers int
+	// EventBudget caps the modelled event set for the ranking
+	// experiments; 0 means the full 229-event catalogue.
+	EventBudget int
+	// PruneStep is the EIR pruning step (default 10).
+	PruneStep int
+	// Benchmarks restricts error experiments to a subset; nil means all
+	// sixteen.
+	Benchmarks []string
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.Reps <= 0 {
+		c.Reps = 3
+	}
+	if c.Runs <= 0 {
+		c.Runs = 3
+	}
+	if c.Trees <= 0 {
+		c.Trees = 80
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.PruneStep <= 0 {
+		c.PruneStep = 10
+	}
+	return c
+}
+
+// Quick returns a configuration sized for unit tests: fewer reps,
+// smaller ensembles, a reduced event budget, and two benchmarks.
+func Quick() Config {
+	return Config{
+		Reps:        1,
+		Runs:        2,
+		Trees:       30,
+		Workers:     4,
+		EventBudget: 30,
+		PruneStep:   10,
+		Benchmarks:  []string{"wordcount", "DataCaching"},
+	}
+}
+
+// Table is one regenerated paper artefact.
+type Table struct {
+	// ID is the experiment identifier ("fig6", "tab1", ...).
+	ID string
+	// Title describes the artefact.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the data, already formatted.
+	Rows [][]string
+	// Notes carries shape observations (e.g. the paper value a row
+	// should be compared against).
+	Notes []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// benchmarks resolves the configured benchmark subset.
+func (c Config) benchmarks() []string {
+	if c.Benchmarks != nil {
+		return c.Benchmarks
+	}
+	return sim.AllBenchmarkNames()
+}
+
+// eventSet returns the modelled event list under the budget.
+func (c Config) eventSet(cat *sim.Catalogue) []string {
+	evs := cat.Events()
+	if c.EventBudget > 0 && c.EventBudget < len(evs) {
+		return mlpx.DefaultEventSet(cat, c.EventBudget)
+	}
+	return evs
+}
+
+// parallel runs fn(i) for i in [0, n) on up to `workers` goroutines and
+// returns the first error.
+func parallel(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		err0 error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if err0 == nil {
+						err0 = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return err0
+}
+
+// errorSample measures one (raw, cleaned) eq.-(4) error pair for the
+// given benchmark and event count, using run triple `rep`.
+func errorSample(col *collector.Collector, prof sim.Profile, nEvents, rep int) (raw, cleaned float64, err error) {
+	cat := col.Catalogue()
+	const refEvent = "ICACHE.MISSES"
+
+	o1, err := col.Collect(prof, rep*3+1, collector.OCOE, []string{refEvent})
+	if err != nil {
+		return 0, 0, err
+	}
+	o2, err := col.Collect(prof, rep*3+2, collector.OCOE, []string{refEvent})
+	if err != nil {
+		return 0, 0, err
+	}
+	m, err := col.Collect(prof, rep*3+3, collector.MLPX, mlpx.DefaultEventSet(cat, nEvents))
+	if err != nil {
+		return 0, 0, err
+	}
+	s1, _ := o1.Series.Get(refEvent)
+	s2, _ := o2.Series.Get(refEvent)
+	sm, _ := m.Series.Get(refEvent)
+
+	raw, err = dtw.MLPXError(s1.Values, s2.Values, sm.Values)
+	if err != nil {
+		return 0, 0, err
+	}
+	cl, _, err := clean.Series(sm.Values, clean.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	cleaned, err = dtw.MLPXError(s1.Values, s2.Values, cl)
+	if err != nil {
+		return 0, 0, err
+	}
+	return raw, cleaned, nil
+}
+
+// avgError averages errorSample over cfg.Reps triples.
+func avgError(col *collector.Collector, prof sim.Profile, nEvents int, cfg Config) (raw, cleaned float64, err error) {
+	var sumRaw, sumClean float64
+	for rep := 0; rep < cfg.Reps; rep++ {
+		r, c, err := errorSample(col, prof, nEvents, rep)
+		if err != nil {
+			return 0, 0, err
+		}
+		sumRaw += r
+		sumClean += c
+	}
+	return sumRaw / float64(cfg.Reps), sumClean / float64(cfg.Reps), nil
+}
+
+// pct formats a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePct converts "12.3%" to 12.3.
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestQuickConfigDefaults(t *testing.T) {
+	cfg := Config{}.WithDefaults()
+	if cfg.Reps != 3 || cfg.Runs != 3 || cfg.Trees != 80 || cfg.Workers != 8 || cfg.PruneStep != 10 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	q := Quick()
+	if q.EventBudget == 0 || len(q.Benchmarks) == 0 {
+		t.Errorf("quick = %+v", q)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: demo ==", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 20 {
+		t.Fatalf("registered experiments = %d, want 20", len(ids))
+	}
+	for _, id := range ids {
+		if _, err := Lookup(id); err != nil {
+			t.Errorf("Lookup(%s): %v", id, err)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown ID should error")
+	}
+	if _, err := Run("nope", Quick()); err == nil {
+		t.Error("Run of unknown ID should error")
+	}
+}
+
+func TestFig1Quick(t *testing.T) {
+	tab, err := Fig1(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 quick benchmarks + AVG row.
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[2][0] != "AVG" {
+		t.Errorf("last row = %v", tab.Rows[2])
+	}
+	avg := parsePct(t, tab.Rows[2][1])
+	if avg <= 5 || avg >= 95 {
+		t.Errorf("avg error = %v%%, implausible", avg)
+	}
+}
+
+func TestFig2Quick(t *testing.T) {
+	tab, err := Fig2(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// ICACHE.MISSES must show cold-start zeros.
+	for _, row := range tab.Rows {
+		if row[0] == "ICACHE.MISSES" {
+			zeros, _ := strconv.Atoi(row[3])
+			if zeros == 0 {
+				t.Error("no missing values on ICACHE.MISSES")
+			}
+		}
+	}
+}
+
+func TestFig3AndFig7Quick(t *testing.T) {
+	f3, err := Fig3(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f3.Rows) != 7 {
+		t.Fatalf("fig3 rows = %d", len(f3.Rows))
+	}
+	// Error at 36 events must exceed error at 10 events (Fig. 3 trend).
+	e10 := parsePct(t, f3.Rows[0][1])
+	e36 := parsePct(t, f3.Rows[6][1])
+	if e36 <= e10 {
+		t.Errorf("fig3 trend broken: 10 events %v%%, 36 events %v%%", e10, e36)
+	}
+
+	f7, err := Fig7(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cleaning helps at every count.
+	for _, row := range f7.Rows {
+		raw := parsePct(t, row[1])
+		cleaned := parsePct(t, row[2])
+		if cleaned >= raw {
+			t.Errorf("fig7: cleaned %v%% >= raw %v%% at %s events", cleaned, raw, row[0])
+		}
+	}
+}
+
+func TestTable1Quick(t *testing.T) {
+	tab, err := Table1(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		c3 := parsePct(t, row[1])
+		c5 := parsePct(t, row[3])
+		if c5 < c3 {
+			t.Errorf("%s: coverage(n=5) %v < coverage(n=3) %v", row[0], c5, c3)
+		}
+		if c5 < 99 {
+			t.Errorf("%s: coverage(n=5) = %v%%, want >= 99%%", row[0], c5)
+		}
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	tab, err := Fig5(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		raw := parsePct(t, row[3])
+		cleaned := parsePct(t, row[4])
+		// With a single rep the raw error can come out luckily tiny;
+		// demand improvement only when there is something to improve.
+		if cleaned >= raw && cleaned > 20 {
+			t.Errorf("%s: cleaning did not reduce error (%v -> %v)", row[0], raw, cleaned)
+		}
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	tab, err := Fig6(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "AVG" {
+		t.Fatalf("missing AVG row: %v", last)
+	}
+	before := parsePct(t, last[1])
+	after := parsePct(t, last[2])
+	// The headline claim: cleaning reduces the average error severalfold
+	// (paper: 28.3% -> 7.7%).
+	if after >= before/2 {
+		t.Errorf("cleaning reduction too weak: %v%% -> %v%%", before, after)
+	}
+}
+
+func TestFig15(t *testing.T) {
+	tab, err := Fig15(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][1] != "6000" || tab.Rows[3][1] != "1580" {
+		t.Errorf("cost rows = %v", tab.Rows)
+	}
+}
+
+func TestCatalogTables(t *testing.T) {
+	t2, err := Table2(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.Rows) != 16 {
+		t.Errorf("tab2 rows = %d", len(t2.Rows))
+	}
+	t3, err := Table3(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Rows) < 40 {
+		t.Errorf("tab3 rows = %d", len(t3.Rows))
+	}
+	t4, err := Table4(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4.Rows) != 16 {
+		t.Errorf("tab4 rows = %d", len(t4.Rows))
+	}
+}
+
+func TestCensusQuick(t *testing.T) {
+	tab, err := Census(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	total := 0
+	for _, row := range tab.Rows {
+		n, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total != 229 {
+		t.Errorf("census classified %d events, want 229", total)
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"counterminer/internal/sim"
+)
+
+// interactionTable renders Fig. 11 / Fig. 12: the ten strongest event
+// pair interactions per benchmark of a suite.
+func interactionTable(id, title string, suite sim.Suite, cfg Config) (*Table, error) {
+	analyses, err := analyzeSuite(suite, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"benchmark", "dominant pair", "top pairs (importance)"},
+	}
+	branchPairs, totalPairs := 0, 0
+	dominantIntensities := map[string]float64{}
+	for _, a := range analyses {
+		top := a.TopInteractions(10)
+		var cells []string
+		for _, p := range top {
+			cells = append(cells, fmt.Sprintf("%s(%.1f%%)", p.Key(), p.Importance))
+			totalPairs++
+			if isBranchEvent(p.A) || isBranchEvent(p.B) {
+				branchPairs++
+			}
+		}
+		dom := ""
+		if len(top) > 0 {
+			dom = fmt.Sprintf("%s %.1f%%", top[0].Key(), top[0].Importance)
+			dominantIntensities[a.Benchmark] = top[0].Importance
+		}
+		t.Rows = append(t.Rows, []string{a.Benchmark, dom, joinCells(cells)})
+	}
+	if totalPairs > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"branch-related events appear in %d/%d of the top interaction pairs (paper: 83.4%% of the 160 pairs)",
+			branchPairs, totalPairs))
+	}
+	t.Notes = append(t.Notes,
+		"paper: every benchmark has one or two dominant pairs; BRB-BMP dominates 10 of 16 benchmarks")
+	return t, nil
+}
+
+// isBranchEvent reports whether the abbreviation names a branch-related
+// event (BRE, BRB, BMP, BRC, BNT, BAA).
+func isBranchEvent(abbrev string) bool {
+	switch abbrev {
+	case "BRE", "BRB", "BMP", "BRC", "BNT", "BAA":
+		return true
+	}
+	return false
+}
+
+// Fig11 regenerates Figure 11: top interaction pairs for the HiBench
+// benchmarks.
+func Fig11(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	return interactionTable("fig11",
+		"Interaction rank of important event pairs, HiBench", sim.HiBench, cfg)
+}
+
+// Fig12 regenerates Figure 12: top interaction pairs for the
+// CloudSuite benchmarks. The paper's shape: dominant pairs of
+// multi-tier services (WebServing, 4 tiers, up to 64%) interact far
+// more strongly than single-tier ones (GraphAnalytics, 19%).
+func Fig12(cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	t, err := interactionTable("fig12",
+		"Interaction rank of important event pairs, CloudSuite", sim.CloudSuite, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"paper: WebServing's dominant pair reaches 64% intensity vs GraphAnalytics' 19% — more software tiers, stronger interactions")
+	return t, nil
+}

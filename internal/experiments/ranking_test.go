@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig8Quick(t *testing.T) {
+	cfg := Quick()
+	cfg.Benchmarks = []string{"wordcount", "sort"}
+	tab, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 events, prune 10: steps at 30, 20, 10.
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d: %v", len(tab.Rows), tab.Rows)
+	}
+	if tab.Rows[0][0] != "30" || tab.Rows[2][0] != "10" {
+		t.Errorf("event counts: %v", tab.Rows)
+	}
+	for _, row := range tab.Rows {
+		e := parsePct(t, row[1])
+		if e <= 0 || e > 100 {
+			t.Errorf("model error = %v%%", e)
+		}
+	}
+}
+
+func TestFig8NoBenchmarksErrors(t *testing.T) {
+	cfg := Quick()
+	cfg.Benchmarks = []string{"DataCaching"} // CloudSuite only
+	if _, err := Fig8(cfg); err == nil {
+		t.Error("fig8 with no HiBench benchmarks should error")
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	cfg := Quick()
+	cfg.Benchmarks = []string{"wordcount"}
+	tab, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	row := tab.Rows[0]
+	if row[0] != "wordcount" {
+		t.Errorf("benchmark = %s", row[0])
+	}
+	// The designed top event ISF must appear among the listed top
+	// events (the quick 30-event budget includes it).
+	if !strings.Contains(row[1], "ISF") {
+		t.Errorf("wordcount top events missing ISF: %s", row[1])
+	}
+}
+
+func TestFig10Quick(t *testing.T) {
+	cfg := Quick()
+	cfg.Benchmarks = []string{"DataCaching"}
+	tab, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || tab.Rows[0][0] != "DataCaching" {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+}
+
+func TestFig11Quick(t *testing.T) {
+	cfg := Quick()
+	cfg.Benchmarks = []string{"wordcount"}
+	tab, err := Fig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][1] == "" {
+		t.Error("no dominant pair reported")
+	}
+}
+
+func TestFig13Quick(t *testing.T) {
+	cfg := Quick()
+	cfg.Benchmarks = []string{"sort"}
+	tab, err := Fig13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The paper's example: sort's dominant parameter-event pair is
+	// ORO-bbs.
+	if !strings.Contains(tab.Rows[0][1], "bbs") {
+		t.Errorf("sort dominant pair = %s, expected a bbs pair", tab.Rows[0][1])
+	}
+}
+
+func TestFig14Quick(t *testing.T) {
+	tab, err := Fig14(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	vBBS := parsePct(t, tab.Rows[0][3])
+	vNWT := parsePct(t, tab.Rows[1][3])
+	if vBBS <= 2*vNWT {
+		t.Errorf("bbs variation %v%% not ≫ nwt %v%%", vBBS, vNWT)
+	}
+}
+
+func TestFig16Quick(t *testing.T) {
+	cfg := Quick()
+	cfg.EventBudget = 0 // co-location needs the L2 events in the set
+	cfg.Trees = 25
+	cfg.Runs = 1
+	tab, err := Fig16(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	var homo, hetero string
+	for _, row := range tab.Rows {
+		if row[0] == "DataCaching+DataCaching" {
+			homo = row[1]
+		}
+		if row[0] == "DataCaching+GraphAnalytics" {
+			hetero = row[1]
+		}
+	}
+	if homo == "" || hetero == "" {
+		t.Fatalf("missing co-location rows: %v", tab.Rows)
+	}
+	// The heterogeneous mix must surface L2 events.
+	if !strings.Contains(hetero, "L2") {
+		t.Errorf("heterogeneous mix has no L2 events: %s", hetero)
+	}
+}

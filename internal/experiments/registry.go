@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Func is one experiment generator.
+type Func func(Config) (*Table, error)
+
+// registry maps experiment IDs to their generators, in the paper's
+// order.
+var registry = map[string]Func{
+	"fig1":   Fig1,
+	"fig2":   Fig2,
+	"fig3":   Fig3,
+	"tab1":   Table1,
+	"fig5":   Fig5,
+	"fig6":   Fig6,
+	"fig7":   Fig7,
+	"fig8":   Fig8,
+	"fig9":   Fig9,
+	"fig10":  Fig10,
+	"fig11":  Fig11,
+	"fig12":  Fig12,
+	"fig13":  Fig13,
+	"fig14":  Fig14,
+	"fig15":  Fig15,
+	"fig16":  Fig16,
+	"census": Census,
+	"tab2":   Table2,
+	"tab3":   Table3,
+	"tab4":   Table4,
+}
+
+// order lists experiment IDs in presentation order.
+var order = []string{
+	"fig1", "fig2", "fig3", "tab1", "fig5", "fig6", "fig7",
+	"fig8", "fig9", "fig10", "fig11", "fig12",
+	"fig13", "fig14", "fig15", "fig16",
+	"census", "tab2", "tab3", "tab4",
+}
+
+// IDs returns all experiment identifiers in presentation order.
+func IDs() []string {
+	return append([]string(nil), order...)
+}
+
+// Lookup returns the generator for an experiment ID.
+func Lookup(id string) (Func, error) {
+	f, ok := registry[id]
+	if !ok {
+		ids := IDs()
+		sort.Strings(ids)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, ids)
+	}
+	return f, nil
+}
+
+// Run executes one experiment by ID.
+func Run(id string, cfg Config) (*Table, error) {
+	f, err := Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return f(cfg)
+}

@@ -1,0 +1,116 @@
+package interact
+
+import (
+	"errors"
+	"sort"
+)
+
+// additiveFit fits obs ≈ mu + fA[binA(x)] + fB[binB(x)] by backfitting
+// over quantile bins, and returns the fitted values. An additive model
+// absorbs arbitrary univariate structure (including the staircase
+// artifacts of a tree-ensemble oracle), so its residual isolates the
+// genuinely non-additive — interacting — part of the response.
+type additiveFit struct {
+	binsA, binsB []float64 // bin upper edges
+	fA, fB       []float64 // partial effects
+	mu           float64
+}
+
+const (
+	additiveBins   = 10
+	backfitRounds  = 8
+	backfitMinObs  = 20
+	backfitEpsilon = 1e-12
+)
+
+// quantileEdges returns nbins-1 interior quantile edges of xs.
+func quantileEdges(xs []float64, nbins int) []float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	edges := make([]float64, 0, nbins-1)
+	for k := 1; k < nbins; k++ {
+		idx := k * len(sorted) / nbins
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		edges = append(edges, sorted[idx])
+	}
+	return edges
+}
+
+// binIndex locates x among the edges (edges ascending).
+func binIndex(edges []float64, x float64) int {
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if x > edges[mid] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// fitAdditive backfits the two partial-effect functions and returns the
+// fitted values for each observation.
+func fitAdditive(xa, xb, obs []float64) ([]float64, error) {
+	n := len(obs)
+	if n < backfitMinObs {
+		return nil, errors.New("interact: too few observations for additive fit")
+	}
+	edgesA := quantileEdges(xa, additiveBins)
+	edgesB := quantileEdges(xb, additiveBins)
+	binA := make([]int, n)
+	binB := make([]int, n)
+	for i := 0; i < n; i++ {
+		binA[i] = binIndex(edgesA, xa[i])
+		binB[i] = binIndex(edgesB, xb[i])
+	}
+
+	mu := 0.0
+	for _, y := range obs {
+		mu += y
+	}
+	mu /= float64(n)
+
+	fA := make([]float64, additiveBins)
+	fB := make([]float64, additiveBins)
+	sum := make([]float64, additiveBins)
+	cnt := make([]int, additiveBins)
+
+	for round := 0; round < backfitRounds; round++ {
+		// Update fA on residuals net of mu and fB.
+		for k := range sum {
+			sum[k], cnt[k] = 0, 0
+		}
+		for i := 0; i < n; i++ {
+			sum[binA[i]] += obs[i] - mu - fB[binB[i]]
+			cnt[binA[i]]++
+		}
+		for k := range fA {
+			if cnt[k] > 0 {
+				fA[k] = sum[k] / float64(cnt[k])
+			}
+		}
+		// Update fB on residuals net of mu and fA.
+		for k := range sum {
+			sum[k], cnt[k] = 0, 0
+		}
+		for i := 0; i < n; i++ {
+			sum[binB[i]] += obs[i] - mu - fA[binA[i]]
+			cnt[binB[i]]++
+		}
+		for k := range fB {
+			if cnt[k] > 0 {
+				fB[k] = sum[k] / float64(cnt[k])
+			}
+		}
+	}
+
+	fitted := make([]float64, n)
+	for i := 0; i < n; i++ {
+		fitted[i] = mu + fA[binA[i]] + fB[binB[i]]
+	}
+	return fitted, nil
+}

@@ -1,0 +1,162 @@
+package interact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"counterminer/internal/rank"
+	"counterminer/internal/sgbrt"
+)
+
+func TestQuantileGridFollowsDistribution(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	grid := quantileGrid(xs, 10)
+	if len(grid) != 10 {
+		t.Fatalf("grid size = %d", len(grid))
+	}
+	for i := 1; i < len(grid); i++ {
+		if grid[i] <= grid[i-1] {
+			t.Fatalf("grid not increasing: %v", grid)
+		}
+	}
+	// Midpoints of deciles: ~50, 150, ..., 950.
+	if math.Abs(grid[0]-50) > 2 || math.Abs(grid[9]-950) > 2 {
+		t.Errorf("grid endpoints = %v, %v", grid[0], grid[9])
+	}
+}
+
+func TestBinIndexEdges(t *testing.T) {
+	edges := []float64{1, 2, 3}
+	cases := []struct {
+		x    float64
+		want int
+	}{{0, 0}, {1, 0}, {1.5, 1}, {2, 1}, {2.5, 2}, {3, 2}, {9, 3}}
+	for _, c := range cases {
+		if got := binIndex(edges, c.x); got != c.want {
+			t.Errorf("binIndex(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestFitAdditiveAbsorbsAdditiveStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := 400
+	xa := make([]float64, n)
+	xb := make([]float64, n)
+	obsAdd := make([]float64, n)
+	obsMul := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xa[i] = rng.Float64() * 4
+		xb[i] = rng.Float64() * 4
+		obsAdd[i] = math.Sin(xa[i]) + xb[i]*xb[i] // additive, nonlinear
+		obsMul[i] = xa[i] * xb[i]                 // interacting
+	}
+	residual := func(obs []float64) float64 {
+		fit, err := fitAdditive(xa, xb, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss := 0.0
+		for i := range obs {
+			d := fit[i] - obs[i]
+			ss += d * d
+		}
+		return ss
+	}
+	rAdd, rMul := residual(obsAdd), residual(obsMul)
+	if rMul < 5*rAdd {
+		t.Errorf("additive residual %v not ≪ interacting residual %v", rAdd, rMul)
+	}
+	if _, err := fitAdditive(xa[:5], xb[:5], obsAdd[:5]); err == nil {
+		t.Error("too-few observations should error")
+	}
+}
+
+// fitInteractionModel builds a small 3-feature model where features
+// (0,1) interact.
+func fitInteractionModel(t *testing.T) (*rank.Model, [][]float64, []string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	events := []string{"A", "B", "C"}
+	n := 700
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64() * 2, rng.Float64() * 2, rng.Float64() * 2}
+		y[i] = 2*X[i][0]*X[i][1] + X[i][2] + rng.NormFloat64()*0.05
+	}
+	m, err := rank.Fit(X, y, events, rank.Options{
+		Params: sgbrt.Params{Trees: 120, MaxDepth: 4, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, X, events
+}
+
+func TestAllBasesAgreeOnDominantPair(t *testing.T) {
+	m, X, events := fitInteractionModel(t)
+	for _, basis := range []Basis{BasisANOVA, BasisAdditive, BasisQuadratic, BasisLinear} {
+		scores, err := RankPairs(m, X, events, Options{Basis: basis})
+		if err != nil {
+			t.Fatalf("basis %d: %v", basis, err)
+		}
+		if len(scores) != 3 {
+			t.Fatalf("basis %d: %d pairs", basis, len(scores))
+		}
+		if !(scores[0].A == "A" && scores[0].B == "B") {
+			t.Errorf("basis %d: top pair = %s, want A-B (%+v)", basis, scores[0].Key(), scores)
+		}
+	}
+}
+
+func TestANOVASeparationIsStrong(t *testing.T) {
+	m, X, events := fitInteractionModel(t)
+	scores, err := RankPairs(m, X, events, Options{Basis: BasisANOVA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The true interacting pair should dwarf the additive ones.
+	if scores[0].Importance < 60 {
+		t.Errorf("ANOVA dominant pair importance = %v%%, want > 60%%", scores[0].Importance)
+	}
+}
+
+func TestFitPairUnknownBasis(t *testing.T) {
+	if _, err := fitPair([]float64{1}, []float64{1}, []float64{1}, Basis(99)); err == nil {
+		t.Error("unknown basis should error")
+	}
+}
+
+func TestAnovaInteractionZeroForAdditiveSurface(t *testing.T) {
+	// Build a model on a purely additive target; the ANOVA interaction
+	// SS of any pair should be small relative to the response range.
+	rng := rand.New(rand.NewSource(43))
+	events := []string{"A", "B"}
+	n := 600
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64()}
+		y[i] = 3*X[i][0] + 2*X[i][1]
+	}
+	m, err := rank.Fit(X, y, events, rank.Options{
+		Params: sgbrt.Params{Trees: 100, MaxDepth: 3, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := RankPairs(m, X, events, Options{Basis: BasisANOVA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one pair, importance is trivially 100%; check the raw
+	// intensity against the model's output scale instead.
+	if scores[0].Intensity > 0.5 {
+		t.Errorf("additive surface interaction SS = %v, want small", scores[0].Intensity)
+	}
+}

@@ -1,0 +1,196 @@
+// Package mlpx models hardware-counter multiplexing (MLPX). When more
+// events are requested than programmable counters exist, events are
+// organised into groups that time-share the counters round-robin; each
+// event is physically counted during only 1/G of every reporting
+// interval (G = number of groups) and the full-interval value is
+// extrapolated by scaling the observed slice count by G — exactly what
+// Linux perf does.
+//
+// The extrapolation is the error source the paper attacks (§II-B):
+//
+//   - if an event's activity inside an interval is bursty and the burst
+//     happens to fall in the event's live slice, the ×G extrapolation
+//     overshoots — an outlier (Fig. 2a);
+//   - if the burst falls entirely in a slice where the event was not
+//     counted, the event appears (near-)zero — a missing value
+//     (Fig. 2b), the cold-start instruction-cache-miss case being the
+//     canonical example;
+//   - smooth events extrapolate almost perfectly, which is why OCOE and
+//     MLPX agree on them.
+//
+// Errors therefore grow with the group count G, reproducing Fig. 3.
+package mlpx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"counterminer/internal/sim"
+)
+
+// Result is one multiplexed measurement of a set of events over a run.
+type Result struct {
+	// Series maps event name to the extrapolated per-interval values.
+	Series map[string][]float64
+	// Groups is the number of round-robin groups that time-shared the
+	// counters (1 means the measurement degenerated to OCOE).
+	Groups int
+	// Schedule maps event name to its group index.
+	Schedule map[string]int
+}
+
+// Measure samples the given events from a trace with multiplexing on
+// the given PMU. The event list may exceed the counter budget — that is
+// the point of MLPX. seed controls slice phasing and within-interval
+// burst placement.
+func Measure(tr *sim.Trace, events []string, pmu sim.PMU, seed int64) (*Result, error) {
+	if len(events) == 0 {
+		return nil, errors.New("mlpx: no events requested")
+	}
+	cat := tr.Catalogue()
+	for _, ev := range events {
+		if cat.Index(ev) < 0 {
+			return nil, fmt.Errorf("mlpx: unknown event %q", ev)
+		}
+	}
+	groups := pmu.Groups(len(events))
+	res := &Result{
+		Series:   make(map[string][]float64, len(events)),
+		Groups:   groups,
+		Schedule: make(map[string]int, len(events)),
+	}
+	for i, ev := range events {
+		res.Schedule[ev] = i / pmu.Programmable
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	if groups <= 1 {
+		// Fits in the counters: plain OCOE.
+		obs, err := pmu.MeasureOCOE(tr, events, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = obs
+		return res, nil
+	}
+
+	for _, ev := range events {
+		meta, _ := cat.ByAbbrev(mustAbbrev(cat, ev))
+		truth, err := tr.Series(ev)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(truth))
+		coldLen := len(truth) / 30
+
+		// Two regimes per interval:
+		//
+		// Diffuse intervals: activity arrives in many quanta; the live
+		// slice catches Binomial(quanta, 1/G) of them and the ×G
+		// extrapolation has relative error ~ sqrt((G-1)/quanta), which
+		// grows with the group count (Fig. 3's climb).
+		//
+		// Burst intervals: nearly all activity lands in one short
+		// burst. If the burst falls in the live slice the extrapolation
+		// overshoots by ~×G (an outlier, Fig. 2a); otherwise the
+		// interval reads (near) zero (a missing value, Fig. 2b). Bursty
+		// events hit this regime often; cold-start transients always do.
+		smooth := 1 - meta.Burstiness
+		// The quantum count scales with the group count: the kernel's
+		// rotation slice is fixed, so a G-group schedule spreads an
+		// event's live time across G-times more (shorter) slices per
+		// interval, keeping the diffuse extrapolation noise roughly
+		// flat in G. The error growth with G (Fig. 3) comes from the
+		// burst regime: caught bursts overshoot by ×G and missed
+		// bursts become zeros more often.
+		quanta := (220 + int(smooth*smooth*1400)) * groups
+		burstProb := 0.006 + 0.028*meta.Burstiness
+		pLive := 1 / float64(groups)
+		for t := range truth {
+			var v float64
+			cold := meta.ColdStart && t < coldLen
+			if cold || rng.Float64() < burstProb {
+				if rng.Float64() < pLive {
+					// Burst caught in the live slice: overshoot.
+					v = truth[t] * float64(groups) * (0.8 + 0.2*rng.Float64())
+				} else {
+					// Burst missed entirely: the kernel reports zero.
+					v = 0
+				}
+			} else {
+				caught := binomial(rng, quanta, pLive)
+				v = truth[t] * float64(caught) / float64(quanta) * float64(groups)
+			}
+			// Counter-read noise, as in OCOE.
+			v *= 1 + pmu.NoiseRel*rng.NormFloat64()
+			if v < 0 {
+				v = 0
+			}
+			out[t] = v
+		}
+		res.Series[ev] = out
+	}
+	return res, nil
+}
+
+// binomial draws from Binomial(n, p): direct simulation for small n·p,
+// a Gaussian approximation (with clamping) for large n, where the
+// approximation error is far below the model's other noise terms.
+func binomial(rng *rand.Rand, n int, p float64) int {
+	mean := float64(n) * p
+	if n > 100 && mean > 30 {
+		sd := math.Sqrt(mean * (1 - p))
+		k := int(mean + sd*rng.NormFloat64() + 0.5)
+		if k < 0 {
+			k = 0
+		}
+		if k > n {
+			k = n
+		}
+		return k
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			k++
+		}
+	}
+	return k
+}
+
+// mustAbbrev returns the catalogue abbreviation for a full event name.
+// The caller has already validated the name.
+func mustAbbrev(cat *sim.Catalogue, name string) string {
+	return cat.At(cat.Index(name)).Abbrev
+}
+
+// DefaultEventSet returns the first n catalogue events plus the named
+// must-have events, used by experiments that multiplex "n events on 4
+// counters". The returned list always contains ICACHE.MISSES and
+// IDQ.DSB_UOPS (the Fig. 2 examples) when n >= 2.
+func DefaultEventSet(cat *sim.Catalogue, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	must := []string{"ICACHE.MISSES", "IDQ.DSB_UOPS"}
+	out := make([]string, 0, n)
+	seen := map[string]bool{}
+	for _, ev := range must {
+		if len(out) < n {
+			out = append(out, ev)
+			seen[ev] = true
+		}
+	}
+	for _, ev := range cat.Events() {
+		if len(out) >= n {
+			break
+		}
+		if !seen[ev] {
+			out = append(out, ev)
+			seen[ev] = true
+		}
+	}
+	return out
+}

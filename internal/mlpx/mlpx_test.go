@@ -1,0 +1,246 @@
+package mlpx
+
+import (
+	"math"
+	"testing"
+
+	"counterminer/internal/dtw"
+	"counterminer/internal/sim"
+)
+
+func testTrace(t *testing.T, name string, run int) *sim.Trace {
+	t.Helper()
+	p, err := sim.ProfileByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sim.NewGenerator(p, sim.NewCatalogue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Generate(run)
+}
+
+func TestMeasureValidation(t *testing.T) {
+	tr := testTrace(t, "wordcount", 0)
+	pmu := sim.DefaultPMU()
+	if _, err := Measure(tr, nil, pmu, 1); err == nil {
+		t.Error("no events should error")
+	}
+	if _, err := Measure(tr, []string{"NOPE"}, pmu, 1); err == nil {
+		t.Error("unknown event should error")
+	}
+}
+
+func TestFourEventsDegenerateToOCOE(t *testing.T) {
+	tr := testTrace(t, "wordcount", 0)
+	pmu := sim.DefaultPMU()
+	events := DefaultEventSet(tr.Catalogue(), 4)
+	res, err := Measure(tr, events, pmu, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups != 1 {
+		t.Fatalf("4 events on 4 counters: groups = %d", res.Groups)
+	}
+	// OCOE-fidelity: small relative error against truth.
+	truth, _ := tr.Series(events[0])
+	obs := res.Series[events[0]]
+	sumRel := 0.0
+	for i := range truth {
+		if truth[i] > 0 {
+			sumRel += math.Abs(obs[i]-truth[i]) / truth[i]
+		}
+	}
+	if avg := sumRel / float64(len(truth)); avg > 0.1 {
+		t.Errorf("degenerate MLPX relative error = %v", avg)
+	}
+}
+
+func TestScheduleAssignsGroups(t *testing.T) {
+	tr := testTrace(t, "wordcount", 0)
+	pmu := sim.DefaultPMU()
+	events := DefaultEventSet(tr.Catalogue(), 10)
+	res, err := Measure(tr, events, pmu, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups != 3 {
+		t.Fatalf("10 events on 4 counters: groups = %d, want 3", res.Groups)
+	}
+	counts := map[int]int{}
+	for _, ev := range events {
+		g, ok := res.Schedule[ev]
+		if !ok {
+			t.Fatalf("event %s unscheduled", ev)
+		}
+		counts[g]++
+	}
+	if counts[0] != 4 || counts[1] != 4 || counts[2] != 2 {
+		t.Errorf("group sizes = %v", counts)
+	}
+}
+
+func TestMLPXIntroducesRealisticError(t *testing.T) {
+	// The headline experiment: multiplexing 10 events on 4 counters
+	// must introduce substantial DTW error on ICACHE.MISSES, far above
+	// the OCOE reference noise.
+	// Three different runs, as in eq. (2)-(3): two OCOE references and
+	// one multiplexed measurement.
+	tr1 := testTrace(t, "wordcount", 1)
+	tr2 := testTrace(t, "wordcount", 2)
+	tr3 := testTrace(t, "wordcount", 3)
+	pmu := sim.DefaultPMU()
+	events := DefaultEventSet(tr1.Catalogue(), 10)
+
+	ocoe1, err := pmu.MeasureOCOE(tr1, []string{"ICACHE.MISSES"}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ocoe2, err := pmu.MeasureOCOE(tr2, []string{"ICACHE.MISSES"}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Measure(tr3, events, pmu, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := dtw.MLPXError(ocoe1["ICACHE.MISSES"], ocoe2["ICACHE.MISSES"], res.Series["ICACHE.MISSES"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < 5 {
+		t.Errorf("MLPX error = %v%%, want noticeable (>5%%)", e)
+	}
+	if e > 95 {
+		t.Errorf("MLPX error = %v%%, implausibly large", e)
+	}
+}
+
+func TestErrorGrowsWithEventCount(t *testing.T) {
+	// Fig. 3: the more events share the counters, the larger the error.
+	// Compare the average error at 8 events vs 32 events across runs.
+	pmu := sim.DefaultPMU()
+	avgErr := func(nEvents int) float64 {
+		total, n := 0.0, 0
+		for rep := 0; rep < 4; rep++ {
+			tr1 := testTrace(t, "wordcount", rep*3+1)
+			tr2 := testTrace(t, "wordcount", rep*3+2)
+			tr3 := testTrace(t, "wordcount", rep*3+3)
+			events := DefaultEventSet(tr1.Catalogue(), nEvents)
+			ocoe1, _ := pmu.MeasureOCOE(tr1, []string{"ICACHE.MISSES"}, int64(rep*10+1))
+			ocoe2, _ := pmu.MeasureOCOE(tr2, []string{"ICACHE.MISSES"}, int64(rep*10+2))
+			res, err := Measure(tr3, events, pmu, int64(rep*10+3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := dtw.MLPXError(ocoe1["ICACHE.MISSES"], ocoe2["ICACHE.MISSES"], res.Series["ICACHE.MISSES"])
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += e
+			n++
+		}
+		return total / float64(n)
+	}
+	small, large := avgErr(8), avgErr(32)
+	if large <= small {
+		t.Errorf("error at 32 events (%v%%) not above 8 events (%v%%)", large, small)
+	}
+}
+
+func TestColdStartProducesMissingValues(t *testing.T) {
+	// Fig. 2b: the cold-cache ICACHE.MISSES burst at program start is
+	// frequently missed by MLPX, appearing as zeros.
+	pmu := sim.DefaultPMU()
+	zeros := 0
+	for run := 0; run < 5; run++ {
+		tr := testTrace(t, "wordcount", run)
+		events := DefaultEventSet(tr.Catalogue(), 12)
+		res, err := Measure(tr, events, pmu, int64(run))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := res.Series["ICACHE.MISSES"]
+		head := s[:len(s)/12]
+		for _, v := range head {
+			if v == 0 {
+				zeros++
+			}
+		}
+	}
+	if zeros == 0 {
+		t.Error("no missing values in the cold-start region over 5 runs")
+	}
+}
+
+func TestMLPXProducesOutliers(t *testing.T) {
+	// Fig. 2a: extrapolation overshoot — some MLPX values exceed the
+	// simultaneous truth by well over the ×2 that noise could explain.
+	tr := testTrace(t, "wordcount", 1)
+	pmu := sim.DefaultPMU()
+	events := DefaultEventSet(tr.Catalogue(), 12)
+	res, err := Measure(tr, events, pmu, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _ := tr.Series("IDQ.DSB_UOPS")
+	obs := res.Series["IDQ.DSB_UOPS"]
+	outliers := 0
+	for i := range truth {
+		if obs[i] > truth[i]*2 {
+			outliers++
+		}
+	}
+	if outliers == 0 {
+		t.Error("MLPX produced no extrapolation outliers")
+	}
+}
+
+func TestMeasureDeterministicWithSeed(t *testing.T) {
+	tr := testTrace(t, "wordcount", 0)
+	pmu := sim.DefaultPMU()
+	events := DefaultEventSet(tr.Catalogue(), 10)
+	r1, err := Measure(tr, events, pmu, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Measure(tr, events, pmu, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		a, b := r1.Series[ev], r2.Series[ev]
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("same seed differs for %s at %d", ev, i)
+			}
+		}
+	}
+}
+
+func TestDefaultEventSet(t *testing.T) {
+	cat := sim.NewCatalogue()
+	if got := DefaultEventSet(cat, 0); got != nil {
+		t.Errorf("DefaultEventSet(0) = %v", got)
+	}
+	set := DefaultEventSet(cat, 10)
+	if len(set) != 10 {
+		t.Fatalf("set size = %d", len(set))
+	}
+	found := map[string]bool{}
+	for _, ev := range set {
+		if found[ev] {
+			t.Fatalf("duplicate event %s", ev)
+		}
+		found[ev] = true
+	}
+	if !found["ICACHE.MISSES"] || !found["IDQ.DSB_UOPS"] {
+		t.Error("must-have events missing from default set")
+	}
+	// Requesting more than the catalogue holds caps out.
+	all := DefaultEventSet(cat, 500)
+	if len(all) != sim.NumEvents {
+		t.Errorf("oversized request returned %d events", len(all))
+	}
+}

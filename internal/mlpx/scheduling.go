@@ -1,0 +1,277 @@
+package mlpx
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"counterminer/internal/sim"
+)
+
+// This file implements the two error-reduction families the paper
+// positions CounterMiner against (§VI-B), as baselines:
+//
+//   - estimation during sampling (Mathur & Cook [38]): an
+//     interval-rotation schedule where every event is fully counted in
+//     1/G of the reporting intervals and the gaps are filled by an
+//     estimator (zero-order hold or linear interpolation);
+//   - smarter scheduling (Lim et al. [34]): an adaptive schedule that
+//     keeps a counter on an event whose recent values are still
+//     changing and rotates away from events that have stabilised.
+//
+// Both reduce errors *before or during* measurement; CounterMiner's
+// cleaner works *after* it. The benchmark harness compares all three,
+// alone and combined.
+
+// Estimator selects how interval-rotation gaps are filled.
+type Estimator int
+
+const (
+	// HoldEstimator repeats the last observed value (zero-order hold).
+	HoldEstimator Estimator = iota
+	// InterpEstimator linearly interpolates between the neighbouring
+	// observed intervals — the Mathur-Cook estimation baseline.
+	InterpEstimator
+)
+
+func (e Estimator) String() string {
+	if e == HoldEstimator {
+		return "hold"
+	}
+	return "interp"
+}
+
+// MeasureRotation samples events with interval-granularity rotation:
+// in every reporting interval exactly one group of events owns the
+// counters and is counted at OCOE fidelity; all other events see
+// nothing and their values for that interval are later estimated. This
+// trades the ×G extrapolation noise of slice multiplexing for
+// information loss between observation points.
+func MeasureRotation(tr *sim.Trace, events []string, pmu sim.PMU, est Estimator, seed int64) (*Result, error) {
+	if len(events) == 0 {
+		return nil, errors.New("mlpx: no events requested")
+	}
+	cat := tr.Catalogue()
+	for _, ev := range events {
+		if cat.Index(ev) < 0 {
+			return nil, fmt.Errorf("mlpx: unknown event %q", ev)
+		}
+	}
+	groups := pmu.Groups(len(events))
+	res := &Result{
+		Series:   make(map[string][]float64, len(events)),
+		Groups:   groups,
+		Schedule: make(map[string]int, len(events)),
+	}
+	for i, ev := range events {
+		res.Schedule[ev] = i / pmu.Programmable
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if groups <= 1 {
+		obs, err := pmu.MeasureOCOE(tr, events, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = obs
+		return res, nil
+	}
+	rotation := rng.Intn(groups)
+
+	for _, ev := range events {
+		truth, err := tr.Series(ev)
+		if err != nil {
+			return nil, err
+		}
+		g := res.Schedule[ev]
+		n := len(truth)
+		observed := make([]bool, n)
+		out := make([]float64, n)
+		for t := 0; t < n; t++ {
+			if (t+rotation)%groups == g {
+				out[t] = truth[t] * (1 + pmu.NoiseRel*rng.NormFloat64())
+				if out[t] < 0 {
+					out[t] = 0
+				}
+				observed[t] = true
+			}
+		}
+		fillGaps(out, observed, est)
+		res.Series[ev] = out
+	}
+	return res, nil
+}
+
+// fillGaps estimates the unobserved positions in place.
+func fillGaps(values []float64, observed []bool, est Estimator) {
+	n := len(values)
+	prev := -1
+	for t := 0; t < n; t++ {
+		if observed[t] {
+			prev = t
+			continue
+		}
+		// Find the next observed index.
+		next := -1
+		for u := t + 1; u < n; u++ {
+			if observed[u] {
+				next = u
+				break
+			}
+		}
+		switch {
+		case prev < 0 && next < 0:
+			values[t] = 0
+		case prev < 0:
+			values[t] = values[next]
+		case next < 0:
+			values[t] = values[prev]
+		case est == HoldEstimator:
+			values[t] = values[prev]
+		default: // InterpEstimator
+			f := float64(t-prev) / float64(next-prev)
+			values[t] = values[prev]*(1-f) + values[next]*f
+		}
+	}
+}
+
+// MeasureAdaptive implements a Lim-style adaptive schedule on top of
+// interval rotation: an event keeps the counters for consecutive
+// intervals while its three most recent observations are still moving
+// (relative spread above threshold) and yields early once they have
+// stabilised, letting starved events catch up. Gaps are linearly
+// interpolated.
+func MeasureAdaptive(tr *sim.Trace, events []string, pmu sim.PMU, seed int64) (*Result, error) {
+	if len(events) == 0 {
+		return nil, errors.New("mlpx: no events requested")
+	}
+	cat := tr.Catalogue()
+	truth := make(map[string][]float64, len(events))
+	n := 0
+	for _, ev := range events {
+		if cat.Index(ev) < 0 {
+			return nil, fmt.Errorf("mlpx: unknown event %q", ev)
+		}
+		s, err := tr.Series(ev)
+		if err != nil {
+			return nil, err
+		}
+		truth[ev] = s
+		n = len(s)
+	}
+	groups := pmu.Groups(len(events))
+	res := &Result{
+		Series:   make(map[string][]float64, len(events)),
+		Groups:   groups,
+		Schedule: make(map[string]int, len(events)),
+	}
+	for i, ev := range events {
+		res.Schedule[ev] = i / pmu.Programmable
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if groups <= 1 {
+		obs, err := pmu.MeasureOCOE(tr, events, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = obs
+		return res, nil
+	}
+
+	// Per-event state.
+	type state struct {
+		recent   []float64 // last <=3 observations
+		starved  int       // intervals since last observation
+		observed []bool
+		out      []float64
+	}
+	states := make(map[string]*state, len(events))
+	for _, ev := range events {
+		states[ev] = &state{observed: make([]bool, n), out: make([]float64, n)}
+	}
+
+	// stable reports whether the last three observations differ by
+	// less than 10% of their mean — Lim's "values not significantly
+	// different" rule.
+	stable := func(s *state) bool {
+		if len(s.recent) < 3 {
+			return false
+		}
+		mean := (s.recent[0] + s.recent[1] + s.recent[2]) / 3
+		if mean == 0 {
+			return true
+		}
+		for _, v := range s.recent {
+			d := (v - mean) / mean
+			if d < 0 {
+				d = -d
+			}
+			if d > 0.10 {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Each interval, pick the `Programmable` events with the highest
+	// priority: unstable events and starved events first.
+	for t := 0; t < n; t++ {
+		type cand struct {
+			ev   string
+			prio float64
+		}
+		cands := make([]cand, 0, len(events))
+		for _, ev := range events {
+			s := states[ev]
+			p := float64(s.starved)
+			if !stable(s) {
+				p += float64(2 * groups) // changing events keep priority
+			}
+			// Small jitter breaks ties fairly.
+			p += rng.Float64() * 0.5
+			cands = append(cands, cand{ev: ev, prio: p})
+		}
+		// Partial selection of the top `Programmable` candidates.
+		k := pmu.Programmable
+		if k > len(cands) {
+			k = len(cands)
+		}
+		for i := 0; i < k; i++ {
+			best := i
+			for j := i + 1; j < len(cands); j++ {
+				if cands[j].prio > cands[best].prio {
+					best = j
+				}
+			}
+			cands[i], cands[best] = cands[best], cands[i]
+		}
+		selected := cands[:k]
+		chosen := make(map[string]bool, k)
+		for _, c := range selected {
+			chosen[c.ev] = true
+		}
+		for _, ev := range events {
+			s := states[ev]
+			if chosen[ev] {
+				v := truth[ev][t] * (1 + pmu.NoiseRel*rng.NormFloat64())
+				if v < 0 {
+					v = 0
+				}
+				s.out[t] = v
+				s.observed[t] = true
+				s.recent = append(s.recent, v)
+				if len(s.recent) > 3 {
+					s.recent = s.recent[1:]
+				}
+				s.starved = 0
+			} else {
+				s.starved++
+			}
+		}
+	}
+	for _, ev := range events {
+		s := states[ev]
+		fillGaps(s.out, s.observed, InterpEstimator)
+		res.Series[ev] = s.out
+	}
+	return res, nil
+}

@@ -1,0 +1,282 @@
+// Package rank implements CounterMiner's importance ranker (§III-C):
+// it models IPC as a function of event values with SGBRT, quantifies
+// each event's importance by Friedman relative influence (eq. (10) and
+// (11), normalised to percentages), and refines the event set with EIR
+// (Event Importance Refinement): iteratively drop the least important
+// events and refit until the Most Accurate Performance Model (MAPM) is
+// found. The importance ranking read off the MAPM is the paper's final
+// answer.
+package rank
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"counterminer/internal/sgbrt"
+)
+
+// DefaultPruneStep is how many events EIR drops per iteration (§III-C:
+// "we remove the 10 least important events").
+const DefaultPruneStep = 10
+
+// DefaultTestFraction is the held-out share used to score each model
+// (the paper uses one quarter of the training example count as unseen
+// test examples).
+const DefaultTestFraction = 0.25
+
+// Options configures the ranker.
+type Options struct {
+	// Params configures the underlying SGBRT ensembles.
+	Params sgbrt.Params
+	// PruneStep is the number of events dropped per EIR iteration
+	// (default 10).
+	PruneStep int
+	// TestFraction is the held-out fraction for model scoring (default
+	// 0.25).
+	TestFraction float64
+	// MinEvents stops EIR when the event set would shrink below it
+	// (default PruneStep, so the loop runs until no full prune is
+	// possible).
+	MinEvents int
+	// Seed controls the train/test split shuffle.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PruneStep <= 0 {
+		o.PruneStep = DefaultPruneStep
+	}
+	if o.TestFraction <= 0 || o.TestFraction >= 1 {
+		o.TestFraction = DefaultTestFraction
+	}
+	if o.MinEvents <= 0 {
+		o.MinEvents = o.PruneStep
+	}
+	return o
+}
+
+// EventImportance is one ranked event.
+type EventImportance struct {
+	// Event is the event name.
+	Event string
+	// Importance is the normalised relative influence in percent; the
+	// sum over all events of a model is 100.
+	Importance float64
+}
+
+// Model is one fitted performance model with its quality and ranking.
+type Model struct {
+	// Events are the input events, in the caller's column order.
+	Events []string
+	// Ensemble is the fitted SGBRT model.
+	Ensemble *sgbrt.Ensemble
+	// TestError is the eq. (14) relative IPC error on the held-out
+	// split, in percent.
+	TestError float64
+	// Ranking lists events by descending importance.
+	Ranking []EventImportance
+}
+
+// Fit trains one performance model for IPC = perf(e1, ..., en) and
+// ranks the events. X has one row per interval and one column per
+// event; y is the IPC series.
+func Fit(X [][]float64, y []float64, events []string, opts Options) (*Model, error) {
+	if len(X) == 0 {
+		return nil, errors.New("rank: empty training set")
+	}
+	if len(X[0]) != len(events) {
+		return nil, fmt.Errorf("rank: %d columns but %d event names", len(X[0]), len(events))
+	}
+	opts = opts.withDefaults()
+
+	trainX, trainY, testX, testY, err := split(X, y, opts.TestFraction, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ens, err := sgbrt.Fit(trainX, trainY, opts.Params)
+	if err != nil {
+		return nil, err
+	}
+	testErr, err := ens.MAPE(testX, testY)
+	if err != nil {
+		return nil, err
+	}
+	imp := ens.Importances()
+	m := &Model{
+		Events:    append([]string(nil), events...),
+		Ensemble:  ens,
+		TestError: testErr,
+		Ranking:   make([]EventImportance, len(events)),
+	}
+	for i, ev := range events {
+		m.Ranking[i] = EventImportance{Event: ev, Importance: imp[i]}
+	}
+	sort.SliceStable(m.Ranking, func(a, b int) bool {
+		return m.Ranking[a].Importance > m.Ranking[b].Importance
+	})
+	return m, nil
+}
+
+// split shuffles row indices deterministically and carves off the test
+// fraction.
+func split(X [][]float64, y []float64, frac float64, seed int64) (trainX [][]float64, trainY []float64, testX [][]float64, testY []float64, err error) {
+	n := len(X)
+	if len(y) != n {
+		return nil, nil, nil, nil, fmt.Errorf("rank: %d rows but %d targets", n, len(y))
+	}
+	nTest := int(float64(n) * frac)
+	if nTest < 1 || n-nTest < 2 {
+		return nil, nil, nil, nil, fmt.Errorf("rank: %d samples too few for a %.2f test split", n, frac)
+	}
+	idx := rand.New(rand.NewSource(seed)).Perm(n)
+	for k, i := range idx {
+		if k < nTest {
+			testX = append(testX, X[i])
+			testY = append(testY, y[i])
+		} else {
+			trainX = append(trainX, X[i])
+			trainY = append(trainY, y[i])
+		}
+	}
+	return trainX, trainY, testX, testY, nil
+}
+
+// EIRStep records one iteration of event importance refinement.
+type EIRStep struct {
+	// NumEvents is the input-event count of this step's model.
+	NumEvents int
+	// TestError is the model's held-out error in percent.
+	TestError float64
+	// Model is the fitted model of this step.
+	Model *Model
+}
+
+// EIRResult is the outcome of the refinement loop.
+type EIRResult struct {
+	// Steps holds every iteration, in execution order (descending event
+	// count).
+	Steps []EIRStep
+	// Best indexes the step with the lowest test error — the MAPM.
+	Best int
+}
+
+// MAPM returns the most accurate performance model found.
+func (r *EIRResult) MAPM() *Model { return r.Steps[r.Best].Model }
+
+// Curve returns (numEvents, testError) pairs for plotting Fig. 8.
+func (r *EIRResult) Curve() ([]int, []float64) {
+	ns := make([]int, len(r.Steps))
+	es := make([]float64, len(r.Steps))
+	for i, s := range r.Steps {
+		ns[i] = s.NumEvents
+		es[i] = s.TestError
+	}
+	return ns, es
+}
+
+// EIR runs the refinement loop: fit a model on all events, rank, drop
+// the PruneStep least-important events, refit, and repeat while at
+// least MinEvents remain. It returns every step plus the MAPM.
+func EIR(X [][]float64, y []float64, events []string, opts Options) (*EIRResult, error) {
+	opts = opts.withDefaults()
+	if len(events) == 0 {
+		return nil, errors.New("rank: EIR with no events")
+	}
+	cur := append([]string(nil), events...)
+	colIdx := make(map[string]int, len(events))
+	for i, ev := range events {
+		colIdx[ev] = i
+	}
+
+	res := &EIRResult{}
+	for len(cur) >= opts.MinEvents {
+		subX, err := columns(X, cur, colIdx)
+		if err != nil {
+			return nil, err
+		}
+		m, err := Fit(subX, y, cur, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Steps = append(res.Steps, EIRStep{
+			NumEvents: len(cur),
+			TestError: m.TestError,
+			Model:     m,
+		})
+		if len(cur)-opts.PruneStep < opts.MinEvents {
+			break
+		}
+		// Drop the PruneStep least important events.
+		keep := make(map[string]bool, len(cur)-opts.PruneStep)
+		for _, ei := range m.Ranking[:len(cur)-opts.PruneStep] {
+			keep[ei.Event] = true
+		}
+		next := cur[:0]
+		for _, ev := range cur {
+			if keep[ev] {
+				next = append(next, ev)
+			}
+		}
+		cur = next
+	}
+	if len(res.Steps) == 0 {
+		return nil, fmt.Errorf("rank: EIR produced no steps (events=%d, min=%d)", len(events), opts.MinEvents)
+	}
+	for i, s := range res.Steps {
+		if s.TestError < res.Steps[res.Best].TestError {
+			res.Best = i
+		}
+	}
+	return res, nil
+}
+
+// columns extracts the named columns of X (by the original column
+// index map) into a new matrix.
+func columns(X [][]float64, events []string, colIdx map[string]int) ([][]float64, error) {
+	cols := make([]int, len(events))
+	for j, ev := range events {
+		i, ok := colIdx[ev]
+		if !ok {
+			return nil, fmt.Errorf("rank: event %q not in original matrix", ev)
+		}
+		cols[j] = i
+	}
+	out := make([][]float64, len(X))
+	for r, row := range X {
+		sub := make([]float64, len(cols))
+		for j, c := range cols {
+			sub[j] = row[c]
+		}
+		out[r] = sub
+	}
+	return out, nil
+}
+
+// TopK returns the k most important events of the model (fewer if the
+// model has fewer events).
+func (m *Model) TopK(k int) []EventImportance {
+	if k > len(m.Ranking) {
+		k = len(m.Ranking)
+	}
+	return append([]EventImportance(nil), m.Ranking[:k]...)
+}
+
+// SMICount reports how many of the top three events are "significantly
+// more important": their importance exceeds ratio times the
+// fourth-ranked importance. The paper's one–three SMI law says this is
+// 1 to 3 for every benchmark.
+func (m *Model) SMICount(ratio float64) int {
+	if len(m.Ranking) < 4 {
+		return len(m.Ranking)
+	}
+	cutoff := m.Ranking[3].Importance * ratio
+	n := 0
+	for _, ei := range m.Ranking[:3] {
+		if ei.Importance > cutoff {
+			n++
+		}
+	}
+	return n
+}

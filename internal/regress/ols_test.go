@@ -1,0 +1,181 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFitRecoverExactLinear(t *testing.T) {
+	// y = 3 + 2·x1 - 5·x2, noise-free.
+	rng := rand.New(rand.NewSource(41))
+	n := 100
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		x1, x2 := rng.Float64()*10, rng.Float64()*10
+		X[i] = []float64{x1, x2}
+		y[i] = 3 + 2*x1 - 5*x2
+	}
+	m, err := Fit(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(m.Intercept, 3, 1e-6) {
+		t.Errorf("intercept = %v, want 3", m.Intercept)
+	}
+	if !approx(m.Coef[0], 2, 1e-6) || !approx(m.Coef[1], -5, 1e-6) {
+		t.Errorf("coef = %v, want [2, -5]", m.Coef)
+	}
+	pred, err := m.PredictAll(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := R2(pred, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r2, 1, 1e-9) {
+		t.Errorf("R2 = %v, want 1", r2)
+	}
+}
+
+func TestFitWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 2000
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		x := rng.Float64() * 100
+		X[i] = []float64{x}
+		y[i] = 7 + 0.5*x + rng.NormFloat64()
+	}
+	m, err := Fit(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(m.Coef[0], 0.5, 0.02) {
+		t.Errorf("slope = %v, want ~0.5", m.Coef[0])
+	}
+	if !approx(m.Intercept, 7, 1.0) {
+		t.Errorf("intercept = %v, want ~7", m.Intercept)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, nil); err == nil {
+		t.Error("empty X should error")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged X should error")
+	}
+	// Under-determined: 2 samples, 2 features + intercept.
+	if _, err := Fit([][]float64{{1, 2}, {3, 4}}, []float64{1, 2}); err == nil {
+		t.Error("underdetermined should error")
+	}
+}
+
+func TestFitConstantColumnViaRidge(t *testing.T) {
+	// A constant feature column makes the normal equations singular;
+	// the ridge fallback must still produce a finite model.
+	X := [][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}}
+	y := []float64{2, 4, 6, 8}
+	m, err := Fit(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(m.Coef[0]) || math.IsNaN(m.Coef[1]) {
+		t.Errorf("ridge fallback produced NaN coefs %v", m.Coef)
+	}
+	pred, _ := m.PredictAll(X)
+	r2, _ := R2(pred, y)
+	if r2 < 0.99 {
+		t.Errorf("R2 = %v on collinear-but-solvable data", r2)
+	}
+}
+
+func TestPredictDimensionCheck(t *testing.T) {
+	m := &Model{Intercept: 1, Coef: []float64{2, 3}}
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+	got, err := m.Predict([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Errorf("Predict = %v, want 6", got)
+	}
+}
+
+func TestResidualVariance(t *testing.T) {
+	v, err := ResidualVariance([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("perfect prediction residual = %v", v)
+	}
+	v, _ = ResidualVariance([]float64{2, 2}, []float64{1, 3})
+	if !approx(v, 2, 1e-12) {
+		t.Errorf("residual = %v, want 2", v)
+	}
+	if _, err := ResidualVariance([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := ResidualVariance(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+}
+
+func TestResidualVarianceDetectsInteraction(t *testing.T) {
+	// y = x1·x2 (pure interaction): linear model residual must be much
+	// larger than for y = x1 + x2 (pure additive).
+	rng := rand.New(rand.NewSource(43))
+	n := 500
+	X := make([][]float64, n)
+	yAdd := make([]float64, n)
+	yMul := make([]float64, n)
+	for i := range X {
+		x1, x2 := rng.Float64()*10, rng.Float64()*10
+		X[i] = []float64{x1, x2}
+		yAdd[i] = x1 + x2
+		yMul[i] = x1 * x2
+	}
+	mAdd, err := Fit(X, yAdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mMul, err := Fit(X, yMul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pAdd, _ := mAdd.PredictAll(X)
+	pMul, _ := mMul.PredictAll(X)
+	vAdd, _ := ResidualVariance(pAdd, yAdd)
+	vMul, _ := ResidualVariance(pMul, yMul)
+	if vMul < 100*vAdd {
+		t.Errorf("interaction residual %v not ≫ additive residual %v", vMul, vAdd)
+	}
+}
+
+func TestR2Extremes(t *testing.T) {
+	// Constant observations, perfect prediction.
+	r2, err := R2([]float64{5, 5}, []float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 != 1 {
+		t.Errorf("R2 constant perfect = %v", r2)
+	}
+	// Constant observations, wrong prediction.
+	r2, _ = R2([]float64{4, 4}, []float64{5, 5})
+	if r2 != 0 {
+		t.Errorf("R2 constant wrong = %v", r2)
+	}
+}

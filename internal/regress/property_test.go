@@ -1,0 +1,90 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: OLS residuals are orthogonal to every regressor (the
+// normal equations): Σ r_i = 0 and Σ r_i·x_ij ≈ 0.
+func TestResidualOrthogonalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(200)
+		p := 1 + rng.Intn(4)
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range X {
+			row := make([]float64, p)
+			for j := range row {
+				row[j] = rng.NormFloat64() * 10
+			}
+			X[i] = row
+			y[i] = rng.NormFloat64() * 5
+			for j := range row {
+				y[i] += float64(j+1) * row[j]
+			}
+		}
+		m, err := Fit(X, y)
+		if err != nil {
+			return false
+		}
+		pred, err := m.PredictAll(X)
+		if err != nil {
+			return false
+		}
+		// Scale tolerance with the data magnitude.
+		sumR := 0.0
+		dot := make([]float64, p)
+		for i := range X {
+			r := y[i] - pred[i]
+			sumR += r
+			for j := 0; j < p; j++ {
+				dot[j] += r * X[i][j]
+			}
+		}
+		tol := 1e-6 * float64(n) * 100
+		if math.Abs(sumR) > tol {
+			return false
+		}
+		for j := 0; j < p; j++ {
+			if math.Abs(dot[j]) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: R² of the OLS fit is never below the R² of the mean-only
+// model (zero) on the training data.
+func TestR2NonNegativeOnTrainingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range X {
+			X[i] = []float64{rng.NormFloat64()}
+			y[i] = rng.NormFloat64()
+		}
+		m, err := Fit(X, y)
+		if err != nil {
+			return false
+		}
+		pred, err := m.PredictAll(X)
+		if err != nil {
+			return false
+		}
+		r2, err := R2(pred, y)
+		return err == nil && r2 >= -1e-9 && r2 <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

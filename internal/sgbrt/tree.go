@@ -1,0 +1,298 @@
+// Package sgbrt implements Stochastic Gradient Boosted Regression Trees
+// (Friedman 2002), the ensemble learner CounterMiner uses to model IPC
+// as a function of event values (§III-C). It also implements the
+// relative-influence event importance of eq. (10)/(11): the importance
+// of a feature in one tree is the sum of squared improvements over all
+// splits on that feature, averaged across the ensemble and normalised
+// to percentages.
+package sgbrt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// node is one node of a CART regression tree stored in a flat slice.
+type node struct {
+	// feature is the split feature index, or -1 for a leaf.
+	feature int
+	// threshold sends x[feature] <= threshold left, otherwise right.
+	threshold float64
+	// left and right index the children in Tree.nodes (leaves: -1).
+	left, right int
+	// value is the leaf prediction (mean of targets in the region).
+	value float64
+	// improvement is the squared-error reduction achieved by this
+	// node's split (0 for leaves), the P²(k) of eq. (10).
+	improvement float64
+	// samples is the number of training rows that reached the node.
+	samples int
+}
+
+// Tree is one CART regression tree.
+type Tree struct {
+	nodes []node
+	// nFeatures is the expected input dimensionality.
+	nFeatures int
+}
+
+// TreeParams controls tree induction.
+type TreeParams struct {
+	// MaxDepth limits tree depth (a stump has depth 1). Values <= 0
+	// default to 3, a common boosting depth.
+	MaxDepth int
+	// MinLeaf is the minimum number of samples in a leaf (default 1).
+	MinLeaf int
+	// FeatureMask, when non-nil, restricts splits to features with
+	// mask[f] == true (per-tree column subsampling).
+	FeatureMask []bool
+}
+
+func (p TreeParams) withDefaults() TreeParams {
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = 3
+	}
+	if p.MinLeaf <= 0 {
+		p.MinLeaf = 1
+	}
+	return p
+}
+
+// sortOrders returns, for every feature, the indices in idx sorted by
+// that feature's value. The boosting driver computes this once over the
+// full training set and filters per stage, so tree induction never
+// sorts.
+func sortOrders(X [][]float64, idx []int) [][]int {
+	nf := len(X[idx[0]])
+	orders := make([][]int, nf)
+	for f := 0; f < nf; f++ {
+		o := append([]int(nil), idx...)
+		sort.Slice(o, func(a, b int) bool { return X[o[a]][f] < X[o[b]][f] })
+		orders[f] = o
+	}
+	return orders
+}
+
+// filterOrders keeps only the indices marked in keep, preserving sorted
+// order per feature.
+func filterOrders(orders [][]int, keep []bool, n int) [][]int {
+	out := make([][]int, len(orders))
+	for f, o := range orders {
+		fo := make([]int, 0, n)
+		for _, i := range o {
+			if keep[i] {
+				fo = append(fo, i)
+			}
+		}
+		out[f] = fo
+	}
+	return out
+}
+
+// buildTree fits a regression tree on the rows of X indexed by idx.
+func buildTree(X [][]float64, y []float64, idx []int, p TreeParams) (*Tree, error) {
+	if len(X) == 0 {
+		return nil, errors.New("sgbrt: empty training set")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("sgbrt: %d rows but %d targets", len(X), len(y))
+	}
+	if len(idx) == 0 {
+		return nil, errors.New("sgbrt: empty sample index")
+	}
+	return buildTreeOrdered(X, y, sortOrders(X, idx), p)
+}
+
+// buildTreeOrdered fits a tree given per-feature pre-sorted sample
+// orders (all features must cover the same sample set).
+func buildTreeOrdered(X [][]float64, y []float64, orders [][]int, p TreeParams) (*Tree, error) {
+	if len(orders) == 0 || len(orders[0]) == 0 {
+		return nil, errors.New("sgbrt: empty sample index")
+	}
+	p = p.withDefaults()
+	t := &Tree{nFeatures: len(orders)}
+	if _, err := t.grow(X, y, orders, 1, p); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// grow recursively builds the subtree for the samples in orders and
+// returns its node index.
+func (t *Tree) grow(X [][]float64, y []float64, orders [][]int, depth int, p TreeParams) (int, error) {
+	idx := orders[0]
+	mean := 0.0
+	for _, i := range idx {
+		mean += y[i]
+	}
+	mean /= float64(len(idx))
+
+	self := len(t.nodes)
+	t.nodes = append(t.nodes, node{
+		feature: -1, left: -1, right: -1,
+		value: mean, samples: len(idx),
+	})
+
+	if depth > p.MaxDepth || len(idx) < 2*p.MinLeaf {
+		return self, nil
+	}
+	feat, thr, improvement, ok := bestSplitOrdered(X, y, orders, p.MinLeaf, p.FeatureMask)
+	if !ok {
+		return self, nil
+	}
+	// Partition every feature's order, preserving sortedness.
+	leftOrders := make([][]int, len(orders))
+	rightOrders := make([][]int, len(orders))
+	for f, o := range orders {
+		var lo, ro []int
+		for _, i := range o {
+			if X[i][feat] <= thr {
+				lo = append(lo, i)
+			} else {
+				ro = append(ro, i)
+			}
+		}
+		leftOrders[f] = lo
+		rightOrders[f] = ro
+	}
+	if len(leftOrders[0]) < p.MinLeaf || len(rightOrders[0]) < p.MinLeaf {
+		return self, nil
+	}
+	l, err := t.grow(X, y, leftOrders, depth+1, p)
+	if err != nil {
+		return 0, err
+	}
+	r, err := t.grow(X, y, rightOrders, depth+1, p)
+	if err != nil {
+		return 0, err
+	}
+	t.nodes[self].feature = feat
+	t.nodes[self].threshold = thr
+	t.nodes[self].left = l
+	t.nodes[self].right = r
+	t.nodes[self].improvement = improvement
+	return self, nil
+}
+
+// bestSplitOrdered scans all features (via their pre-sorted orders) for
+// the split that maximises the squared-error improvement. It returns
+// ok=false when no split reduces the error (e.g. constant targets).
+func bestSplitOrdered(X [][]float64, y []float64, orders [][]int, minLeaf int, mask []bool) (feat int, thr, improvement float64, ok bool) {
+	n := len(orders[0])
+	if n < 2 {
+		return 0, 0, 0, false
+	}
+	totalSum, totalSq := 0.0, 0.0
+	for _, i := range orders[0] {
+		totalSum += y[i]
+		totalSq += y[i] * y[i]
+	}
+	parentSSE := totalSq - totalSum*totalSum/float64(n)
+	bestGain := 0.0
+
+	for f, order := range orders {
+		if mask != nil && !mask[f] {
+			continue
+		}
+		leftSum, leftSq := 0.0, 0.0
+		for k := 0; k < n-1; k++ {
+			i := order[k]
+			leftSum += y[i]
+			leftSq += y[i] * y[i]
+			// Can't split between equal feature values.
+			if X[order[k]][f] == X[order[k+1]][f] {
+				continue
+			}
+			nl, nr := k+1, n-k-1
+			if nl < minLeaf || nr < minLeaf {
+				continue
+			}
+			rightSum := totalSum - leftSum
+			rightSq := totalSq - leftSq
+			sse := (leftSq - leftSum*leftSum/float64(nl)) +
+				(rightSq - rightSum*rightSum/float64(nr))
+			gain := parentSSE - sse
+			if gain > bestGain+1e-12 {
+				bestGain = gain
+				feat = f
+				thr = (X[order[k]][f] + X[order[k+1]][f]) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, bestGain, ok
+}
+
+// Predict returns the tree's prediction for one feature vector.
+func (t *Tree) Predict(x []float64) (float64, error) {
+	if len(x) != t.nFeatures {
+		return 0, fmt.Errorf("sgbrt: predict with %d features, tree has %d", len(x), t.nFeatures)
+	}
+	i := 0
+	for {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return nd.value, nil
+		}
+		if x[nd.feature] <= nd.threshold {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}
+
+// Depth returns the maximum depth of the tree (a single leaf has depth 1).
+func (t *Tree) Depth() int {
+	var walk func(i, d int) int
+	walk = func(i, d int) int {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return d
+		}
+		l := walk(nd.left, d+1)
+		r := walk(nd.right, d+1)
+		if l > r {
+			return l
+		}
+		return r
+	}
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return walk(0, 1)
+}
+
+// NumLeaves returns the number of leaves.
+func (t *Tree) NumLeaves() int {
+	n := 0
+	for i := range t.nodes {
+		if t.nodes[i].feature < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// featureImportance accumulates per-feature squared improvements —
+// I²_j(T) of eq. (10) — into imp, which must have length nFeatures.
+func (t *Tree) featureImportance(imp []float64) {
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		if nd.feature >= 0 {
+			imp[nd.feature] += nd.improvement
+		}
+	}
+}
+
+// guard against NaN thresholds sneaking in from pathological inputs.
+func validRow(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

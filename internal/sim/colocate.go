@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Colocate synthesises the profile of two benchmarks sharing a cluster
+// (§V-E). Hardware counters are shared resources, so the combined
+// workload has a single event-importance structure:
+//
+//   - weights of events common to both inputs add;
+//   - when the two workloads differ, cache contention surfaces: the L2
+//     events (L2H, L2R, L2C, L2A, L2M, L2S) gain substantial weight
+//     because the mixed instruction/data footprints thrash L1, exactly
+//     the paper's observation for DataCaching+GraphAnalytics;
+//   - co-locating a workload with itself perturbs the structure only
+//     slightly (the paper's DataCaching+DataCaching case).
+func Colocate(a, b Profile) Profile {
+	out := Profile{
+		Name:      fmt.Sprintf("%s+%s", a.Name, b.Name),
+		Abbrev:    a.Abbrev + "+" + b.Abbrev,
+		Suite:     a.Suite,
+		Framework: a.Framework + " + " + b.Framework,
+		Category:  "co-located",
+		Tiers:     maxInt(a.Tiers, b.Tiers),
+		BaseIPC:   (a.BaseIPC + b.BaseIPC) / 2 * 0.92, // contention tax
+		Intervals: maxInt(a.Intervals, b.Intervals),
+		Seed:      a.Seed*31 + b.Seed*17,
+	}
+
+	merged := map[string]float64{}
+	for _, w := range a.Weights {
+		merged[w.Abbrev] += w.Weight
+	}
+	for _, w := range b.Weights {
+		merged[w.Abbrev] += w.Weight * 0.9 // the second tenant is slightly lighter
+	}
+
+	if a.Name != b.Name {
+		// Heterogeneous mix: L2 contention events become important —
+		// the mixed instruction and data footprints overflow L1 and
+		// pound the shared L2.
+		for i, l2 := range []string{"L2M", "L2A", "L2R", "L2H", "L2C", "L2S"} {
+			merged[l2] += 7.0 - 0.6*float64(i)
+		}
+		// The incumbent's top event keeps its lead but the mix churns
+		// the rest of the ranking (the paper: "GraphAnalytics churns
+		// the execution of DataCaching severely").
+		for ab := range merged {
+			if ab != topAbbrev(a) {
+				merged[ab] *= 0.8
+			}
+		}
+	} else {
+		// Homogeneous mix: same structure, slightly rescaled.
+		for ab := range merged {
+			merged[ab] *= 0.55
+		}
+	}
+
+	for ab, wt := range merged {
+		out.Weights = append(out.Weights, Weighted{Abbrev: ab, Weight: wt})
+	}
+	sort.Slice(out.Weights, func(i, j int) bool {
+		if out.Weights[i].Weight != out.Weights[j].Weight {
+			return out.Weights[i].Weight > out.Weights[j].Weight
+		}
+		return out.Weights[i].Abbrev < out.Weights[j].Abbrev
+	})
+
+	// Interactions: union, dominated by the first tenant's pairs; the
+	// heterogeneous case also gains an L2 interaction.
+	seen := map[string]bool{}
+	addPair := func(p Pair, scale float64) {
+		key := p.A + "-" + p.B
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		p.Strength *= scale
+		out.Interactions = append(out.Interactions, p)
+	}
+	if a.Name != b.Name {
+		// Contention decouples each tenant's internal event pairs and
+		// introduces an L2 contention pair instead.
+		addPair(Pair{A: "L2M", B: "L2A", Strength: 14}, 1)
+		for _, p := range a.Interactions {
+			addPair(p, 0.4)
+		}
+		for _, p := range b.Interactions {
+			addPair(p, 0.3)
+		}
+	} else {
+		// Even a homogeneous mix dilutes each tenant's internal pair
+		// coupling: the counters observe the sum of two out-of-phase
+		// executions.
+		for _, p := range a.Interactions {
+			addPair(p, 0.45)
+		}
+		for _, p := range b.Interactions {
+			addPair(p, 0.35)
+		}
+	}
+	return out
+}
+
+func topAbbrev(p Profile) string {
+	if len(p.Weights) == 0 {
+		return ""
+	}
+	return p.Weights[0].Abbrev
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

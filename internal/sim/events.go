@@ -1,0 +1,305 @@
+// Package sim is CounterMiner's hardware substitute. The paper profiles
+// a 4-node Haswell-E cluster (Intel Xeon E5-2630 v3) with Linux perf;
+// this package replaces that substrate with a deterministic simulation:
+//
+//   - a catalogue of 229 microarchitecture events (the count the paper
+//     reports for its processors), ~100 with Gaussian value
+//     distributions and ~129 with GEV long-tail distributions, matching
+//     the paper's census in §III-B;
+//   - 16 workload profiles mirroring the 8 HiBench/Spark and
+//     8 CloudSuite benchmarks, each with a ground-truth nonlinear IPC
+//     response surface (per-event penalties plus pairwise interaction
+//     terms);
+//   - a PMU model with 3 fixed and 4 programmable counters per core;
+//   - per-interval trace generation with phase structure (cold-start
+//     bursts, periodic phases, heavy-tail spikes) and OS
+//     nondeterminism (run-length jitter);
+//   - workload co-location (shared-cluster contention, §V-E).
+//
+// Downstream packages (collector, mlpx, clean, rank, interact) only see
+// time-series data, so swapping this simulation for real perf output
+// requires no changes above the collector.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+)
+
+// DistKind classifies an event's value distribution, per the census of
+// §III-B (100 Gaussian events, 129 long-tail/GEV events).
+type DistKind int
+
+const (
+	// DistGaussian events have symmetric, light-tailed values.
+	DistGaussian DistKind = iota
+	// DistGEV events have long-tail values with occasional bursts.
+	DistGEV
+)
+
+func (d DistKind) String() string {
+	if d == DistGaussian {
+		return "gaussian"
+	}
+	return "gev"
+}
+
+// Event describes one countable microarchitecture event.
+type Event struct {
+	// Name is the full perf-style event name, e.g. "ICACHE.MISSES".
+	Name string
+	// Abbrev is the three-letter code used in the paper's figures.
+	Abbrev string
+	// Desc is a human-readable description.
+	Desc string
+	// Dist is the event's value-distribution family.
+	Dist DistKind
+	// Scale is the typical magnitude of per-interval values.
+	Scale float64
+	// Burstiness in [0, 1] controls how unevenly the event's activity
+	// is spread inside a sampling interval; bursty events suffer the
+	// worst multiplexing errors.
+	Burstiness float64
+	// ColdStart marks events with a large transient at program start
+	// (e.g. instruction cache misses on a cold cache).
+	ColdStart bool
+}
+
+// namedEvents is the catalogue of events that appear by abbreviation in
+// the paper's figures (Table III) plus the two events discussed in
+// Fig. 2. Descriptions follow the paper where it gives them.
+var namedEvents = []Event{
+	{Name: "RS_EVENTS.IQ_FULL_STALL", Abbrev: "ISF", Desc: "stall cycles due to instruction queue full", Dist: DistGaussian, Scale: 42, Burstiness: 0.35},
+	{Name: "BR_INST_EXEC.ALL", Abbrev: "BRE", Desc: "branch instructions executed", Dist: DistGaussian, Scale: 38, Burstiness: 0.30},
+	{Name: "BR_INST_RETIRED.ALL", Abbrev: "BRB", Desc: "successfully retired branch instructions", Dist: DistGaussian, Scale: 36, Burstiness: 0.30},
+	{Name: "BR_MISP_RETIRED.ALL", Abbrev: "BMP", Desc: "mispredicted but finally retired branch instructions", Dist: DistGEV, Scale: 12, Burstiness: 0.55},
+	{Name: "BR_INST_RETIRED.CONDITIONAL", Abbrev: "BRC", Desc: "retired conditional branch instructions", Dist: DistGaussian, Scale: 22, Burstiness: 0.35},
+	{Name: "BR_INST_RETIRED.NOT_TAKEN", Abbrev: "BNT", Desc: "retired not-taken branch instructions", Dist: DistGaussian, Scale: 18, Burstiness: 0.30},
+	{Name: "OFFCORE_REQUESTS.REMOTE_ACCESS", Abbrev: "ORA", Desc: "offcore remote memory accesses", Dist: DistGEV, Scale: 9, Burstiness: 0.65},
+	{Name: "OFFCORE_REQUESTS.OUTSTANDING", Abbrev: "ORO", Desc: "outstanding offcore requests per cycle", Dist: DistGEV, Scale: 11, Burstiness: 0.60},
+	{Name: "UNC_REMOTE_READS", Abbrev: "URA", Desc: "uncore remote DRAM reads", Dist: DistGEV, Scale: 7, Burstiness: 0.70},
+	{Name: "UNC_REMOTE_SNOOPS", Abbrev: "URS", Desc: "uncore remote cache snoops", Dist: DistGEV, Scale: 6, Burstiness: 0.70},
+	{Name: "ITLB_MISSES.WALK_COMPLETED", Abbrev: "ITM", Desc: "instruction TLB misses with completed page walk", Dist: DistGEV, Scale: 5, Burstiness: 0.60},
+	{Name: "ITLB_MISSES.WALK_DURATION", Abbrev: "IPD", Desc: "cycles spent in instruction TLB page walks", Dist: DistGEV, Scale: 8, Burstiness: 0.55},
+	{Name: "CYCLE_ACTIVITY.STALLS_MEM_ANY", Abbrev: "MSL", Desc: "stall cycles due to outstanding memory loads", Dist: DistGaussian, Scale: 30, Burstiness: 0.40},
+	{Name: "MEM_LOAD_UOPS_RETIRED.L2_HIT", Abbrev: "LMH", Desc: "retired load uops hitting in L2", Dist: DistGaussian, Scale: 20, Burstiness: 0.40},
+	{Name: "MEM_LOAD_UOPS_RETIRED.MISS", Abbrev: "MMR", Desc: "retired load uops missing the cache hierarchy", Dist: DistGEV, Scale: 10, Burstiness: 0.60},
+	{Name: "DTLB_STORE_MISSES.STLB_HIT", Abbrev: "PI3", Desc: "second-level TLB hits after DTLB store misses", Dist: DistGEV, Scale: 6, Burstiness: 0.55},
+	{Name: "MACHINE_CLEARS.MEMORY_ORDERING", Abbrev: "MCO", Desc: "machine clears from memory ordering conflicts", Dist: DistGEV, Scale: 3, Burstiness: 0.75},
+	{Name: "DTLB_LOAD_MISSES.WALK_COMPLETED", Abbrev: "TFA", Desc: "data TLB misses with completed page walk", Dist: DistGEV, Scale: 5, Burstiness: 0.60},
+	{Name: "BACLEARS.ANY", Abbrev: "BAA", Desc: "front-end re-steers from branch address clears", Dist: DistGEV, Scale: 4, Burstiness: 0.65},
+	{Name: "OFFCORE_RESPONSE.REMOTE_CACHE", Abbrev: "LRC", Desc: "loads served from a remote cache", Dist: DistGEV, Scale: 7, Burstiness: 0.65},
+	{Name: "ICACHE.MISSES", Abbrev: "IMC", Desc: "instruction cache misses per 1K instructions", Dist: DistGEV, Scale: 14, Burstiness: 0.70, ColdStart: true},
+	{Name: "ICACHE.IFETCH_STALL", Abbrev: "IM4", Desc: "cycles stalled on instruction fetch", Dist: DistGEV, Scale: 9, Burstiness: 0.55},
+	{Name: "L1D.REPLACEMENT", Abbrev: "CAC", Desc: "L1 data cache line replacements", Dist: DistGaussian, Scale: 16, Burstiness: 0.45},
+	{Name: "IDQ.DSB_UOPS", Abbrev: "IDU", Desc: "uops delivered to IDQ from the Decode Stream Buffer", Dist: DistGEV, Scale: 25, Burstiness: 0.50},
+	{Name: "MEM_LOAD_UOPS.REMOTE_HITM", Abbrev: "LRA", Desc: "loads hitting modified lines in a remote cache", Dist: DistGEV, Scale: 5, Burstiness: 0.70},
+	{Name: "OFFCORE_REQUESTS.ALL_SNOOPS", Abbrev: "OTS", Desc: "all offcore snoop transactions", Dist: DistGEV, Scale: 6, Burstiness: 0.60},
+	{Name: "MEM_UOPS_RETIRED.ALL_LOADS", Abbrev: "MUL", Desc: "all retired memory load uops", Dist: DistGaussian, Scale: 34, Burstiness: 0.35},
+	{Name: "MEM_UOPS_RETIRED.LOCAL_LOADS", Abbrev: "MLL", Desc: "retired loads served from local DRAM", Dist: DistGaussian, Scale: 26, Burstiness: 0.40},
+	{Name: "DEMAND_SNOOP.PROBE", Abbrev: "DSP", Desc: "demand snoop probes from other sockets", Dist: DistGEV, Scale: 5, Burstiness: 0.65},
+	{Name: "DEMAND_SNOOP.HIT", Abbrev: "DSH", Desc: "demand snoop probes hitting this core's caches", Dist: DistGEV, Scale: 4, Burstiness: 0.65},
+	{Name: "CYCLE_ACTIVITY.STALLS_TOTAL", Abbrev: "MST", Desc: "total execution stall cycles", Dist: DistGaussian, Scale: 44, Burstiness: 0.30},
+	{Name: "MACHINE_CLEARS.IRQ", Abbrev: "MIE", Desc: "machine clears from interrupt events", Dist: DistGEV, Scale: 2, Burstiness: 0.75},
+	{Name: "ITLB.ITLB_FLUSH", Abbrev: "IMT", Desc: "instruction TLB flushes", Dist: DistGEV, Scale: 3, Burstiness: 0.70},
+	{Name: "MEM_LOAD_UOPS.REMOTE_HIT_FWD", Abbrev: "LHN", Desc: "loads forwarded from a remote NUMA node", Dist: DistGEV, Scale: 4, Burstiness: 0.70},
+	{Name: "ILD_STALL.LCP", Abbrev: "ISL", Desc: "instruction length decoder stalls", Dist: DistGaussian, Scale: 8, Burstiness: 0.40},
+	{Name: "OFFCORE_REQUESTS.CROSS_SOCKET", Abbrev: "CRX", Desc: "requests crossing the socket interconnect", Dist: DistGEV, Scale: 5, Burstiness: 0.65},
+	{Name: "IDQ.ALL_DSB_CYCLES_4_UOPS", Abbrev: "I4U", Desc: "cycles the DSB delivered four uops", Dist: DistGaussian, Scale: 15, Burstiness: 0.35},
+	{Name: "L2_RQSTS.DEMAND_DATA_RD_HIT", Abbrev: "L2H", Desc: "L2 demand data read hits", Dist: DistGaussian, Scale: 18, Burstiness: 0.45},
+	{Name: "L2_RQSTS.ALL_DEMAND_DATA_RD", Abbrev: "L2R", Desc: "all L2 demand data reads", Dist: DistGaussian, Scale: 20, Burstiness: 0.45},
+	{Name: "L2_RQSTS.CODE_RD_MISS", Abbrev: "L2C", Desc: "L2 code read misses", Dist: DistGEV, Scale: 8, Burstiness: 0.60},
+	{Name: "L2_RQSTS.REFERENCES", Abbrev: "L2A", Desc: "all L2 cache references", Dist: DistGaussian, Scale: 24, Burstiness: 0.40},
+	{Name: "L2_RQSTS.MISS", Abbrev: "L2M", Desc: "all L2 cache misses", Dist: DistGEV, Scale: 10, Burstiness: 0.55},
+	{Name: "L2_RQSTS.SNOOP_HIT", Abbrev: "L2S", Desc: "L2 snoop hits", Dist: DistGEV, Scale: 6, Burstiness: 0.60},
+}
+
+// Catalogue is the full event list of the simulated processor: the
+// named events above padded with generated events up to NumEvents. The
+// split between Gaussian and GEV families matches the paper's census
+// (100 Gaussian / 129 GEV over 229 events).
+type Catalogue struct {
+	events  []Event
+	byName  map[string]int
+	byAbbr  map[string]int
+	fixed   []Event // fixed-counter events (cycles, instructions, ...)
+	ordered []string
+}
+
+// NumEvents is the measurable-event count of the simulated processor,
+// matching the 229 events the paper reports for its Haswell-E parts.
+const NumEvents = 229
+
+// NumGaussianEvents is how many of the 229 events follow a Gaussian
+// value distribution per the paper's census.
+const NumGaussianEvents = 100
+
+// NewCatalogue builds the 229-event catalogue. The generated filler
+// events (those beyond the named ones) are deterministic: the same
+// catalogue is produced on every call.
+func NewCatalogue() *Catalogue {
+	c := &Catalogue{
+		byName: make(map[string]int),
+		byAbbr: make(map[string]int),
+	}
+	gaussians := 0
+	for _, e := range namedEvents {
+		if e.Dist == DistGaussian {
+			gaussians++
+		}
+	}
+	c.events = append(c.events, namedEvents...)
+
+	// Pad with generated events. Keep the census ratio: exactly
+	// NumGaussianEvents Gaussian events overall.
+	needGauss := NumGaussianEvents - gaussians
+	i := 0
+	for len(c.events) < NumEvents {
+		i++
+		ev := Event{
+			Name:   fmt.Sprintf("UNC_MISC.EVENT_%03d", i),
+			Abbrev: fmt.Sprintf("U%02d", i),
+			Desc:   fmt.Sprintf("uncore miscellaneous event %d", i),
+		}
+		if needGauss > 0 {
+			ev.Dist = DistGaussian
+			ev.Scale = 2 + float64(i%7)
+			ev.Burstiness = 0.2 + 0.05*float64(i%5)
+			needGauss--
+		} else {
+			ev.Dist = DistGEV
+			ev.Scale = 1 + float64(i%5)
+			ev.Burstiness = 0.5 + 0.05*float64(i%8)
+		}
+		c.events = append(c.events, ev)
+	}
+
+	for idx, e := range c.events {
+		c.byName[e.Name] = idx
+		c.byAbbr[e.Abbrev] = idx
+		c.ordered = append(c.ordered, e.Name)
+	}
+	c.fixed = []Event{
+		{Name: "CPU_CLK_UNHALTED.THREAD", Abbrev: "CYC", Desc: "core clock cycles (fixed counter)", Dist: DistGaussian, Scale: 100},
+		{Name: "INST_RETIRED.ANY", Abbrev: "INS", Desc: "retired instructions (fixed counter)", Dist: DistGaussian, Scale: 100},
+		{Name: "CPU_CLK_UNHALTED.REF_TSC", Abbrev: "REF", Desc: "reference clock cycles (fixed counter)", Dist: DistGaussian, Scale: 100},
+	}
+	return c
+}
+
+// Len reports the number of programmable (non-fixed) events.
+func (c *Catalogue) Len() int { return len(c.events) }
+
+// Events returns the catalogue's event names in catalogue order.
+func (c *Catalogue) Events() []string {
+	return append([]string(nil), c.ordered...)
+}
+
+// Fixed returns the fixed-counter events.
+func (c *Catalogue) Fixed() []Event {
+	return append([]Event(nil), c.fixed...)
+}
+
+// ByName returns the event with the given full name.
+func (c *Catalogue) ByName(name string) (Event, bool) {
+	i, ok := c.byName[name]
+	if !ok {
+		return Event{}, false
+	}
+	return c.events[i], true
+}
+
+// ByAbbrev returns the event with the given figure abbreviation.
+func (c *Catalogue) ByAbbrev(abbr string) (Event, bool) {
+	i, ok := c.byAbbr[abbr]
+	if !ok {
+		return Event{}, false
+	}
+	return c.events[i], true
+}
+
+// Index returns the catalogue index of the named event, or -1.
+func (c *Catalogue) Index(name string) int {
+	i, ok := c.byName[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// At returns the event at catalogue index i.
+func (c *Catalogue) At(i int) Event { return c.events[i] }
+
+// NamedAbbrevs returns the abbreviations of all named (non-filler)
+// events, sorted.
+func (c *Catalogue) NamedAbbrevs() []string {
+	out := make([]string, 0, len(namedEvents))
+	for _, e := range namedEvents {
+		out = append(out, e.Abbrev)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DistCensus returns how many catalogue events fall in each
+// distribution family.
+func (c *Catalogue) DistCensus() (gaussian, gev int) {
+	for _, e := range c.events {
+		if e.Dist == DistGaussian {
+			gaussian++
+		} else {
+			gev++
+		}
+	}
+	return gaussian, gev
+}
+
+// Select returns the catalogue events matching any of the given
+// patterns, in catalogue order. A pattern matches event names with
+// path.Match-style globbing ("L2_RQSTS.*", "BR_*", "ICACHE.MISSES") and
+// also matches an exact abbreviation ("ISF"). Unknown patterns that
+// match nothing cause an error, so typos are caught early.
+func (c *Catalogue) Select(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		return nil, errors.New("sim: no event patterns")
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, pat := range patterns {
+		matched := false
+		// Exact abbreviation?
+		if ev, ok := c.ByAbbrev(pat); ok {
+			if !seen[ev.Name] {
+				seen[ev.Name] = true
+				out = append(out, ev.Name)
+			}
+			matched = true
+		}
+		for _, name := range c.ordered {
+			ok, err := path.Match(pat, name)
+			if err != nil {
+				return nil, fmt.Errorf("sim: bad pattern %q: %w", pat, err)
+			}
+			if ok {
+				matched = true
+				if !seen[name] {
+					seen[name] = true
+					out = append(out, name)
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("sim: pattern %q matches no event", pat)
+		}
+	}
+	// Restore catalogue order.
+	ordered := make([]string, 0, len(out))
+	for _, name := range c.ordered {
+		if seen[name] {
+			ordered = append(ordered, name)
+		}
+	}
+	return ordered, nil
+}

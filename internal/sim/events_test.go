@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatalogueSize(t *testing.T) {
+	c := NewCatalogue()
+	if c.Len() != NumEvents {
+		t.Fatalf("catalogue has %d events, want %d", c.Len(), NumEvents)
+	}
+	if len(c.Events()) != NumEvents {
+		t.Errorf("Events() length = %d", len(c.Events()))
+	}
+}
+
+func TestCatalogueCensusMatchesPaper(t *testing.T) {
+	// §III-B: of 229 events, 100 Gaussian and 129 long-tail.
+	gauss, gev := NewCatalogue().DistCensus()
+	if gauss != NumGaussianEvents {
+		t.Errorf("gaussian events = %d, want %d", gauss, NumGaussianEvents)
+	}
+	if gev != NumEvents-NumGaussianEvents {
+		t.Errorf("gev events = %d, want %d", gev, NumEvents-NumGaussianEvents)
+	}
+}
+
+func TestCatalogueLookups(t *testing.T) {
+	c := NewCatalogue()
+	ev, ok := c.ByName("ICACHE.MISSES")
+	if !ok {
+		t.Fatal("ICACHE.MISSES missing from catalogue")
+	}
+	if ev.Abbrev != "IMC" {
+		t.Errorf("ICACHE.MISSES abbrev = %q", ev.Abbrev)
+	}
+	if !ev.ColdStart {
+		t.Error("ICACHE.MISSES should be a cold-start event")
+	}
+	ev, ok = c.ByAbbrev("ISF")
+	if !ok || !strings.Contains(ev.Desc, "instruction queue") {
+		t.Errorf("ISF = %+v, ok=%v", ev, ok)
+	}
+	if _, ok := c.ByName("NOPE"); ok {
+		t.Error("unknown name lookup succeeded")
+	}
+	if _, ok := c.ByAbbrev("???"); ok {
+		t.Error("unknown abbrev lookup succeeded")
+	}
+	if c.Index("NOPE") != -1 {
+		t.Error("Index of unknown != -1")
+	}
+}
+
+func TestCatalogueDeterministic(t *testing.T) {
+	a, b := NewCatalogue(), NewCatalogue()
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i).Name != b.At(i).Name || a.At(i).Dist != b.At(i).Dist {
+			t.Fatalf("catalogue nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestCatalogueUniqueNamesAndAbbrevs(t *testing.T) {
+	c := NewCatalogue()
+	names := map[string]bool{}
+	abbrevs := map[string]bool{}
+	for i := 0; i < c.Len(); i++ {
+		e := c.At(i)
+		if names[e.Name] {
+			t.Errorf("duplicate event name %q", e.Name)
+		}
+		if abbrevs[e.Abbrev] {
+			t.Errorf("duplicate abbrev %q", e.Abbrev)
+		}
+		names[e.Name] = true
+		abbrevs[e.Abbrev] = true
+		if e.Scale <= 0 {
+			t.Errorf("event %s has non-positive scale", e.Name)
+		}
+		if e.Burstiness < 0 || e.Burstiness > 1 {
+			t.Errorf("event %s burstiness %v out of [0,1]", e.Name, e.Burstiness)
+		}
+	}
+}
+
+func TestFixedCounters(t *testing.T) {
+	c := NewCatalogue()
+	fixed := c.Fixed()
+	if len(fixed) != 3 {
+		t.Fatalf("fixed counters = %d, want 3", len(fixed))
+	}
+	want := map[string]bool{"CYC": true, "INS": true, "REF": true}
+	for _, f := range fixed {
+		if !want[f.Abbrev] {
+			t.Errorf("unexpected fixed counter %q", f.Abbrev)
+		}
+	}
+}
+
+func TestPaperEventsPresent(t *testing.T) {
+	// Every abbreviation appearing in the paper's figures must resolve.
+	c := NewCatalogue()
+	figAbbrevs := []string{
+		"ISF", "BRE", "BRB", "BMP", "BRC", "BNT", "ORA", "ORO", "URA", "URS",
+		"ITM", "IPD", "MSL", "LMH", "MMR", "PI3", "MCO", "TFA", "BAA", "LRC",
+		"IMC", "IM4", "CAC", "IDU", "LRA", "OTS", "MUL", "MLL", "DSP", "DSH",
+		"MST", "MIE", "IMT", "LHN", "ISL", "CRX", "I4U",
+		"L2H", "L2R", "L2C", "L2A", "L2M", "L2S",
+	}
+	for _, ab := range figAbbrevs {
+		if _, ok := c.ByAbbrev(ab); !ok {
+			t.Errorf("figure abbreviation %q missing from catalogue", ab)
+		}
+	}
+}
+
+func TestDistKindString(t *testing.T) {
+	if DistGaussian.String() != "gaussian" || DistGEV.String() != "gev" {
+		t.Error("DistKind.String mismatch")
+	}
+}
+
+func TestSelectPatterns(t *testing.T) {
+	c := NewCatalogue()
+	// Glob over full names.
+	l2, err := c.Select([]string{"L2_RQSTS.*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l2) != 6 {
+		t.Errorf("L2_RQSTS.* matched %d events", len(l2))
+	}
+	// Abbreviation.
+	one, err := c.Select([]string{"ISF"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0] != "RS_EVENTS.IQ_FULL_STALL" {
+		t.Errorf("ISF resolved to %v", one)
+	}
+	// Mixed, deduplicated, catalogue-ordered.
+	mixed, err := c.Select([]string{"BR_*", "BRE", "ICACHE.MISSES"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, ev := range mixed {
+		if seen[ev] {
+			t.Fatalf("duplicate %s in selection", ev)
+		}
+		seen[ev] = true
+	}
+	if !seen["ICACHE.MISSES"] || !seen["BR_INST_EXEC.ALL"] {
+		t.Errorf("selection = %v", mixed)
+	}
+	// Errors.
+	if _, err := c.Select(nil); err == nil {
+		t.Error("no patterns should error")
+	}
+	if _, err := c.Select([]string{"NO_SUCH.*"}); err == nil {
+		t.Error("unmatched pattern should error")
+	}
+	if _, err := c.Select([]string{"[bad"}); err == nil {
+		t.Error("malformed glob should error")
+	}
+}

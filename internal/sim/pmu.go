@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PMU models the Performance Monitoring Unit of the simulated
+// processor: 3 fixed counters (cycles, instructions, reference cycles)
+// and 4 programmable counters per SMT thread, the Haswell-E
+// configuration the paper profiles with hyper-threading enabled.
+type PMU struct {
+	// Fixed is the number of fixed-function counters.
+	Fixed int
+	// Programmable is the number of programmable counters available
+	// for event measurement.
+	Programmable int
+	// NoiseRel is the relative magnitude of per-interval measurement
+	// noise (counter read skid, interrupt jitter). Even OCOE
+	// measurements carry this noise, which is why dist_ref in eq. (2)
+	// is nonzero.
+	NoiseRel float64
+}
+
+// DefaultPMU returns the paper's counter configuration.
+func DefaultPMU() PMU {
+	return PMU{Fixed: 3, Programmable: 4, NoiseRel: 0.08}
+}
+
+// MeasureOCOE measures the given events one-counter-one-event over a
+// trace: every event gets a dedicated counter for the entire run, so
+// the observation is the true series plus small measurement noise. It
+// returns an error when more events are requested than programmable
+// counters exist — the defining constraint of OCOE.
+//
+// seed controls the measurement noise (two measurements of the same
+// trace with different seeds model two observers, not two runs).
+func (p PMU) MeasureOCOE(tr *Trace, events []string, seed int64) (map[string][]float64, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("sim: MeasureOCOE with no events")
+	}
+	if len(events) > p.Programmable {
+		return nil, fmt.Errorf("sim: OCOE cannot measure %d events on %d counters", len(events), p.Programmable)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[string][]float64, len(events))
+	for _, ev := range events {
+		truth, err := tr.Series(ev)
+		if err != nil {
+			return nil, err
+		}
+		obs := make([]float64, len(truth))
+		for t, v := range truth {
+			obs[t] = v * (1 + p.NoiseRel*rng.NormFloat64())
+			if obs[t] < 0 {
+				obs[t] = 0
+			}
+		}
+		out[ev] = obs
+	}
+	return out, nil
+}
+
+// MeasureIPC reads the fixed counters to produce the observed
+// per-interval IPC series. Fixed counters never multiplex, so IPC is
+// always measured at OCOE fidelity.
+func (p PMU) MeasureIPC(tr *Trace, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed ^ 0x5bd1e995))
+	out := make([]float64, tr.Intervals)
+	for t, v := range tr.IPC {
+		// Fixed counters are far more accurate than programmable ones:
+		// cycle and instruction counts carry essentially no skid.
+		out[t] = v * (1 + p.NoiseRel/12*rng.NormFloat64())
+		if out[t] < 0.01 {
+			out[t] = 0.01
+		}
+	}
+	return out
+}
+
+// Groups computes how many multiplexing groups are needed to measure n
+// events: ceil(n / Programmable). With one group MLPX degenerates to
+// OCOE.
+func (p PMU) Groups(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + p.Programmable - 1) / p.Programmable
+}

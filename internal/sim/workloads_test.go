@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestSixteenBenchmarks(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 16 {
+		t.Fatalf("profiles = %d, want 16", len(ps))
+	}
+	if len(ProfilesBySuite(HiBench)) != 8 {
+		t.Errorf("HiBench profiles = %d, want 8", len(ProfilesBySuite(HiBench)))
+	}
+	if len(ProfilesBySuite(CloudSuite)) != 8 {
+		t.Errorf("CloudSuite profiles = %d, want 8", len(ProfilesBySuite(CloudSuite)))
+	}
+}
+
+func TestAllProfilesValidate(t *testing.T) {
+	c := NewCatalogue()
+	for _, p := range Profiles() {
+		if err := p.Validate(c); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("wordcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Abbrev != "WDC" || p.Suite != HiBench {
+		t.Errorf("wordcount = %+v", p)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestOneThreeSMILawDesignedIn(t *testing.T) {
+	// Every profile's top 1-3 events must be significantly heavier than
+	// the rest (>2x the fourth-ranked weight for the #1 event).
+	for _, p := range Profiles() {
+		if len(p.Weights) < 4 {
+			t.Fatalf("%s has only %d weights", p.Name, len(p.Weights))
+		}
+		heavy := 0
+		cutoff := p.Weights[3].Weight
+		for _, w := range p.Weights[:3] {
+			if w.Weight > 1.5*cutoff {
+				heavy++
+			}
+		}
+		if heavy < 1 || heavy > 3 {
+			t.Errorf("%s: %d significantly-heavier events, want 1..3", p.Name, heavy)
+		}
+	}
+}
+
+func TestWordcountMatchesFig9(t *testing.T) {
+	p, _ := ProfileByName("wordcount")
+	top := p.TopEvents()
+	want := []string{"ISF", "BRE", "ORA"}
+	for i, w := range want {
+		if top[i] != w {
+			t.Errorf("wordcount top[%d] = %s, want %s", i, top[i], w)
+		}
+	}
+}
+
+func TestDominantPairMatchesPaper(t *testing.T) {
+	// BRB-BMP is the most important interaction pair in 10 benchmarks,
+	// including wordcount, pagerank, kmeans, DataCaching, WebServing.
+	for _, name := range []string{"wordcount", "pagerank", "kmeans", "DataCaching", "WebServing"} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dom := p.DominantPair()
+		if !(dom.A == "BRB" && dom.B == "BMP") && !(dom.A == "BMP" && dom.B == "BRB") {
+			t.Errorf("%s dominant pair = %s-%s, want BRB-BMP", name, dom.A, dom.B)
+		}
+	}
+}
+
+func TestCloudSuiteInteractionsStrongerThanHiBench(t *testing.T) {
+	// §V-C: dominant pairs of multi-tier CloudSuite benchmarks interact
+	// much more strongly. WebServing (4 tiers) tops at 64, versus 19
+	// for the single-tier GraphAnalytics.
+	ws, _ := ProfileByName("WebServing")
+	ga, _ := ProfileByName("GraphAnalytics")
+	if ws.DominantPair().Strength <= 2*ga.DominantPair().Strength {
+		t.Errorf("WebServing dominant %v not ≫ GraphAnalytics %v",
+			ws.DominantPair().Strength, ga.DominantPair().Strength)
+	}
+}
+
+func TestHiBenchMoreDiverseTopEvents(t *testing.T) {
+	// Finding 6: the HiBench top-10 lists contain more events that are
+	// absent from CloudSuite's top-10 lists than vice versa.
+	inSuite := func(s Suite) map[string]bool {
+		set := map[string]bool{}
+		for _, p := range ProfilesBySuite(s) {
+			for _, ev := range p.TopEvents() {
+				set[ev] = true
+			}
+		}
+		return set
+	}
+	hi, cloud := inSuite(HiBench), inSuite(CloudSuite)
+	hiOnly, cloudOnly := 0, 0
+	for ev := range hi {
+		if !cloud[ev] {
+			hiOnly++
+		}
+	}
+	for ev := range cloud {
+		if !hi[ev] {
+			cloudOnly++
+		}
+	}
+	if hiOnly <= cloudOnly {
+		t.Errorf("HiBench-only events %d not > CloudSuite-only %d", hiOnly, cloudOnly)
+	}
+}
+
+func TestSortedInteractionsDescending(t *testing.T) {
+	p, _ := ProfileByName("sort")
+	si := p.SortedInteractions()
+	for i := 1; i < len(si); i++ {
+		if si[i].Strength > si[i-1].Strength {
+			t.Fatalf("interactions not descending at %d", i)
+		}
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	c := NewCatalogue()
+	bad := Profile{Name: "bad"}
+	if err := bad.Validate(c); err == nil {
+		t.Error("empty weights should fail validation")
+	}
+	bad = Profile{Name: "bad", Weights: []Weighted{{Abbrev: "???", Weight: 1}}}
+	if err := bad.Validate(c); err == nil {
+		t.Error("unknown abbrev should fail validation")
+	}
+	bad = Profile{Name: "bad", Weights: []Weighted{{Abbrev: "ISF", Weight: -1}}}
+	if err := bad.Validate(c); err == nil {
+		t.Error("negative weight should fail validation")
+	}
+	bad = Profile{Name: "bad", Weights: []Weighted{{Abbrev: "ISF", Weight: 1}, {Abbrev: "BRE", Weight: 2}}}
+	if err := bad.Validate(c); err == nil {
+		t.Error("ascending weights should fail validation")
+	}
+	bad = Profile{
+		Name:         "bad",
+		Weights:      []Weighted{{Abbrev: "ISF", Weight: 1}},
+		Interactions: []Pair{{A: "ISF", B: "ISF", Strength: 1}},
+	}
+	if err := bad.Validate(c); err == nil {
+		t.Error("self-interaction should fail validation")
+	}
+}
+
+func TestAllBenchmarkNames(t *testing.T) {
+	names := AllBenchmarkNames()
+	if len(names) != 16 {
+		t.Fatalf("names = %d", len(names))
+	}
+	if names[0] != "wordcount" || names[8] != "DataAnalytics" {
+		t.Errorf("order: %v", names)
+	}
+}

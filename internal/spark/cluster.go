@@ -1,0 +1,354 @@
+package spark
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"counterminer/internal/regress"
+	"counterminer/internal/sim"
+)
+
+// Cluster runs Spark benchmarks under configurable parameters on the
+// simulated cluster.
+type Cluster struct {
+	cat  *sim.Catalogue
+	gens map[string]*sim.Generator
+}
+
+// NewCluster returns a cluster over the given catalogue.
+func NewCluster(cat *sim.Catalogue) *Cluster {
+	return &Cluster{cat: cat, gens: make(map[string]*sim.Generator)}
+}
+
+func (c *Cluster) generator(benchmark string) (*sim.Generator, error) {
+	if g, ok := c.gens[benchmark]; ok {
+		return g, nil
+	}
+	p, err := sim.ProfileByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	g, err := sim.NewGenerator(p, c.cat)
+	if err != nil {
+		return nil, err
+	}
+	c.gens[benchmark] = g
+	return g, nil
+}
+
+// scales converts a configuration into per-event activity multipliers
+// through the benchmark's couplings.
+func (c *Cluster) scales(benchmark string, cfg Config) (map[string]float64, error) {
+	cs, err := CouplingsFor(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, cpl := range cs {
+		p, err := ParamByAbbrev(cpl.ParamAbbrev)
+		if err != nil {
+			return nil, err
+		}
+		ev, ok := c.cat.ByAbbrev(cpl.EventAbbrev)
+		if !ok {
+			return nil, fmt.Errorf("spark: coupling references unknown event %q", cpl.EventAbbrev)
+		}
+		dev := cfg.Deviation(p)
+		out[ev.Name] += 1 + cpl.Strength*dev
+	}
+	// An event coupled by k parameters accumulated k baseline 1s above;
+	// renormalise to a single multiplicative factor.
+	counts := make(map[string]int)
+	for _, cpl := range cs {
+		ev, _ := c.cat.ByAbbrev(cpl.EventAbbrev)
+		counts[ev.Name]++
+	}
+	for name, k := range counts {
+		out[name] -= float64(k - 1)
+	}
+	return out, nil
+}
+
+// RunResult is one benchmark execution under a configuration.
+type RunResult struct {
+	// ExecTime is the wall-clock execution time in seconds.
+	ExecTime float64
+	// MeanIPC is the run's average IPC.
+	MeanIPC float64
+	// EventMeans maps event abbreviation to the run's mean event value
+	// for the benchmark's coupled events and designed top events.
+	EventMeans map[string]float64
+}
+
+// Run executes the benchmark once under cfg. The execution time model
+// is work/throughput: the run's instruction count is fixed by the
+// benchmark, so time scales inversely with mean IPC.
+func (c *Cluster) Run(benchmark string, cfg Config, run int) (*RunResult, error) {
+	g, err := c.generator(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	scales, err := c.scales(benchmark, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr := g.GenerateScaled(run, scales)
+	mean := tr.MeanIPC()
+	if mean <= 0 {
+		return nil, errors.New("spark: degenerate run with non-positive IPC")
+	}
+
+	// Misconfiguration inflates the work itself, not just the IPC: a
+	// bad broadcast block size means more serialization instructions,
+	// more GC, more network waiting. The inflation follows the same
+	// couplings that shift the events, so parameters tied to important
+	// events are exactly the ones worth tuning (the paper's §V-D
+	// argument).
+	cpls, err := CouplingsFor(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	workFactor := 1.0
+	for _, cpl := range cpls {
+		p, err := ParamByAbbrev(cpl.ParamAbbrev)
+		if err != nil {
+			return nil, err
+		}
+		workFactor *= 1 + 0.4*cpl.Strength*cfg.Deviation(p)
+	}
+
+	res := &RunResult{
+		MeanIPC: mean,
+		// Nominal work: BaseIPC * Intervals "instruction units"; one
+		// interval is one second of machine time at base speed.
+		ExecTime:   g.Profile.BaseIPC * float64(g.Profile.Intervals) / mean * 0.35 * workFactor,
+		EventMeans: make(map[string]float64),
+	}
+	record := func(abbrev string) error {
+		ev, ok := c.cat.ByAbbrev(abbrev)
+		if !ok {
+			return fmt.Errorf("spark: unknown event %q", abbrev)
+		}
+		s, err := tr.Series(ev.Name)
+		if err != nil {
+			return err
+		}
+		sum := 0.0
+		for _, v := range s {
+			sum += v
+		}
+		res.EventMeans[abbrev] = sum / float64(len(s))
+		return nil
+	}
+	cs, _ := CouplingsFor(benchmark)
+	seen := map[string]bool{}
+	for _, cpl := range cs {
+		if !seen[cpl.EventAbbrev] {
+			seen[cpl.EventAbbrev] = true
+			if err := record(cpl.EventAbbrev); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, w := range g.Profile.Weights {
+		if !seen[w.Abbrev] {
+			seen[w.Abbrev] = true
+			if err := record(w.Abbrev); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// SweepResult is the outcome of tuning one parameter across its grid.
+type SweepResult struct {
+	Param Param
+	// Values are the grid values, ExecTimes the measured times.
+	Values    []float64
+	ExecTimes []float64
+}
+
+// VariationPct returns (max−min)/min·100, the Fig. 14 metric.
+func (s *SweepResult) VariationPct() float64 {
+	if len(s.ExecTimes) == 0 {
+		return 0
+	}
+	min, max := s.ExecTimes[0], s.ExecTimes[0]
+	for _, t := range s.ExecTimes {
+		if t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+	}
+	if min == 0 {
+		return 0
+	}
+	return (max - min) / min * 100
+}
+
+// SweepParam measures execution time across one parameter's grid,
+// everything else at defaults, averaging over `reps` runs per value.
+func (c *Cluster) SweepParam(benchmark, paramAbbrev string, reps int) (*SweepResult, error) {
+	p, err := ParamByAbbrev(paramAbbrev)
+	if err != nil {
+		return nil, err
+	}
+	if reps <= 0 {
+		reps = 1
+	}
+	res := &SweepResult{Param: p}
+	base := DefaultConfig()
+	for i, v := range p.Values {
+		cfg := base.With(p.Abbrev, i)
+		total := 0.0
+		for r := 0; r < reps; r++ {
+			out, err := c.Run(benchmark, cfg, i*101+r)
+			if err != nil {
+				return nil, err
+			}
+			total += out.ExecTime
+		}
+		res.Values = append(res.Values, v)
+		res.ExecTimes = append(res.ExecTimes, total/float64(reps))
+	}
+	return res, nil
+}
+
+// PairInteraction is one (event, parameter) interaction score for
+// Fig. 13.
+type PairInteraction struct {
+	// EventAbbrev and ParamAbbrev name the pair (the figure renders it
+	// "EVT-par").
+	EventAbbrev, ParamAbbrev string
+	// Intensity is the raw residual variance; Importance the
+	// normalised percentage across all scored pairs.
+	Intensity, Importance float64
+}
+
+// Key renders the pair the way Fig. 13 labels it.
+func (p PairInteraction) Key() string { return p.EventAbbrev + "-" + p.ParamAbbrev }
+
+// RankParamEventInteractions scores every (parameter, event) pair of
+// the benchmark by the §III-D residual-variance method: sweep the
+// parameter, observe (event mean, performance) per run, fit a linear
+// model of performance on (parameter deviation, event mean), and use
+// its residual variance as interaction intensity — normalised across
+// pairs. Events considered are the benchmark's top `topEvents` designed
+// events plus all coupled events.
+func (c *Cluster) RankParamEventInteractions(benchmark string, topEvents, repsPerValue int) ([]PairInteraction, error) {
+	g, err := c.generator(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	if repsPerValue <= 0 {
+		repsPerValue = 2
+	}
+	// Candidate events.
+	var evs []string
+	seen := map[string]bool{}
+	for i, w := range g.Profile.Weights {
+		if i >= topEvents {
+			break
+		}
+		evs = append(evs, w.Abbrev)
+		seen[w.Abbrev] = true
+	}
+	cs, err := CouplingsFor(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	for _, cpl := range cs {
+		if !seen[cpl.EventAbbrev] {
+			evs = append(evs, cpl.EventAbbrev)
+			seen[cpl.EventAbbrev] = true
+		}
+	}
+
+	var out []PairInteraction
+	base := DefaultConfig()
+	for _, p := range Params() {
+		// One sweep per parameter, reused for every event pair.
+		type sample struct {
+			dev   float64
+			means map[string]float64
+			perf  float64
+		}
+		var samples []sample
+		for i := range p.Values {
+			cfg := base.With(p.Abbrev, i)
+			for r := 0; r < repsPerValue; r++ {
+				run, err := c.Run(benchmark, cfg, i*37+r)
+				if err != nil {
+					return nil, err
+				}
+				samples = append(samples, sample{
+					dev:   cfg.Deviation(p),
+					means: run.EventMeans,
+					perf:  run.MeanIPC,
+				})
+			}
+		}
+		// Total performance variance the parameter sweep induces.
+		perfVar := 0.0
+		{
+			mean := 0.0
+			for _, s := range samples {
+				mean += s.perf
+			}
+			mean /= float64(len(samples))
+			for _, s := range samples {
+				d := s.perf - mean
+				perfVar += d * d
+			}
+		}
+		for _, ev := range evs {
+			// Interaction intensity of (parameter, event) with respect
+			// to performance: how much of the performance variance the
+			// sweep induces is carried by this event. A parameter that
+			// does not move performance scores ~0 with every event; a
+			// parameter that moves performance scores high exactly with
+			// the events that transmit its effect.
+			X := make([][]float64, len(samples))
+			y := make([]float64, len(samples))
+			for i, s := range samples {
+				X[i] = []float64{s.means[ev]}
+				y[i] = s.perf
+			}
+			lin, err := regress.Fit(X, y)
+			if err != nil {
+				return nil, fmt.Errorf("spark: pair %s-%s: %w", ev, p.Abbrev, err)
+			}
+			pred, err := lin.PredictAll(X)
+			if err != nil {
+				return nil, err
+			}
+			r2, err := regress.R2(pred, y)
+			if err != nil {
+				return nil, err
+			}
+			if r2 < 0 {
+				r2 = 0
+			}
+			out = append(out, PairInteraction{
+				EventAbbrev: ev,
+				ParamAbbrev: p.Abbrev,
+				Intensity:   r2 * perfVar,
+			})
+		}
+	}
+	total := 0.0
+	for _, p := range out {
+		total += p.Intensity
+	}
+	if total > 0 {
+		for i := range out {
+			out[i].Importance = out[i].Intensity / total * 100
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Importance > out[j].Importance })
+	return out, nil
+}

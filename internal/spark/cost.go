@@ -1,0 +1,89 @@
+package spark
+
+import "fmt"
+
+// CostModel reproduces the Fig. 15 profiling-cost accounting that
+// compares two ways of identifying important Spark configuration
+// parameters:
+//
+//   - Method B ranks parameters directly: one training example —
+//     (configuration, execution time) — requires one complete benchmark
+//     run, because execution time is only known after the run finishes.
+//   - Method A ranks events first: one run yields SamplesPerRun
+//     training examples — (event values, IPC) pairs, one per sampling
+//     interval — so the event model needs far fewer runs; finding the
+//     parameter↔event couplings afterwards costs a bounded parameter
+//     sweep.
+type CostModel struct {
+	// ExamplesForAccuracy is the number of training examples needed to
+	// reach the target model accuracy (the paper's pagerank example
+	// uses 6000 examples for ~90% accuracy).
+	ExamplesForAccuracy int
+	// SamplesPerRun is how many (events, IPC) samples one run yields
+	// (the paper's pagerank runs yield ~100).
+	SamplesPerRun int
+	// ParamsSwept is how many configuration parameters the coupling
+	// search sweeps.
+	ParamsSwept int
+	// ValuesPerParam is the sweep grid size per parameter.
+	ValuesPerParam int
+	// RepsPerValue is the repetition count per grid point.
+	RepsPerValue int
+}
+
+// PaperCostModel returns the §V-D pagerank accounting: 6000 examples
+// for 90% accuracy, 100 samples per run, and a coupling sweep totalling
+// 1520 runs, giving 6000 vs. 1580 runs (method A ≈ 1/4 the cost).
+func PaperCostModel() CostModel {
+	return CostModel{
+		ExamplesForAccuracy: 6000,
+		SamplesPerRun:       100,
+		ParamsSwept:         16,
+		ValuesPerParam:      19,
+		RepsPerValue:        5,
+	}
+}
+
+// MethodBRuns is the run count for directly ranking parameter
+// importance: one run per training example.
+func (c CostModel) MethodBRuns() int { return c.ExamplesForAccuracy }
+
+// MethodARuns is the run count for the event-importance route: model
+// building plus the coupling sweep.
+func (c CostModel) MethodARuns() int {
+	return c.ModelBuildingRuns() + c.CouplingSweepRuns()
+}
+
+// ModelBuildingRuns is the number of runs needed to collect the event
+// model's training examples.
+func (c CostModel) ModelBuildingRuns() int {
+	if c.SamplesPerRun <= 0 {
+		return c.ExamplesForAccuracy
+	}
+	n := c.ExamplesForAccuracy / c.SamplesPerRun
+	if c.ExamplesForAccuracy%c.SamplesPerRun != 0 {
+		n++
+	}
+	return n
+}
+
+// CouplingSweepRuns is the number of runs the parameter↔event coupling
+// search costs.
+func (c CostModel) CouplingSweepRuns() int {
+	return c.ParamsSwept * c.ValuesPerParam * c.RepsPerValue
+}
+
+// Speedup is MethodBRuns / MethodARuns.
+func (c CostModel) Speedup() float64 {
+	a := c.MethodARuns()
+	if a == 0 {
+		return 0
+	}
+	return float64(c.MethodBRuns()) / float64(a)
+}
+
+// String summarises the accounting.
+func (c CostModel) String() string {
+	return fmt.Sprintf("method A: %d runs (%d model + %d sweep), method B: %d runs, speedup %.2fx",
+		c.MethodARuns(), c.ModelBuildingRuns(), c.CouplingSweepRuns(), c.MethodBRuns(), c.Speedup())
+}

@@ -1,0 +1,109 @@
+package spark
+
+import "fmt"
+
+// Coupling states that a configuration parameter shifts the activity of
+// a microarchitecture event: deviating the parameter from its sweet
+// spot by a full grid range multiplies the event's activity by
+// (1 + Strength).
+type Coupling struct {
+	// ParamAbbrev is the Table IV parameter code.
+	ParamAbbrev string
+	// EventAbbrev is the Table III event code.
+	EventAbbrev string
+	// Strength is the relative activity shift at full deviation.
+	Strength float64
+}
+
+// couplings lists, per HiBench benchmark, which parameters couple to
+// which events. Each benchmark has one dominant coupling (its most
+// important event tied to one parameter — the pair Fig. 13 shows
+// towering over the rest), a handful of moderate couplings, and a weak
+// one used as the Fig. 14 control (for sort: nwt ↔ I4U, exactly the
+// paper's example).
+var couplings = map[string][]Coupling{
+	"wordcount": {
+		{ParamAbbrev: "dpl", EventAbbrev: "ISF", Strength: 2.6},
+		{ParamAbbrev: "exm", EventAbbrev: "BRE", Strength: 0.9},
+		{ParamAbbrev: "mmf", EventAbbrev: "ORA", Strength: 0.7},
+		{ParamAbbrev: "kbf", EventAbbrev: "MSL", Strength: 0.4},
+		{ParamAbbrev: "nwt", EventAbbrev: "I4U", Strength: 0.55},
+	},
+	"pagerank": {
+		{ParamAbbrev: "mmf", EventAbbrev: "BRE", Strength: 2.4},
+		{ParamAbbrev: "dpl", EventAbbrev: "ISF", Strength: 0.8},
+		{ParamAbbrev: "rdm", EventAbbrev: "LMH", Strength: 0.5},
+		{ParamAbbrev: "kbm", EventAbbrev: "ITM", Strength: 0.3},
+		{ParamAbbrev: "nwt", EventAbbrev: "I4U", Strength: 0.55},
+	},
+	"aggregation": {
+		{ParamAbbrev: "mmf", EventAbbrev: "ISF", Strength: 2.5},
+		{ParamAbbrev: "sfb", EventAbbrev: "MSL", Strength: 0.9},
+		{ParamAbbrev: "dpl", EventAbbrev: "BRE", Strength: 0.6},
+		{ParamAbbrev: "ics", EventAbbrev: "MMR", Strength: 0.4},
+		{ParamAbbrev: "nwt", EventAbbrev: "I4U", Strength: 0.55},
+	},
+	"join": {
+		{ParamAbbrev: "dmm", EventAbbrev: "BRE", Strength: 2.4},
+		{ParamAbbrev: "rdm", EventAbbrev: "LRC", Strength: 1.0},
+		{ParamAbbrev: "ssb", EventAbbrev: "ISF", Strength: 0.6},
+		{ParamAbbrev: "exm", EventAbbrev: "LMH", Strength: 0.4},
+		{ParamAbbrev: "nwt", EventAbbrev: "I4U", Strength: 0.55},
+	},
+	"scan": {
+		{ParamAbbrev: "ssb", EventAbbrev: "BRE", Strength: 2.5},
+		{ParamAbbrev: "ics", EventAbbrev: "ISF", Strength: 0.8},
+		{ParamAbbrev: "sfb", EventAbbrev: "LMH", Strength: 0.5},
+		{ParamAbbrev: "mmf", EventAbbrev: "MSL", Strength: 0.4},
+		{ParamAbbrev: "nwt", EventAbbrev: "I4U", Strength: 0.55},
+	},
+	"sort": {
+		// The paper's explicit example: bbs couples to ORO (sort's most
+		// important event), nwt couples to the unimportant I4U.
+		{ParamAbbrev: "bbs", EventAbbrev: "ORO", Strength: 2.8},
+		{ParamAbbrev: "exm", EventAbbrev: "IDU", Strength: 0.8},
+		{ParamAbbrev: "rdm", EventAbbrev: "LRA", Strength: 0.5},
+		{ParamAbbrev: "kbf", EventAbbrev: "MSL", Strength: 0.3},
+		{ParamAbbrev: "nwt", EventAbbrev: "I4U", Strength: 0.55},
+	},
+	"bayes": {
+		{ParamAbbrev: "rdm", EventAbbrev: "BRE", Strength: 2.4},
+		{ParamAbbrev: "mmf", EventAbbrev: "PI3", Strength: 0.9},
+		{ParamAbbrev: "dpl", EventAbbrev: "ISF", Strength: 0.6},
+		{ParamAbbrev: "kbm", EventAbbrev: "MST", Strength: 0.3},
+		{ParamAbbrev: "nwt", EventAbbrev: "I4U", Strength: 0.55},
+	},
+	"kmeans": {
+		{ParamAbbrev: "kbm", EventAbbrev: "ISF", Strength: 2.6},
+		{ParamAbbrev: "dpl", EventAbbrev: "BRE", Strength: 0.9},
+		{ParamAbbrev: "exc", EventAbbrev: "IPD", Strength: 0.5},
+		{ParamAbbrev: "mmf", EventAbbrev: "MSL", Strength: 0.4},
+		{ParamAbbrev: "nwt", EventAbbrev: "I4U", Strength: 0.55},
+	},
+}
+
+// CouplingsFor returns the parameter-event couplings of a HiBench
+// benchmark. CloudSuite benchmarks are not Spark programs and have no
+// couplings.
+func CouplingsFor(benchmark string) ([]Coupling, error) {
+	cs, ok := couplings[benchmark]
+	if !ok {
+		return nil, fmt.Errorf("spark: no configuration couplings for benchmark %q (not a Spark/HiBench program)", benchmark)
+	}
+	return append([]Coupling(nil), cs...), nil
+}
+
+// DominantCoupling returns the benchmark's strongest coupling.
+func DominantCoupling(benchmark string) (Coupling, error) {
+	cs, err := CouplingsFor(benchmark)
+	if err != nil {
+		return Coupling{}, err
+	}
+	best := cs[0]
+	for _, c := range cs[1:] {
+		if c.Strength > best.Strength {
+			best = c
+		}
+	}
+	return best, nil
+}

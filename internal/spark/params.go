@@ -1,0 +1,138 @@
+// Package spark simulates the Spark-framework configuration space of
+// the paper's §V-D case study. Configuration parameters couple to
+// microarchitecture events: changing a parameter shifts the activity of
+// the events it couples to, and performance responds through the
+// workload's ground-truth IPC surface. On top of that substrate the
+// package provides the case study's three artefacts: the
+// parameter-event interaction ranking (Fig. 13), the tuning experiment
+// (Fig. 14), and the method A vs. method B profiling-cost accounting
+// (Fig. 15).
+package spark
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Param is one Spark configuration parameter (Table IV).
+type Param struct {
+	// Name is the full Spark property name.
+	Name string
+	// Abbrev is the short code used in Fig. 13's axis labels.
+	Abbrev string
+	// Values is the sweep grid, in ascending order; Values[Default] is
+	// the Spark default.
+	Values []float64
+	// Default indexes the default value in Values.
+	Default int
+	// Unit is a display unit ("MB", "s", "", ...).
+	Unit string
+}
+
+// params is the Table IV catalogue. Values follow the Spark 2.0
+// defaults documented at spark.apache.org/docs/latest/configuration.
+var params = []Param{
+	{Name: "spark.broadcast.blockSize", Abbrev: "bbs", Values: []float64{2, 4, 8, 16, 32}, Default: 1, Unit: "MB"},
+	{Name: "spark.network.timeout", Abbrev: "nwt", Values: []float64{30, 60, 120, 240, 480}, Default: 2, Unit: "s"},
+	{Name: "spark.executor.memory", Abbrev: "exm", Values: []float64{1, 2, 4, 8, 16}, Default: 0, Unit: "GB"},
+	{Name: "spark.executor.cores", Abbrev: "exc", Values: []float64{1, 2, 4, 8, 16}, Default: 0, Unit: ""},
+	{Name: "spark.default.parallelism", Abbrev: "dpl", Values: []float64{8, 16, 32, 64, 128}, Default: 0, Unit: ""},
+	{Name: "spark.memory.fraction", Abbrev: "mmf", Values: []float64{0.2, 0.4, 0.6, 0.75, 0.9}, Default: 2, Unit: ""},
+	{Name: "spark.kryoserializer.buffer", Abbrev: "kbf", Values: []float64{16, 32, 64, 128, 256}, Default: 2, Unit: "KB"},
+	{Name: "spark.kryoserializer.buffer.max", Abbrev: "kbm", Values: []float64{16, 32, 64, 128, 256}, Default: 2, Unit: "MB"},
+	{Name: "spark.reducer.maxSizeInFlight", Abbrev: "rdm", Values: []float64{12, 24, 48, 96, 192}, Default: 2, Unit: "MB"},
+	{Name: "spark.shuffle.sort.bypassMergeThreshold", Abbrev: "ssb", Values: []float64{50, 100, 200, 400, 800}, Default: 1, Unit: ""},
+	{Name: "spark.io.compression.snappy.blockSize", Abbrev: "ics", Values: []float64{8, 16, 32, 64, 128}, Default: 2, Unit: "KB"},
+	{Name: "spark.shuffle.file.buffer", Abbrev: "sfb", Values: []float64{8, 16, 32, 64, 128}, Default: 2, Unit: "KB"},
+	{Name: "spark.driver.memory", Abbrev: "dmm", Values: []float64{1, 2, 4, 8, 16}, Default: 0, Unit: "GB"},
+	{Name: "spark.rpc.message.maxSize", Abbrev: "rms", Values: []float64{32, 64, 128, 256, 512}, Default: 1, Unit: "MB"},
+	{Name: "spark.locality.wait", Abbrev: "lcw", Values: []float64{1, 2, 3, 6, 12}, Default: 2, Unit: "s"},
+	{Name: "spark.speculation.quantile", Abbrev: "spq", Values: []float64{0.5, 0.6, 0.75, 0.9, 0.95}, Default: 2, Unit: ""},
+}
+
+// Params returns the Table IV parameter catalogue (a copy).
+func Params() []Param {
+	out := make([]Param, len(params))
+	copy(out, params)
+	return out
+}
+
+// ParamByAbbrev returns the parameter with the given abbreviation.
+func ParamByAbbrev(abbrev string) (Param, error) {
+	for _, p := range params {
+		if p.Abbrev == abbrev {
+			return p, nil
+		}
+	}
+	return Param{}, fmt.Errorf("spark: unknown parameter %q", abbrev)
+}
+
+// ParamAbbrevs returns all parameter abbreviations, sorted.
+func ParamAbbrevs() []string {
+	out := make([]string, len(params))
+	for i, p := range params {
+		out[i] = p.Abbrev
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Config is an assignment of parameter abbreviation to a value index
+// into the parameter's Values grid. Missing parameters take their
+// defaults.
+type Config map[string]int
+
+// DefaultConfig returns the all-defaults configuration.
+func DefaultConfig() Config {
+	cfg := make(Config, len(params))
+	for _, p := range params {
+		cfg[p.Abbrev] = p.Default
+	}
+	return cfg
+}
+
+// With returns a copy of the config with one parameter overridden.
+func (c Config) With(abbrev string, valueIdx int) Config {
+	out := make(Config, len(c)+1)
+	for k, v := range c {
+		out[k] = v
+	}
+	out[abbrev] = valueIdx
+	return out
+}
+
+// valueIdx returns the configured (or default) value index for a
+// parameter, clamped to the grid.
+func (c Config) valueIdx(p Param) int {
+	i, ok := c[p.Abbrev]
+	if !ok {
+		return p.Default
+	}
+	if i < 0 {
+		return 0
+	}
+	if i >= len(p.Values) {
+		return len(p.Values) - 1
+	}
+	return i
+}
+
+// Deviation returns how far the configured value sits from the
+// parameter's sweet spot, normalised to [0, 1] in grid steps. The sweet
+// spot is the default index — Spark defaults are sane; the case study
+// tunes away from and back toward them.
+func (c Config) Deviation(p Param) float64 {
+	i := c.valueIdx(p)
+	d := i - p.Default
+	if d < 0 {
+		d = -d
+	}
+	max := p.Default
+	if len(p.Values)-1-p.Default > max {
+		max = len(p.Values) - 1 - p.Default
+	}
+	if max == 0 {
+		return 0
+	}
+	return float64(d) / float64(max)
+}

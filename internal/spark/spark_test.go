@@ -1,0 +1,257 @@
+package spark
+
+import (
+	"testing"
+
+	"counterminer/internal/sim"
+)
+
+func TestParamCatalogue(t *testing.T) {
+	ps := Params()
+	if len(ps) != 16 {
+		t.Fatalf("params = %d, want 16", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Abbrev] {
+			t.Errorf("duplicate abbrev %q", p.Abbrev)
+		}
+		seen[p.Abbrev] = true
+		if len(p.Values) != 5 {
+			t.Errorf("%s has %d grid values", p.Abbrev, len(p.Values))
+		}
+		if p.Default < 0 || p.Default >= len(p.Values) {
+			t.Errorf("%s default index %d out of range", p.Abbrev, p.Default)
+		}
+		for i := 1; i < len(p.Values); i++ {
+			if p.Values[i] <= p.Values[i-1] {
+				t.Errorf("%s grid not ascending", p.Abbrev)
+			}
+		}
+	}
+	// The paper's named parameters exist.
+	for _, ab := range []string{"bbs", "nwt", "exm", "dpl", "mmf"} {
+		if _, err := ParamByAbbrev(ab); err != nil {
+			t.Errorf("missing parameter %s", ab)
+		}
+	}
+	if _, err := ParamByAbbrev("nope"); err == nil {
+		t.Error("unknown abbrev should error")
+	}
+	if got := ParamAbbrevs(); len(got) != 16 {
+		t.Errorf("ParamAbbrevs = %d", len(got))
+	}
+	bbs, _ := ParamByAbbrev("bbs")
+	if bbs.Name != "spark.broadcast.blockSize" {
+		t.Errorf("bbs = %q", bbs.Name)
+	}
+}
+
+func TestConfigDeviation(t *testing.T) {
+	bbs, _ := ParamByAbbrev("bbs") // default index 1 of 5
+	cfg := DefaultConfig()
+	if d := cfg.Deviation(bbs); d != 0 {
+		t.Errorf("default deviation = %v", d)
+	}
+	if d := cfg.With("bbs", 4).Deviation(bbs); d != 1 {
+		t.Errorf("max deviation = %v, want 1", d)
+	}
+	if d := cfg.With("bbs", 0).Deviation(bbs); d <= 0 || d > 1 {
+		t.Errorf("min-side deviation = %v", d)
+	}
+	// Clamping.
+	if d := cfg.With("bbs", 99).Deviation(bbs); d != 1 {
+		t.Errorf("clamped deviation = %v", d)
+	}
+	if d := cfg.With("bbs", -5).Deviation(bbs); d <= 0 {
+		t.Errorf("negative-clamped deviation = %v", d)
+	}
+}
+
+func TestConfigWithDoesNotMutate(t *testing.T) {
+	cfg := DefaultConfig()
+	orig := cfg["bbs"]
+	cfg2 := cfg.With("bbs", 4)
+	if cfg["bbs"] != orig {
+		t.Error("With mutated the original config")
+	}
+	if cfg2["bbs"] != 4 {
+		t.Error("With did not set the value")
+	}
+}
+
+func TestCouplings(t *testing.T) {
+	for _, name := range []string{"wordcount", "pagerank", "sort", "kmeans"} {
+		cs, err := CouplingsFor(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(cs) < 3 {
+			t.Errorf("%s has %d couplings", name, len(cs))
+		}
+	}
+	if _, err := CouplingsFor("DataCaching"); err == nil {
+		t.Error("CloudSuite benchmark should have no Spark couplings")
+	}
+	// The paper's sort example: bbs couples to ORO dominantly.
+	dom, err := DominantCoupling("sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dom.ParamAbbrev != "bbs" || dom.EventAbbrev != "ORO" {
+		t.Errorf("sort dominant coupling = %s-%s, want bbs-ORO", dom.EventAbbrev, dom.ParamAbbrev)
+	}
+}
+
+func TestCouplingsReferenceRealThings(t *testing.T) {
+	cat := sim.NewCatalogue()
+	for bench, cs := range couplings {
+		if _, err := sim.ProfileByName(bench); err != nil {
+			t.Errorf("couplings reference unknown benchmark %s", bench)
+		}
+		for _, c := range cs {
+			if _, err := ParamByAbbrev(c.ParamAbbrev); err != nil {
+				t.Errorf("%s: unknown param %s", bench, c.ParamAbbrev)
+			}
+			if _, ok := cat.ByAbbrev(c.EventAbbrev); !ok {
+				t.Errorf("%s: unknown event %s", bench, c.EventAbbrev)
+			}
+			if c.Strength <= 0 {
+				t.Errorf("%s: non-positive strength %v", bench, c.Strength)
+			}
+		}
+	}
+}
+
+func TestRunProducesResult(t *testing.T) {
+	c := NewCluster(sim.NewCatalogue())
+	res, err := c.Run("sort", DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecTime <= 0 || res.MeanIPC <= 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if _, ok := res.EventMeans["ORO"]; !ok {
+		t.Error("coupled event ORO not recorded")
+	}
+	if _, err := c.Run("DataCaching", DefaultConfig(), 1); err == nil {
+		t.Error("non-Spark benchmark should error")
+	}
+	if _, err := c.Run("nope", DefaultConfig(), 1); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestMistunedConfigSlower(t *testing.T) {
+	c := NewCluster(sim.NewCatalogue())
+	good, err := c.Run("sort", DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := c.Run("sort", DefaultConfig().With("bbs", 4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.ExecTime <= good.ExecTime {
+		t.Errorf("mistuned bbs exec time %v not above default %v", bad.ExecTime, good.ExecTime)
+	}
+}
+
+func TestSweepFig14Shape(t *testing.T) {
+	// Fig. 14: tuning bbs (coupled to sort's top event) moves execution
+	// time far more than tuning nwt (coupled to an unimportant event).
+	c := NewCluster(sim.NewCatalogue())
+	bbs, err := c.SweepParam("sort", "bbs", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nwt, err := c.SweepParam("sort", "nwt", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, vn := bbs.VariationPct(), nwt.VariationPct()
+	if vb < 2*vn {
+		t.Errorf("bbs variation %v%% not ≫ nwt variation %v%%", vb, vn)
+	}
+	if vb < 30 {
+		t.Errorf("bbs variation %v%% too small to matter", vb)
+	}
+	if len(bbs.Values) != 5 || len(bbs.ExecTimes) != 5 {
+		t.Errorf("sweep shape: %d values, %d times", len(bbs.Values), len(bbs.ExecTimes))
+	}
+	if _, err := c.SweepParam("sort", "nope", 1); err == nil {
+		t.Error("unknown param should error")
+	}
+}
+
+func TestRankParamEventInteractions(t *testing.T) {
+	c := NewCluster(sim.NewCatalogue())
+	scores, err := c.RankParamEventInteractions("sort", 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) == 0 {
+		t.Fatal("no interaction scores")
+	}
+	// Normalised and descending.
+	total := 0.0
+	for i, s := range scores {
+		total += s.Importance
+		if i > 0 && s.Importance > scores[i-1].Importance {
+			t.Fatal("scores not descending")
+		}
+	}
+	if total < 99.9 || total > 100.1 {
+		t.Errorf("importance total = %v", total)
+	}
+	// The dominant pair involves the designed coupling bbs-ORO; demand
+	// it within the top 3 (measurement noise may shuffle neighbours).
+	found := false
+	for _, s := range scores[:3] {
+		if s.ParamAbbrev == "bbs" && s.EventAbbrev == "ORO" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ORO-bbs not in top 3: %+v", scores[:5])
+	}
+}
+
+func TestCostModelPaperNumbers(t *testing.T) {
+	c := PaperCostModel()
+	if c.MethodBRuns() != 6000 {
+		t.Errorf("method B runs = %d", c.MethodBRuns())
+	}
+	if c.ModelBuildingRuns() != 60 {
+		t.Errorf("model building runs = %d, want 60", c.ModelBuildingRuns())
+	}
+	if c.CouplingSweepRuns() != 1520 {
+		t.Errorf("coupling sweep runs = %d, want 1520", c.CouplingSweepRuns())
+	}
+	if c.MethodARuns() != 1580 {
+		t.Errorf("method A runs = %d, want 1580", c.MethodARuns())
+	}
+	// "nearly only 1/4 the time"
+	if s := c.Speedup(); s < 3.5 || s > 4.5 {
+		t.Errorf("speedup = %v, want ~3.8", s)
+	}
+	if c.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestCostModelEdgeCases(t *testing.T) {
+	c := CostModel{ExamplesForAccuracy: 100, SamplesPerRun: 0}
+	if c.ModelBuildingRuns() != 100 {
+		t.Errorf("zero samples per run should degrade to method B: %d", c.ModelBuildingRuns())
+	}
+	c = CostModel{ExamplesForAccuracy: 101, SamplesPerRun: 100}
+	if c.ModelBuildingRuns() != 2 {
+		t.Errorf("ceil division broken: %d", c.ModelBuildingRuns())
+	}
+	zero := CostModel{}
+	if zero.Speedup() != 0 {
+		t.Errorf("zero model speedup = %v", zero.Speedup())
+	}
+}

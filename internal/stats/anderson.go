@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// AndersonDarling computes the Anderson-Darling A² statistic of the
+// sample xs against the fitted distribution dist. Smaller values
+// indicate a better fit. The paper uses scipy.stats.anderson for the
+// same census; this is the textbook statistic
+//
+//	A² = -n - (1/n) Σ (2i-1)[ln F(x_(i)) + ln(1-F(x_(n+1-i)))]
+//
+// with order statistics x_(1) <= ... <= x_(n).
+func AndersonDarling(xs []float64, dist Dist) (float64, error) {
+	n := len(xs)
+	if n < 3 {
+		return 0, errors.New("stats: AndersonDarling needs >= 3 samples")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+
+	fn := float64(n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		fi := clampProb(dist.CDF(sorted[i]))
+		fj := clampProb(dist.CDF(sorted[n-1-i]))
+		sum += (2*float64(i) + 1) * (math.Log(fi) + math.Log(1-fj))
+	}
+	return -fn - sum/fn, nil
+}
+
+// NormalityResult reports the outcome of an Anderson-Darling normality
+// test.
+type NormalityResult struct {
+	// A2 is the Anderson-Darling statistic adjusted for estimated
+	// parameters (Stephens' correction).
+	A2 float64
+	// Critical holds the critical values for the significance levels in
+	// Levels.
+	Critical []float64
+	// Levels holds significance levels in percent (15, 10, 5, 2.5, 1),
+	// matching scipy.stats.anderson's normal-case output.
+	Levels []float64
+	// Normal reports whether normality is NOT rejected at the 5% level.
+	Normal bool
+}
+
+// andersonNormalCritical are the case-3 (both parameters estimated)
+// critical values for the normal distribution (Stephens 1974), as used
+// by scipy.stats.anderson.
+var (
+	andersonNormalLevels   = []float64{15, 10, 5, 2.5, 1}
+	andersonNormalCritical = []float64{0.576, 0.656, 0.787, 0.918, 1.092}
+)
+
+// TestNormality runs the Anderson-Darling normality test with estimated
+// mean and standard deviation, applying Stephens' small-sample
+// correction. It mirrors scipy.stats.anderson(xs, 'norm').
+func TestNormality(xs []float64) (NormalityResult, error) {
+	n := len(xs)
+	if n < 8 {
+		return NormalityResult{}, errors.New("stats: TestNormality needs >= 8 samples")
+	}
+	g, err := FitGaussian(xs)
+	if err != nil {
+		return NormalityResult{}, err
+	}
+	a2, err := AndersonDarling(xs, g)
+	if err != nil {
+		return NormalityResult{}, err
+	}
+	fn := float64(n)
+	a2 *= 1 + 4/fn - 25/(fn*fn) // Stephens' correction for estimated params
+
+	res := NormalityResult{
+		A2:       a2,
+		Critical: append([]float64(nil), andersonNormalCritical...),
+		Levels:   append([]float64(nil), andersonNormalLevels...),
+	}
+	res.Normal = a2 < andersonNormalCritical[2] // 5% level
+	return res, nil
+}
+
+// BestFit reproduces the census step of §III-B: it first runs the
+// Anderson-Darling normality test; if normality is not rejected the
+// event is classified Gaussian (the paper found 100 of 229 events
+// Gaussian). Otherwise the logistic, Gumbel, and GEV long-tail families
+// are fitted and the one with the smallest Anderson-Darling statistic
+// wins (the paper found GEV fits the long tails best).
+func BestFit(xs []float64) (Dist, float64, error) {
+	if len(xs) < 8 {
+		return nil, 0, errors.New("stats: BestFit needs >= 8 samples")
+	}
+	if res, err := TestNormality(xs); err == nil && res.Normal {
+		g, err := FitGaussian(xs)
+		if err == nil {
+			a2, err := AndersonDarling(xs, g)
+			if err == nil {
+				return g, a2, nil
+			}
+		}
+	}
+
+	var best Dist
+	bestA2 := math.Inf(1)
+	if g, err := FitGaussian(xs); err == nil {
+		if a2, err := AndersonDarling(xs, g); err == nil && a2 < bestA2 {
+			best, bestA2 = g, a2
+		}
+	}
+	if l, err := FitLogistic(xs); err == nil {
+		if a2, err := AndersonDarling(xs, l); err == nil && a2 < bestA2 {
+			best, bestA2 = l, a2
+		}
+	}
+	if gm, err := FitGumbel(xs); err == nil {
+		if a2, err := AndersonDarling(xs, gm); err == nil && a2 < bestA2 {
+			best, bestA2 = gm, a2
+		}
+	}
+	if gv, err := FitGEV(xs); err == nil && gv.Sigma > 0 {
+		if a2, err := AndersonDarling(xs, gv); err == nil && a2 < bestA2 {
+			best, bestA2 = gv, a2
+		}
+	}
+	if best == nil {
+		return nil, 0, errors.New("stats: BestFit: no family could be fitted")
+	}
+	return best, bestA2, nil
+}
+
+// clampProb keeps CDF outputs strictly inside (0, 1) so the logs in the
+// A² statistic stay finite.
+func clampProb(p float64) float64 {
+	const eps = 1e-12
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func gaussianSample(rng *rand.Rand, n int, mu, sigma float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*sigma + mu
+	}
+	return xs
+}
+
+func gevSample(rng *rand.Rand, n int, g GEV) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = g.Quantile(rng.Float64())
+	}
+	return xs
+}
+
+func TestNormalityAcceptsGaussian(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	accepted := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		res, err := TestNormality(gaussianSample(rng, 500, 10, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Normal {
+			accepted++
+		}
+	}
+	// At the 5% level we expect ~95% acceptance; demand at least 80%.
+	if accepted < trials*8/10 {
+		t.Errorf("accepted %d/%d Gaussian samples as normal", accepted, trials)
+	}
+}
+
+func TestNormalityRejectsHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	rejected := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		xs := gevSample(rng, 500, GEV{Mu: 0, Sigma: 1, Xi: 0.4})
+		res, err := TestNormality(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Normal {
+			rejected++
+		}
+	}
+	if rejected < trials*9/10 {
+		t.Errorf("rejected only %d/%d heavy-tail samples", rejected, trials)
+	}
+}
+
+func TestNormalitySmallSampleErrors(t *testing.T) {
+	if _, err := TestNormality([]float64{1, 2, 3}); err == nil {
+		t.Error("TestNormality with n<8 should error")
+	}
+}
+
+func TestAndersonDarlingLowerForTrueFamily(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	xs := gaussianSample(rng, 1000, 5, 1)
+	g, _ := FitGaussian(xs)
+	gm, _ := FitGumbel(xs)
+	a2Gauss, err := AndersonDarling(xs, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2Gumbel, err := AndersonDarling(xs, gm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2Gauss >= a2Gumbel {
+		t.Errorf("A2 gaussian (%v) should beat gumbel (%v) on gaussian data", a2Gauss, a2Gumbel)
+	}
+}
+
+func TestAndersonDarlingNeedsSamples(t *testing.T) {
+	if _, err := AndersonDarling([]float64{1, 2}, Gaussian{Mu: 0, Sigma: 1}); err == nil {
+		t.Error("AndersonDarling with n<3 should error")
+	}
+}
+
+func TestBestFitPicksGaussianForGaussianData(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	xs := gaussianSample(rng, 2000, 100, 15)
+	d, a2, err := BestFit(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gaussian and logistic are close cousins; accept either but not the
+	// extreme-value families.
+	if d.Name() == "gumbel" || d.Name() == "gev" {
+		t.Errorf("BestFit picked %s (A2=%v) for gaussian data", d.Name(), a2)
+	}
+}
+
+func TestBestFitPicksLongTailForGEVData(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	xs := gevSample(rng, 2000, GEV{Mu: 10, Sigma: 3, Xi: 0.35})
+	d, _, err := BestFit(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "gev" && d.Name() != "gumbel" {
+		t.Errorf("BestFit picked %s for heavy-tail data", d.Name())
+	}
+	if _, _, err := BestFit([]float64{1, 2, 3}); err == nil {
+		t.Error("BestFit with tiny sample should error")
+	}
+}
+
+func TestClampProb(t *testing.T) {
+	if clampProb(0) <= 0 {
+		t.Error("clampProb(0) not > 0")
+	}
+	if clampProb(1) >= 1 {
+		t.Error("clampProb(1) not < 1")
+	}
+	if clampProb(0.5) != 0.5 {
+		t.Error("clampProb(0.5) changed value")
+	}
+}

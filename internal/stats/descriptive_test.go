@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !approx(got, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); !approx(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := Std(xs); !approx(got, 2, 1e-12) {
+		t.Errorf("Std = %v, want 2", got)
+	}
+}
+
+func TestMeanEmptyAndSingle(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("Variance of single sample != 0")
+	}
+	if Mean([]float64{7}) != 7 {
+		t.Error("Mean of single sample")
+	}
+}
+
+func TestMeanStdMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(500)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*100 + 1000
+		}
+		m1, s1 := MeanStd(xs)
+		if !approx(m1, Mean(xs), 1e-6) {
+			t.Fatalf("MeanStd mean %v vs %v", m1, Mean(xs))
+		}
+		if !approx(s1, Std(xs), 1e-6) {
+			t.Fatalf("MeanStd std %v vs %v", s1, Std(xs))
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %v, %v", min, max)
+	}
+	min, max = MinMax(nil)
+	if !math.IsInf(min, 1) || !math.IsInf(max, -1) {
+		t.Errorf("MinMax(nil) = %v, %v", min, max)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("Median even = %v", got)
+	}
+	if Median(nil) != 0 {
+		t.Error("Median(nil) != 0")
+	}
+	// must not mutate input
+	xs := []float64{9, 1, 5}
+	Median(xs)
+	if xs[0] != 9 {
+		t.Error("Median mutated input")
+	}
+}
+
+func TestSkewness(t *testing.T) {
+	// Symmetric sample: skewness ~ 0.
+	if got := Skewness([]float64{-2, -1, 0, 1, 2}); !approx(got, 0, 1e-12) {
+		t.Errorf("symmetric skewness = %v", got)
+	}
+	// Right-skewed sample: positive.
+	if got := Skewness([]float64{1, 1, 1, 1, 100}); got <= 0 {
+		t.Errorf("right-skewed skewness = %v, want > 0", got)
+	}
+	if Skewness([]float64{1, 2}) != 0 {
+		t.Error("Skewness with n<3 != 0")
+	}
+	if Skewness([]float64{5, 5, 5, 5}) != 0 {
+		t.Error("Skewness of constant != 0")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Correlation(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r, 1, 1e-12) {
+		t.Errorf("perfect positive correlation = %v", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Correlation(xs, neg)
+	if !approx(r, -1, 1e-12) {
+		t.Errorf("perfect negative correlation = %v", r)
+	}
+	r, _ = Correlation(xs, []float64{3, 3, 3, 3, 3})
+	if r != 0 {
+		t.Errorf("correlation with constant = %v, want 0", r)
+	}
+	if _, err := Correlation(xs, ys[:3]); err == nil {
+		t.Error("unequal lengths should error")
+	}
+	if _, err := Correlation(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+}
+
+// Property: correlation is always in [-1, 1].
+func TestCorrelationBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(100)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64() + 0.5*xs[i]
+		}
+		r, err := Correlation(xs, ys)
+		return err == nil && r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,271 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dist is a continuous univariate distribution. CounterMiner's event
+// census (§III-B) tests each event's value distribution against the
+// Gaussian, logistic, Gumbel, and GEV families and picks the best fit.
+type Dist interface {
+	// Name identifies the family ("gaussian", "gev", ...).
+	Name() string
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// Quantile returns the x with CDF(x) = p for p in (0, 1).
+	Quantile(p float64) float64
+	// Mean returns the distribution mean (NaN when undefined).
+	Mean() float64
+}
+
+// ---------------------------------------------------------------------
+// Gaussian
+
+// Gaussian is the normal distribution N(Mu, Sigma²).
+type Gaussian struct {
+	Mu, Sigma float64
+}
+
+// Name implements Dist.
+func (Gaussian) Name() string { return "gaussian" }
+
+// Mean implements Dist.
+func (g Gaussian) Mean() float64 { return g.Mu }
+
+// PDF returns the probability density at x.
+func (g Gaussian) PDF(x float64) float64 {
+	z := (x - g.Mu) / g.Sigma
+	return math.Exp(-z*z/2) / (g.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF implements Dist via the error function.
+func (g Gaussian) CDF(x float64) float64 {
+	return 0.5 * math.Erfc(-(x-g.Mu)/(g.Sigma*math.Sqrt2))
+}
+
+// Quantile implements Dist by bisection on the CDF (the CDF is smooth
+// and strictly monotone, so 80 iterations give full float64 precision).
+func (g Gaussian) Quantile(p float64) float64 {
+	return invertCDF(g.CDF, p, g.Mu-40*g.Sigma, g.Mu+40*g.Sigma)
+}
+
+// FitGaussian estimates Mu and Sigma by maximum likelihood (sample mean
+// and population standard deviation).
+func FitGaussian(xs []float64) (Gaussian, error) {
+	if len(xs) < 2 {
+		return Gaussian{}, errors.New("stats: FitGaussian needs >= 2 samples")
+	}
+	m, sd := MeanStd(xs)
+	if sd == 0 {
+		sd = math.SmallestNonzeroFloat64
+	}
+	return Gaussian{Mu: m, Sigma: sd}, nil
+}
+
+// ---------------------------------------------------------------------
+// Logistic
+
+// Logistic is the logistic distribution with location Mu and scale S.
+type Logistic struct {
+	Mu, S float64
+}
+
+// Name implements Dist.
+func (Logistic) Name() string { return "logistic" }
+
+// Mean implements Dist.
+func (l Logistic) Mean() float64 { return l.Mu }
+
+// CDF implements Dist.
+func (l Logistic) CDF(x float64) float64 {
+	return 1 / (1 + math.Exp(-(x-l.Mu)/l.S))
+}
+
+// Quantile implements Dist in closed form.
+func (l Logistic) Quantile(p float64) float64 {
+	return l.Mu + l.S*math.Log(p/(1-p))
+}
+
+// FitLogistic estimates parameters by the method of moments
+// (Var = S²π²/3).
+func FitLogistic(xs []float64) (Logistic, error) {
+	if len(xs) < 2 {
+		return Logistic{}, errors.New("stats: FitLogistic needs >= 2 samples")
+	}
+	m, sd := MeanStd(xs)
+	s := sd * math.Sqrt(3) / math.Pi
+	if s == 0 {
+		s = math.SmallestNonzeroFloat64
+	}
+	return Logistic{Mu: m, S: s}, nil
+}
+
+// ---------------------------------------------------------------------
+// Gumbel
+
+// eulerGamma is the Euler–Mascheroni constant.
+const eulerGamma = 0.57721566490153286
+
+// Gumbel is the (max-)Gumbel distribution with location Mu and scale
+// Beta. It is the Xi→0 limit of the GEV family.
+type Gumbel struct {
+	Mu, Beta float64
+}
+
+// Name implements Dist.
+func (Gumbel) Name() string { return "gumbel" }
+
+// Mean implements Dist.
+func (g Gumbel) Mean() float64 { return g.Mu + g.Beta*eulerGamma }
+
+// CDF implements Dist.
+func (g Gumbel) CDF(x float64) float64 {
+	return math.Exp(-math.Exp(-(x - g.Mu) / g.Beta))
+}
+
+// Quantile implements Dist in closed form.
+func (g Gumbel) Quantile(p float64) float64 {
+	return g.Mu - g.Beta*math.Log(-math.Log(p))
+}
+
+// FitGumbel estimates parameters by the method of moments
+// (Var = β²π²/6, Mean = μ + βγ).
+func FitGumbel(xs []float64) (Gumbel, error) {
+	if len(xs) < 2 {
+		return Gumbel{}, errors.New("stats: FitGumbel needs >= 2 samples")
+	}
+	m, sd := MeanStd(xs)
+	beta := sd * math.Sqrt(6) / math.Pi
+	if beta == 0 {
+		beta = math.SmallestNonzeroFloat64
+	}
+	return Gumbel{Mu: m - beta*eulerGamma, Beta: beta}, nil
+}
+
+// ---------------------------------------------------------------------
+// GEV
+
+// GEV is the generalized extreme value distribution with location Mu,
+// scale Sigma > 0, and shape Xi. Xi > 0 gives the heavy-tailed Fréchet
+// regime the paper observes for 129 of the 229 events.
+type GEV struct {
+	Mu, Sigma, Xi float64
+}
+
+// Name implements Dist.
+func (GEV) Name() string { return "gev" }
+
+// Mean implements Dist. It is finite only for Xi < 1.
+func (g GEV) Mean() float64 {
+	if g.Xi == 0 {
+		return g.Mu + g.Sigma*eulerGamma
+	}
+	if g.Xi >= 1 {
+		return math.NaN()
+	}
+	return g.Mu + g.Sigma*(gamma1m(g.Xi)-1)/g.Xi
+}
+
+// gamma1m returns Γ(1-xi) via math.Gamma.
+func gamma1m(xi float64) float64 { return math.Gamma(1 - xi) }
+
+// CDF implements Dist.
+func (g GEV) CDF(x float64) float64 {
+	if g.Xi == 0 {
+		return Gumbel{Mu: g.Mu, Beta: g.Sigma}.CDF(x)
+	}
+	t := 1 + g.Xi*(x-g.Mu)/g.Sigma
+	if t <= 0 {
+		if g.Xi > 0 {
+			return 0 // below lower support bound
+		}
+		return 1 // above upper support bound
+	}
+	return math.Exp(-math.Pow(t, -1/g.Xi))
+}
+
+// Quantile implements Dist in closed form.
+func (g GEV) Quantile(p float64) float64 {
+	if g.Xi == 0 {
+		return Gumbel{Mu: g.Mu, Beta: g.Sigma}.Quantile(p)
+	}
+	return g.Mu + g.Sigma*(math.Pow(-math.Log(p), -g.Xi)-1)/g.Xi
+}
+
+// FitGEV estimates GEV parameters by probability-weighted moments
+// (Hosking's L-moment estimator), which is robust for the sample sizes
+// counter profiling produces (hundreds of intervals).
+func FitGEV(xs []float64) (GEV, error) {
+	n := len(xs)
+	if n < 3 {
+		return GEV{}, errors.New("stats: FitGEV needs >= 3 samples")
+	}
+	sorted := append([]float64(nil), xs...)
+	sortFloat64s(sorted)
+
+	// Sample probability-weighted moments b0, b1, b2.
+	b0, b1, b2 := 0.0, 0.0, 0.0
+	fn := float64(n)
+	for i, x := range sorted {
+		fi := float64(i) // 0-based order statistic index
+		b0 += x
+		b1 += x * fi / (fn - 1)
+		b2 += x * fi * (fi - 1) / ((fn - 1) * (fn - 2))
+	}
+	b0 /= fn
+	b1 /= fn
+	b2 /= fn
+
+	// L-moments.
+	l1 := b0
+	l2 := 2*b1 - b0
+	l3 := 6*b2 - 6*b1 + b0
+	if l2 <= 0 {
+		// Degenerate (constant or near-constant) sample: fall back to a
+		// Gumbel-shaped GEV around the mean.
+		return GEV{Mu: l1, Sigma: math.SmallestNonzeroFloat64, Xi: 0}, nil
+	}
+	t3 := l3 / l2 // L-skewness
+
+	// Hosking's approximation for the shape parameter.
+	c := 2/(3+t3) - math.Log(2)/math.Log(3)
+	k := 7.8590*c + 2.9554*c*c // k = -Xi in Hosking's convention
+	xi := -k
+
+	var sigma, mu float64
+	if math.Abs(k) < 1e-8 {
+		// Gumbel limit.
+		sigma = l2 / math.Log(2)
+		mu = l1 - sigma*eulerGamma
+		return GEV{Mu: mu, Sigma: sigma, Xi: 0}, nil
+	}
+	gk := math.Gamma(1 + k)
+	sigma = l2 * k / (gk * (1 - math.Pow(2, -k)))
+	mu = l1 - sigma*(1-gk)/k
+	if sigma <= 0 || math.IsNaN(sigma) || math.IsInf(sigma, 0) {
+		return GEV{}, fmt.Errorf("stats: FitGEV produced invalid scale %v", sigma)
+	}
+	return GEV{Mu: mu, Sigma: sigma, Xi: xi}, nil
+}
+
+// ---------------------------------------------------------------------
+// helpers
+
+// invertCDF finds x with cdf(x) = p by bisection on [lo, hi].
+func invertCDF(cdf func(float64) float64, p, lo, hi float64) float64 {
+	for i := 0; i < 200 && hi-lo > 1e-14*(1+math.Abs(lo)+math.Abs(hi)); i++ {
+		mid := (lo + hi) / 2
+		if cdf(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// sortFloat64s sorts xs ascending.
+func sortFloat64s(xs []float64) { sort.Float64s(xs) }

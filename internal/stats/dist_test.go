@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGaussianCDFKnownValues(t *testing.T) {
+	g := Gaussian{Mu: 0, Sigma: 1}
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963985, 0.975},
+		{-1.959963985, 0.025},
+		{1, 0.8413447461},
+	}
+	for _, c := range cases {
+		if got := g.CDF(c.x); !approx(got, c.want, 1e-6) {
+			t.Errorf("CDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestGaussianQuantileRoundTrip(t *testing.T) {
+	g := Gaussian{Mu: 10, Sigma: 3}
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		x := g.Quantile(p)
+		if got := g.CDF(x); !approx(got, p, 1e-9) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestGaussianPDFIntegratesToCDF(t *testing.T) {
+	g := Gaussian{Mu: 2, Sigma: 1.5}
+	// Trapezoid integration of PDF from -10σ to x should match CDF.
+	x := 3.7
+	lo := g.Mu - 10*g.Sigma
+	n := 20000
+	h := (x - lo) / float64(n)
+	sum := (g.PDF(lo) + g.PDF(x)) / 2
+	for i := 1; i < n; i++ {
+		sum += g.PDF(lo + float64(i)*h)
+	}
+	if got := sum * h; !approx(got, g.CDF(x), 1e-6) {
+		t.Errorf("∫PDF = %v, CDF = %v", got, g.CDF(x))
+	}
+}
+
+func TestFitGaussianRecoversParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*4 + 50
+	}
+	g, err := FitGaussian(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(g.Mu, 50, 0.2) {
+		t.Errorf("Mu = %v, want ~50", g.Mu)
+	}
+	if !approx(g.Sigma, 4, 0.2) {
+		t.Errorf("Sigma = %v, want ~4", g.Sigma)
+	}
+	if _, err := FitGaussian([]float64{1}); err == nil {
+		t.Error("FitGaussian with one sample should error")
+	}
+}
+
+func TestLogisticQuantileRoundTrip(t *testing.T) {
+	l := Logistic{Mu: -3, S: 2}
+	for _, p := range []float64{0.05, 0.3, 0.5, 0.8, 0.95} {
+		if got := l.CDF(l.Quantile(p)); !approx(got, p, 1e-9) {
+			t.Errorf("logistic round trip p=%v got %v", p, got)
+		}
+	}
+	if l.Mean() != -3 {
+		t.Errorf("logistic mean = %v", l.Mean())
+	}
+}
+
+func TestGumbelQuantileRoundTrip(t *testing.T) {
+	g := Gumbel{Mu: 5, Beta: 2}
+	for _, p := range []float64{0.05, 0.3, 0.5, 0.8, 0.95} {
+		if got := g.CDF(g.Quantile(p)); !approx(got, p, 1e-9) {
+			t.Errorf("gumbel round trip p=%v got %v", p, got)
+		}
+	}
+	want := 5 + 2*eulerGamma
+	if !approx(g.Mean(), want, 1e-12) {
+		t.Errorf("gumbel mean = %v, want %v", g.Mean(), want)
+	}
+}
+
+func TestFitGumbelRecoversParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g0 := Gumbel{Mu: 100, Beta: 7}
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = g0.Quantile(rng.Float64())
+	}
+	g, err := FitGumbel(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(g.Mu, 100, 1) {
+		t.Errorf("Mu = %v, want ~100", g.Mu)
+	}
+	if !approx(g.Beta, 7, 0.5) {
+		t.Errorf("Beta = %v, want ~7", g.Beta)
+	}
+}
+
+func TestGEVQuantileRoundTrip(t *testing.T) {
+	for _, xi := range []float64{-0.3, 0, 0.2, 0.5} {
+		g := GEV{Mu: 10, Sigma: 2, Xi: xi}
+		for _, p := range []float64{0.05, 0.3, 0.5, 0.8, 0.95} {
+			if got := g.CDF(g.Quantile(p)); !approx(got, p, 1e-9) {
+				t.Errorf("GEV(xi=%v) round trip p=%v got %v", xi, p, got)
+			}
+		}
+	}
+}
+
+func TestGEVCDFSupport(t *testing.T) {
+	// Xi > 0: support bounded below at Mu - Sigma/Xi.
+	g := GEV{Mu: 0, Sigma: 1, Xi: 0.5}
+	lower := g.Mu - g.Sigma/g.Xi
+	if got := g.CDF(lower - 1); got != 0 {
+		t.Errorf("CDF below support = %v, want 0", got)
+	}
+	// Xi < 0: support bounded above.
+	g = GEV{Mu: 0, Sigma: 1, Xi: -0.5}
+	upper := g.Mu - g.Sigma/g.Xi
+	if got := g.CDF(upper + 1); got != 1 {
+		t.Errorf("CDF above support = %v, want 1", got)
+	}
+}
+
+func TestGEVMean(t *testing.T) {
+	// Xi = 0 reduces to Gumbel mean.
+	g := GEV{Mu: 5, Sigma: 2, Xi: 0}
+	if !approx(g.Mean(), 5+2*eulerGamma, 1e-12) {
+		t.Errorf("GEV xi=0 mean = %v", g.Mean())
+	}
+	// Xi >= 1: undefined.
+	g = GEV{Mu: 0, Sigma: 1, Xi: 1.2}
+	if !math.IsNaN(g.Mean()) {
+		t.Errorf("GEV xi>=1 mean = %v, want NaN", g.Mean())
+	}
+}
+
+func TestFitGEVRecoversShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g0 := GEV{Mu: 20, Sigma: 5, Xi: 0.25}
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = g0.Quantile(rng.Float64())
+	}
+	g, err := FitGEV(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(g.Xi, 0.25, 0.05) {
+		t.Errorf("Xi = %v, want ~0.25", g.Xi)
+	}
+	if !approx(g.Mu, 20, 1) {
+		t.Errorf("Mu = %v, want ~20", g.Mu)
+	}
+	if !approx(g.Sigma, 5, 0.5) {
+		t.Errorf("Sigma = %v, want ~5", g.Sigma)
+	}
+}
+
+func TestFitGEVDegenerate(t *testing.T) {
+	g, err := FitGEV([]float64{3, 3, 3, 3})
+	if err != nil {
+		t.Fatalf("constant sample: %v", err)
+	}
+	if g.Mu != 3 {
+		t.Errorf("constant sample Mu = %v", g.Mu)
+	}
+	if _, err := FitGEV([]float64{1, 2}); err == nil {
+		t.Error("FitGEV with two samples should error")
+	}
+}
+
+func TestDistNames(t *testing.T) {
+	dists := []Dist{Gaussian{}, Logistic{}, Gumbel{}, GEV{}}
+	names := map[string]bool{}
+	for _, d := range dists {
+		names[d.Name()] = true
+	}
+	for _, want := range []string{"gaussian", "logistic", "gumbel", "gev"} {
+		if !names[want] {
+			t.Errorf("missing distribution family %q", want)
+		}
+	}
+}

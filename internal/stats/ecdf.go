@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function over a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds the ECDF of xs (the input is copied).
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &ECDF{sorted: sorted}, nil
+}
+
+// At returns the fraction of samples <= x.
+func (e *ECDF) At(x float64) float64 {
+	// First index with sorted[i] > x.
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Len returns the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Quantile returns the q-th empirical quantile (nearest-rank).
+func (e *ECDF) Quantile(q float64) (float64, error) {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, errors.New("stats: quantile out of [0,1]")
+	}
+	i := int(math.Ceil(q*float64(len(e.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return e.sorted[i], nil
+}
+
+// KolmogorovSmirnov computes the two-sample KS statistic
+// D = sup |F1(x) − F2(x)| between samples xs and ys, together with the
+// asymptotic p-value (Smirnov's approximation). It complements the
+// Anderson-Darling census: AD weights the tails, KS the body.
+func KolmogorovSmirnov(xs, ys []float64) (d, pValue float64, err error) {
+	if len(xs) == 0 || len(ys) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+
+	na, nb := len(a), len(b)
+	i, j := 0, 0
+	for i < na && j < nb {
+		var x float64
+		if a[i] <= b[j] {
+			x = a[i]
+		} else {
+			x = b[j]
+		}
+		for i < na && a[i] <= x {
+			i++
+		}
+		for j < nb && b[j] <= x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(na) - float64(j)/float64(nb))
+		if diff > d {
+			d = diff
+		}
+	}
+
+	// Asymptotic p-value: Q_KS(sqrt(n_eff)·D) with the usual
+	// small-sample correction.
+	ne := float64(na) * float64(nb) / float64(na+nb)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	pValue = ksQ(lambda)
+	return d, pValue, nil
+}
+
+// ksQ is the Kolmogorov distribution tail Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}.
+func ksQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

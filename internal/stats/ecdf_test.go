@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != 4 {
+		t.Errorf("Len = %d", e.Len())
+	}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {99, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if _, err := NewECDF(nil); err == nil {
+		t.Error("empty should error")
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e, _ := NewECDF([]float64{10, 20, 30, 40, 50})
+	q, err := e.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 30 {
+		t.Errorf("median = %v", q)
+	}
+	if q, _ := e.Quantile(0); q != 10 {
+		t.Errorf("Quantile(0) = %v", q)
+	}
+	if q, _ := e.Quantile(1); q != 50 {
+		t.Errorf("Quantile(1) = %v", q)
+	}
+	if _, err := e.Quantile(1.5); err == nil {
+		t.Error("out-of-range quantile should error")
+	}
+}
+
+func TestECDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	e, _ := NewECDF(xs)
+	prev := -1.0
+	for x := -4.0; x <= 4.0; x += 0.05 {
+		v := e.At(x)
+		if v < prev {
+			t.Fatalf("ECDF not monotone at %v", x)
+		}
+		prev = v
+	}
+}
+
+func TestKSIdenticalSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	xs := make([]float64, 800)
+	ys := make([]float64, 800)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+	}
+	d, p, err := KolmogorovSmirnov(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.1 {
+		t.Errorf("D = %v for same-distribution samples", d)
+	}
+	if p < 0.01 {
+		t.Errorf("p = %v, same distribution should not be rejected", p)
+	}
+}
+
+func TestKSDifferentDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	xs := make([]float64, 800)
+	ys := make([]float64, 800)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64() + 1.5 // shifted
+	}
+	d, p, err := KolmogorovSmirnov(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.3 {
+		t.Errorf("D = %v for shifted samples", d)
+	}
+	if p > 1e-6 {
+		t.Errorf("p = %v, shifted distribution should be strongly rejected", p)
+	}
+}
+
+func TestKSValidation(t *testing.T) {
+	if _, _, err := KolmogorovSmirnov(nil, []float64{1}); err == nil {
+		t.Error("empty should error")
+	}
+}
+
+func TestKSQBounds(t *testing.T) {
+	if ksQ(0) != 1 {
+		t.Error("ksQ(0) != 1")
+	}
+	if q := ksQ(10); q > 1e-10 {
+		t.Errorf("ksQ(10) = %v", q)
+	}
+	prev := 1.0
+	for l := 0.1; l < 3; l += 0.1 {
+		q := ksQ(l)
+		if q > prev+1e-12 {
+			t.Fatalf("ksQ not decreasing at %v", l)
+		}
+		if q < 0 || q > 1 {
+			t.Fatalf("ksQ out of [0,1]: %v", q)
+		}
+		prev = q
+	}
+}

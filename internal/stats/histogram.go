@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Histogram partitions a sample range into equal-width intervals. The
+// data cleaner uses it for the outlier-replacement rule of eq. (7): the
+// interval width is
+//
+//	L = (max - min) / roundup(sqrt(count))
+//
+// and an outlier is replaced by the median of the interval it falls in.
+type Histogram struct {
+	Min, Max float64
+	// Width is the interval width L.
+	Width float64
+	// Bins holds the sample values assigned to each interval.
+	Bins [][]float64
+}
+
+// NewHistogram builds the eq. (7) histogram over xs. It returns an error
+// for an empty sample; a constant sample produces a single bin.
+func NewHistogram(xs []float64) (*Histogram, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("stats: histogram of empty sample")
+	}
+	min, max := MinMax(xs)
+	nbins := int(math.Ceil(math.Sqrt(float64(len(xs)))))
+	if nbins < 1 {
+		nbins = 1
+	}
+	h := &Histogram{Min: min, Max: max}
+	if max == min {
+		h.Width = 0
+		h.Bins = [][]float64{append([]float64(nil), xs...)}
+		return h, nil
+	}
+	h.Width = (max - min) / float64(nbins)
+	h.Bins = make([][]float64, nbins)
+	for _, x := range xs {
+		i := h.BinIndex(x)
+		h.Bins[i] = append(h.Bins[i], x)
+	}
+	return h, nil
+}
+
+// BinIndex returns the index of the interval containing x; values
+// outside [Min, Max] are clamped to the edge bins.
+func (h *Histogram) BinIndex(x float64) int {
+	if h.Width == 0 || len(h.Bins) == 1 {
+		return 0
+	}
+	i := int((x - h.Min) / h.Width)
+	if i < 0 {
+		return 0
+	}
+	if i >= len(h.Bins) {
+		return len(h.Bins) - 1
+	}
+	return i
+}
+
+// BinMedian returns the median of the interval containing x. If that
+// interval is empty (possible when x is an extreme outlier clamped to an
+// edge bin with no members), the nearest non-empty interval's median is
+// used, so the result is always defined for a non-empty histogram.
+func (h *Histogram) BinMedian(x float64) float64 {
+	i := h.BinIndex(x)
+	if len(h.Bins[i]) > 0 {
+		return Median(h.Bins[i])
+	}
+	// Search outward for the nearest non-empty bin.
+	for d := 1; d < len(h.Bins); d++ {
+		if j := i - d; j >= 0 && len(h.Bins[j]) > 0 {
+			return Median(h.Bins[j])
+		}
+		if j := i + d; j < len(h.Bins) && len(h.Bins[j]) > 0 {
+			return Median(h.Bins[j])
+		}
+	}
+	return 0 // unreachable for non-empty histograms
+}
+
+// Counts returns the number of samples per interval.
+func (h *Histogram) Counts() []int {
+	out := make([]int, len(h.Bins))
+	for i, b := range h.Bins {
+		out[i] = len(b)
+	}
+	return out
+}

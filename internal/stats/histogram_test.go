@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHistogramBinCount(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	h, err := NewHistogram(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// roundup(sqrt(100)) = 10 bins.
+	if len(h.Bins) != 10 {
+		t.Errorf("bins = %d, want 10", len(h.Bins))
+	}
+	// Width per eq. (7): (99-0)/10 = 9.9.
+	if !approx(h.Width, 9.9, 1e-12) {
+		t.Errorf("width = %v, want 9.9", h.Width)
+	}
+	// All samples accounted for.
+	total := 0
+	for _, c := range h.Counts() {
+		total += c
+	}
+	if total != 100 {
+		t.Errorf("total binned = %d, want 100", total)
+	}
+}
+
+func TestHistogramEmptyErrors(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Error("NewHistogram(nil) should error")
+	}
+}
+
+func TestHistogramConstantSample(t *testing.T) {
+	h, err := NewHistogram([]float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Bins) != 1 {
+		t.Fatalf("constant sample bins = %d, want 1", len(h.Bins))
+	}
+	if got := h.BinMedian(5); got != 5 {
+		t.Errorf("BinMedian = %v, want 5", got)
+	}
+	if h.BinIndex(999) != 0 {
+		t.Error("BinIndex on constant histogram != 0")
+	}
+}
+
+func TestHistogramBinIndexClamps(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.BinIndex(-100); got != 0 {
+		t.Errorf("BinIndex(-100) = %d, want 0", got)
+	}
+	if got := h.BinIndex(1e9); got != len(h.Bins)-1 {
+		t.Errorf("BinIndex(1e9) = %d, want %d", got, len(h.Bins)-1)
+	}
+}
+
+func TestBinMedianRepresentsLocalValues(t *testing.T) {
+	// Two clusters: around 10 and around 1000. The median of the bin
+	// containing a value near 10 must be near 10, not near the global
+	// median.
+	xs := []float64{9, 10, 10, 11, 990, 1000, 1000, 1010, 1020}
+	h, err := NewHistogram(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.BinMedian(10); math.Abs(got-10) > 2 {
+		t.Errorf("BinMedian(10) = %v, want ~10", got)
+	}
+	if got := h.BinMedian(1000); math.Abs(got-1000) > 25 {
+		t.Errorf("BinMedian(1000) = %v, want ~1000", got)
+	}
+}
+
+func TestBinMedianEmptyBinFallsBack(t *testing.T) {
+	// Construct data with a gap so that some middle bins are empty.
+	xs := []float64{0, 0.1, 0.2, 0.3, 100, 100.1, 100.2, 100.3, 100.4}
+	h, err := NewHistogram(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A query in the gap must return a finite value from a neighbour.
+	got := h.BinMedian(50)
+	if math.IsNaN(got) || got == 0 && h.BinIndex(50) != 0 {
+		// 0 would only be legitimate if 50 fell into the first bin.
+		t.Errorf("BinMedian in gap = %v", got)
+	}
+}
+
+// Property: every sample's BinMedian lies within [min, max].
+func TestBinMedianBoundedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.Intn(300)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.ExpFloat64() * 100
+		}
+		h, err := NewHistogram(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min, max := MinMax(xs)
+		for _, x := range xs {
+			m := h.BinMedian(x)
+			if m < min-1e-9 || m > max+1e-9 {
+				t.Fatalf("trial %d: BinMedian(%v) = %v outside [%v, %v]", trial, x, m, min, max)
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func populated(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := sampleRecord("wordcount", 1)
+	r2 := sampleRecord("wordcount", 2)
+	r2.Meta.Mode = "OCOE"
+	r3 := sampleRecord("pagerank", 1)
+	r3.Series["C.EVENT"] = []float64{7, 8, 9}
+	for _, r := range []Record{r1, r2, r3} {
+		if err := db.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestSelectByBenchmark(t *testing.T) {
+	db := populated(t)
+	got := db.Select(Query{Benchmark: "wordcount"})
+	if len(got) != 2 {
+		t.Fatalf("wordcount rows = %d", len(got))
+	}
+	if got := db.Select(Query{Benchmark: "nope"}); len(got) != 0 {
+		t.Errorf("unknown benchmark rows = %d", len(got))
+	}
+}
+
+func TestSelectByMode(t *testing.T) {
+	db := populated(t)
+	if got := db.Select(Query{Mode: "OCOE"}); len(got) != 1 {
+		t.Errorf("OCOE rows = %d", len(got))
+	}
+	if got := db.Select(Query{Mode: "MLPX"}); len(got) != 2 {
+		t.Errorf("MLPX rows = %d", len(got))
+	}
+}
+
+func TestSelectByEvent(t *testing.T) {
+	db := populated(t)
+	if got := db.Select(Query{Event: "C.EVENT"}); len(got) != 1 {
+		t.Errorf("C.EVENT rows = %d", len(got))
+	}
+	if got := db.Select(Query{Event: "A.EVENT"}); len(got) != 3 {
+		t.Errorf("A.EVENT rows = %d", len(got))
+	}
+}
+
+func TestSelectByMinIntervals(t *testing.T) {
+	db := populated(t)
+	if got := db.Select(Query{MinIntervals: 3}); len(got) != 3 {
+		t.Errorf("MinIntervals=3 rows = %d", len(got))
+	}
+	if got := db.Select(Query{MinIntervals: 4}); len(got) != 0 {
+		t.Errorf("MinIntervals=4 rows = %d", len(got))
+	}
+}
+
+func TestSelectCombined(t *testing.T) {
+	db := populated(t)
+	got := db.Select(Query{Benchmark: "wordcount", Mode: "MLPX", Event: "B.EVENT"})
+	if len(got) != 1 {
+		t.Fatalf("combined query rows = %d", len(got))
+	}
+	if got[0].RunID != 1 {
+		t.Errorf("combined query run = %d", got[0].RunID)
+	}
+}
+
+func TestExportCSV(t *testing.T) {
+	db := populated(t)
+	var buf bytes.Buffer
+	if err := db.ExportCSV(&buf, "wordcount", 1, "MLPX"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + 3 intervals
+		t.Fatalf("csv lines = %d:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "interval,A.EVENT,B.EVENT,ipc" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,1,4,1.1") {
+		t.Errorf("first row = %q", lines[1])
+	}
+	if err := db.ExportCSV(&buf, "nope", 1, "MLPX"); err == nil {
+		t.Error("missing record should error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	db := populated(t)
+	s := db.Summarize()
+	if s.Runs != 3 || s.Benchmarks != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.ByMode["MLPX"] != 2 || s.ByMode["OCOE"] != 1 {
+		t.Errorf("by mode = %v", s.ByMode)
+	}
+	// Each record: IPC(3) + A(3) + B(3) = 9; pagerank adds C(3) => 12.
+	if s.Samples != 9+9+12 {
+		t.Errorf("samples = %d", s.Samples)
+	}
+	empty, _ := Open("")
+	if s := empty.Summarize(); s.Runs != 0 || s.Samples != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}

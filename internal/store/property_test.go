@@ -1,0 +1,94 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Put/Get round-trips arbitrary records exactly, including
+// through a flush/reopen cycle.
+func TestPutGetRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	counter := 0
+	f := func(seed int64) bool {
+		counter++
+		rng := rand.New(rand.NewSource(seed))
+		path := filepath.Join(dir, fmt.Sprintf("db-%d", counter))
+		db, err := Open(path)
+		if err != nil {
+			return false
+		}
+		nRuns := 1 + rng.Intn(4)
+		type key struct {
+			bench string
+			run   int
+		}
+		want := map[key]Record{}
+		for r := 0; r < nRuns; r++ {
+			rec := Record{
+				Meta: RunMeta{
+					Benchmark: fmt.Sprintf("bench-%d", rng.Intn(3)),
+					RunID:     rng.Intn(5),
+					Mode:      "MLPX",
+				},
+				Series: map[string][]float64{},
+			}
+			nEv := 1 + rng.Intn(4)
+			nVals := 1 + rng.Intn(20)
+			for e := 0; e < nEv; e++ {
+				vals := make([]float64, nVals)
+				for i := range vals {
+					vals[i] = rng.NormFloat64() * 1000
+				}
+				rec.Series[fmt.Sprintf("EV%d", e)] = vals
+			}
+			rec.IPC = make([]float64, nVals)
+			for i := range rec.IPC {
+				rec.IPC[i] = rng.Float64() * 3
+			}
+			if err := db.Put(rec); err != nil {
+				return false
+			}
+			want[key{rec.Meta.Benchmark, rec.Meta.RunID}] = rec
+		}
+		if err := db.Flush(); err != nil {
+			return false
+		}
+		db2, err := Open(path)
+		if err != nil {
+			return false
+		}
+		for k, rec := range want {
+			got, ok := db2.Get(k.bench, k.run, "MLPX")
+			if !ok {
+				return false
+			}
+			if len(got.Series) != len(rec.Series) {
+				return false
+			}
+			for ev, vals := range rec.Series {
+				gv := got.Series[ev]
+				if len(gv) != len(vals) {
+					return false
+				}
+				for i := range vals {
+					if gv[i] != vals[i] {
+						return false
+					}
+				}
+			}
+			for i := range rec.IPC {
+				if got.IPC[i] != rec.IPC[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,280 @@
+// Package store is CounterMiner's performance-data store. The paper
+// keeps collected counter time series in SQLite with a two-level table
+// organisation (§III-A): first-level tables hold run metadata (program
+// name, measured events, execution times, and the names of the
+// second-level tables); second-level tables hold the per-event time
+// series of each run. This package reproduces that organisation as an
+// embedded, file-backed store on the standard library.
+//
+// The store is safe for concurrent use. Mutations are in-memory until
+// Flush, which writes atomically (temp file + rename).
+package store
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"counterminer/internal/timeseries"
+)
+
+// RunMeta is a first-level table row: everything about a run except the
+// series data.
+type RunMeta struct {
+	// Benchmark is the program name.
+	Benchmark string
+	// RunID identifies the execution.
+	RunID int
+	// Mode is the sampling mode ("OCOE" or "MLPX").
+	Mode string
+	// Events lists the measured event names.
+	Events []string
+	// Intervals is the run length (the "execution time" column of the
+	// paper's first-level table).
+	Intervals int
+	// SeriesTable names the second-level table holding this run's
+	// series.
+	SeriesTable string
+}
+
+// Record is a full run: metadata plus series.
+type Record struct {
+	Meta RunMeta
+	// IPC is the fixed-counter IPC series.
+	IPC []float64
+	// Series maps event name to its sampled values.
+	Series map[string][]float64
+}
+
+// DB is the two-level store.
+type DB struct {
+	mu   sync.RWMutex
+	path string
+	// firstLevel indexes runs by key.
+	firstLevel map[string]RunMeta
+	// secondLevel maps a series-table name to its per-event series
+	// (IPC stored under the reserved name "__ipc__").
+	secondLevel map[string]map[string][]float64
+	dirty       bool
+}
+
+const ipcColumn = "__ipc__"
+
+// persisted is the on-disk image.
+type persisted struct {
+	Version     int
+	FirstLevel  map[string]RunMeta
+	SecondLevel map[string]map[string][]float64
+}
+
+const formatVersion = 1
+
+// Open opens (or creates) a store at path. An empty path creates a
+// purely in-memory store that cannot be flushed.
+func Open(path string) (*DB, error) {
+	db := &DB{
+		path:        path,
+		firstLevel:  make(map[string]RunMeta),
+		secondLevel: make(map[string]map[string][]float64),
+	}
+	if path == "" {
+		return db, nil
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return db, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	defer f.Close()
+	var img persisted
+	if err := gob.NewDecoder(f).Decode(&img); err != nil {
+		return nil, fmt.Errorf("store: decode %s: %w", path, err)
+	}
+	if img.Version != formatVersion {
+		return nil, fmt.Errorf("store: %s has format version %d, want %d", path, img.Version, formatVersion)
+	}
+	if img.FirstLevel != nil {
+		db.firstLevel = img.FirstLevel
+	}
+	if img.SecondLevel != nil {
+		db.secondLevel = img.SecondLevel
+	}
+	return db, nil
+}
+
+// key builds the first-level primary key.
+func key(benchmark string, runID int, mode string) string {
+	return fmt.Sprintf("%s/%d/%s", benchmark, runID, mode)
+}
+
+// Put stores a record, replacing any previous record of the same
+// (benchmark, run, mode).
+func (db *DB) Put(rec Record) error {
+	if rec.Meta.Benchmark == "" {
+		return errors.New("store: record without benchmark name")
+	}
+	if rec.Meta.Mode == "" {
+		return errors.New("store: record without mode")
+	}
+	k := key(rec.Meta.Benchmark, rec.Meta.RunID, rec.Meta.Mode)
+	table := "series/" + k
+
+	meta := rec.Meta
+	meta.SeriesTable = table
+	// The series map is the source of truth for the event list.
+	meta.Events = meta.Events[:0:0]
+	for ev := range rec.Series {
+		meta.Events = append(meta.Events, ev)
+	}
+	sort.Strings(meta.Events)
+	if meta.Intervals == 0 {
+		meta.Intervals = len(rec.IPC)
+	}
+
+	series := make(map[string][]float64, len(rec.Series)+1)
+	for ev, vals := range rec.Series {
+		series[ev] = append([]float64(nil), vals...)
+	}
+	if rec.IPC != nil {
+		series[ipcColumn] = append([]float64(nil), rec.IPC...)
+	}
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.firstLevel[k] = meta
+	db.secondLevel[table] = series
+	db.dirty = true
+	return nil
+}
+
+// Get retrieves a record by key.
+func (db *DB) Get(benchmark string, runID int, mode string) (Record, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	meta, ok := db.firstLevel[key(benchmark, runID, mode)]
+	if !ok {
+		return Record{}, false
+	}
+	table := db.secondLevel[meta.SeriesTable]
+	rec := Record{Meta: meta, Series: make(map[string][]float64, len(table))}
+	for ev, vals := range table {
+		cp := append([]float64(nil), vals...)
+		if ev == ipcColumn {
+			rec.IPC = cp
+		} else {
+			rec.Series[ev] = cp
+		}
+	}
+	return rec, true
+}
+
+// Delete removes a record; it reports whether the record existed.
+func (db *DB) Delete(benchmark string, runID int, mode string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	k := key(benchmark, runID, mode)
+	meta, ok := db.firstLevel[k]
+	if !ok {
+		return false
+	}
+	delete(db.firstLevel, k)
+	delete(db.secondLevel, meta.SeriesTable)
+	db.dirty = true
+	return true
+}
+
+// List returns the first-level rows, sorted by benchmark, run, mode.
+func (db *DB) List() []RunMeta {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]RunMeta, 0, len(db.firstLevel))
+	for _, m := range db.firstLevel {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Benchmark != out[j].Benchmark {
+			return out[i].Benchmark < out[j].Benchmark
+		}
+		if out[i].RunID != out[j].RunID {
+			return out[i].RunID < out[j].RunID
+		}
+		return out[i].Mode < out[j].Mode
+	})
+	return out
+}
+
+// ListBenchmark returns the first-level rows of one benchmark.
+func (db *DB) ListBenchmark(benchmark string) []RunMeta {
+	var out []RunMeta
+	for _, m := range db.List() {
+		if m.Benchmark == benchmark {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Len reports the number of stored runs.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.firstLevel)
+}
+
+// SeriesSet returns a record's series as a timeseries.Set.
+func (db *DB) SeriesSet(benchmark string, runID int, mode string) (*timeseries.Set, error) {
+	rec, ok := db.Get(benchmark, runID, mode)
+	if !ok {
+		return nil, fmt.Errorf("store: no record %s/%d/%s", benchmark, runID, mode)
+	}
+	set := timeseries.NewSet()
+	for ev, vals := range rec.Series {
+		set.Put(timeseries.New(ev, vals))
+	}
+	return set, nil
+}
+
+// Flush writes the store to disk atomically. It is a no-op when nothing
+// changed since the last flush, and an error for in-memory stores.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.path == "" {
+		return errors.New("store: in-memory store cannot be flushed")
+	}
+	if !db.dirty {
+		return nil
+	}
+	img := persisted{
+		Version:     formatVersion,
+		FirstLevel:  db.firstLevel,
+		SecondLevel: db.secondLevel,
+	}
+	dir := filepath.Dir(db.path)
+	tmp, err := os.CreateTemp(dir, ".cmdb-*")
+	if err != nil {
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	tmpName := tmp.Name()
+	if err := gob.NewEncoder(tmp).Encode(&img); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: encode: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: close: %w", err)
+	}
+	if err := os.Rename(tmpName, db.path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: rename: %w", err)
+	}
+	db.dirty = false
+	return nil
+}

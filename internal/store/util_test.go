@@ -1,0 +1,8 @@
+package store
+
+import "os"
+
+// writeFile is a test helper writing raw bytes.
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

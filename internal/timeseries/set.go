@@ -1,0 +1,101 @@
+package timeseries
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Set is a collection of event series belonging to one program run,
+// keyed by event name. The zero value is not usable; construct with
+// NewSet.
+type Set struct {
+	series map[string]*Series
+}
+
+// NewSet returns an empty Set.
+func NewSet() *Set {
+	return &Set{series: make(map[string]*Series)}
+}
+
+// Put stores (or replaces) the series for its event name.
+func (set *Set) Put(s *Series) {
+	set.series[s.Event] = s
+}
+
+// Get returns the series for event and whether it exists.
+func (set *Set) Get(event string) (*Series, bool) {
+	s, ok := set.series[event]
+	return s, ok
+}
+
+// MustGet returns the series for event, panicking if it is absent. It is
+// intended for experiment code where the event set is fixed by
+// construction.
+func (set *Set) MustGet(event string) *Series {
+	s, ok := set.series[event]
+	if !ok {
+		panic(fmt.Sprintf("timeseries: no series for event %q", event))
+	}
+	return s
+}
+
+// Len reports the number of series in the set.
+func (set *Set) Len() int { return len(set.series) }
+
+// Events returns the event names in lexical order.
+func (set *Set) Events() []string {
+	out := make([]string, 0, len(set.series))
+	for ev := range set.series {
+		out = append(out, ev)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the set.
+func (set *Set) Clone() *Set {
+	out := NewSet()
+	for _, s := range set.series {
+		out.Put(s.Clone())
+	}
+	return out
+}
+
+// MinLen returns the length of the shortest series in the set, or 0 for
+// an empty set. Ragged sets are the norm (OCOE runs have different
+// lengths), so consumers that need a rectangular matrix truncate to
+// MinLen.
+func (set *Set) MinLen() int {
+	min := -1
+	for _, s := range set.series {
+		if min < 0 || s.Len() < min {
+			min = s.Len()
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// Matrix returns a rectangular sample matrix X with one row per
+// measurement interval and one column per event (in the order given),
+// truncated to the shortest series. Events missing from the set yield an
+// error.
+func (set *Set) Matrix(events []string) ([][]float64, error) {
+	n := set.MinLen()
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = make([]float64, len(events))
+	}
+	for j, ev := range events {
+		s, ok := set.Get(ev)
+		if !ok {
+			return nil, fmt.Errorf("timeseries: matrix: missing event %q", ev)
+		}
+		for i := 0; i < n; i++ {
+			X[i][j] = s.At(i)
+		}
+	}
+	return X, nil
+}

@@ -1,0 +1,150 @@
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Transformations used when exploring counter series: smoothing for
+// visual inspection of cleaned-vs-raw traces, differencing for
+// burst detection, and windowed aggregation for downsampling.
+
+// EWMA returns an exponentially-weighted moving average of the series
+// with smoothing factor alpha in (0, 1]; alpha = 1 is the identity.
+func (s *Series) EWMA(alpha float64) (*Series, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("timeseries: EWMA alpha %v out of (0,1]", alpha)
+	}
+	out := &Series{Event: s.Event, Values: make([]float64, len(s.Values))}
+	if len(s.Values) == 0 {
+		return out, nil
+	}
+	acc := s.Values[0]
+	out.Values[0] = acc
+	for i := 1; i < len(s.Values); i++ {
+		acc = alpha*s.Values[i] + (1-alpha)*acc
+		out.Values[i] = acc
+	}
+	return out, nil
+}
+
+// Diff returns the first difference series (length n−1).
+func (s *Series) Diff() (*Series, error) {
+	if len(s.Values) < 2 {
+		return nil, errors.New("timeseries: Diff needs at least two samples")
+	}
+	out := &Series{Event: s.Event, Values: make([]float64, len(s.Values)-1)}
+	for i := 1; i < len(s.Values); i++ {
+		out.Values[i-1] = s.Values[i] - s.Values[i-1]
+	}
+	return out, nil
+}
+
+// Window aggregates consecutive blocks of `size` samples with the
+// given reducer ("mean", "max", "min", "sum"). A final partial block is
+// aggregated too.
+func (s *Series) Window(size int, reducer string) (*Series, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("timeseries: window size %d", size)
+	}
+	if len(s.Values) == 0 {
+		return nil, errors.New("timeseries: window of empty series")
+	}
+	var reduce func(block []float64) float64
+	switch reducer {
+	case "mean":
+		reduce = func(b []float64) float64 {
+			sum := 0.0
+			for _, v := range b {
+				sum += v
+			}
+			return sum / float64(len(b))
+		}
+	case "sum":
+		reduce = func(b []float64) float64 {
+			sum := 0.0
+			for _, v := range b {
+				sum += v
+			}
+			return sum
+		}
+	case "max":
+		reduce = func(b []float64) float64 {
+			m := b[0]
+			for _, v := range b[1:] {
+				if v > m {
+					m = v
+				}
+			}
+			return m
+		}
+	case "min":
+		reduce = func(b []float64) float64 {
+			m := b[0]
+			for _, v := range b[1:] {
+				if v < m {
+					m = v
+				}
+			}
+			return m
+		}
+	default:
+		return nil, fmt.Errorf("timeseries: unknown reducer %q", reducer)
+	}
+	out := &Series{Event: s.Event}
+	for i := 0; i < len(s.Values); i += size {
+		end := i + size
+		if end > len(s.Values) {
+			end = len(s.Values)
+		}
+		out.Values = append(out.Values, reduce(s.Values[i:end]))
+	}
+	return out, nil
+}
+
+// CrossCorrelation returns the Pearson correlation between this series
+// and other at the given lag (other shifted forward by lag samples;
+// negative lags shift backward). Series must overlap in at least three
+// samples at that lag.
+func (s *Series) CrossCorrelation(other *Series, lag int) (float64, error) {
+	var a, b []float64
+	if lag >= 0 {
+		if lag >= len(other.Values) {
+			return 0, fmt.Errorf("timeseries: lag %d out of range", lag)
+		}
+		b = other.Values[lag:]
+		a = s.Values
+	} else {
+		if -lag >= len(s.Values) {
+			return 0, fmt.Errorf("timeseries: lag %d out of range", lag)
+		}
+		a = s.Values[-lag:]
+		b = other.Values
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n < 3 {
+		return 0, errors.New("timeseries: overlap too short for correlation")
+	}
+	a, b = a[:n], b[:n]
+	var ma, mb float64
+	for i := 0; i < n; i++ {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= float64(n)
+	mb /= float64(n)
+	var cab, va, vb float64
+	for i := 0; i < n; i++ {
+		cab += (a[i] - ma) * (b[i] - mb)
+		va += (a[i] - ma) * (a[i] - ma)
+		vb += (b[i] - mb) * (b[i] - mb)
+	}
+	if va == 0 || vb == 0 {
+		return 0, nil
+	}
+	return cab / math.Sqrt(va*vb), nil
+}

@@ -1,0 +1,170 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEWMAIdentityAtAlphaOne(t *testing.T) {
+	s := New("EV", []float64{3, 1, 4, 1, 5})
+	out, err := s.EWMA(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Values {
+		if out.Values[i] != s.Values[i] {
+			t.Fatalf("alpha=1 changed value at %d", i)
+		}
+	}
+}
+
+func TestEWMASmooths(t *testing.T) {
+	// Alternating series: smoothed variance must shrink.
+	vals := make([]float64, 100)
+	for i := range vals {
+		if i%2 == 0 {
+			vals[i] = 10
+		} else {
+			vals[i] = -10
+		}
+	}
+	s := New("EV", vals)
+	out, err := s.EWMA(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Std() >= s.Std()/2 {
+		t.Errorf("EWMA std %v not well below raw %v", out.Std(), s.Std())
+	}
+	if _, err := s.EWMA(0); err == nil {
+		t.Error("alpha=0 should error")
+	}
+	if _, err := s.EWMA(1.5); err == nil {
+		t.Error("alpha>1 should error")
+	}
+	empty, err := New("EV", nil).EWMA(0.5)
+	if err != nil || empty.Len() != 0 {
+		t.Error("EWMA of empty should be empty, no error")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	s := New("EV", []float64{1, 4, 9, 16})
+	d, err := s.Diff()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 5, 7}
+	for i := range want {
+		if d.Values[i] != want[i] {
+			t.Fatalf("diff = %v", d.Values)
+		}
+	}
+	if _, err := New("EV", []float64{1}).Diff(); err == nil {
+		t.Error("single sample should error")
+	}
+}
+
+func TestWindowReducers(t *testing.T) {
+	s := New("EV", []float64{1, 2, 3, 4, 5})
+	cases := []struct {
+		reducer string
+		want    []float64
+	}{
+		{"mean", []float64{1.5, 3.5, 5}},
+		{"sum", []float64{3, 7, 5}},
+		{"max", []float64{2, 4, 5}},
+		{"min", []float64{1, 3, 5}},
+	}
+	for _, c := range cases {
+		out, err := s.Window(2, c.reducer)
+		if err != nil {
+			t.Fatalf("%s: %v", c.reducer, err)
+		}
+		if len(out.Values) != len(c.want) {
+			t.Fatalf("%s: %v", c.reducer, out.Values)
+		}
+		for i := range c.want {
+			if out.Values[i] != c.want[i] {
+				t.Errorf("%s[%d] = %v, want %v", c.reducer, i, out.Values[i], c.want[i])
+			}
+		}
+	}
+	if _, err := s.Window(0, "mean"); err == nil {
+		t.Error("size 0 should error")
+	}
+	if _, err := s.Window(2, "mode"); err == nil {
+		t.Error("unknown reducer should error")
+	}
+	if _, err := New("EV", nil).Window(2, "mean"); err == nil {
+		t.Error("empty should error")
+	}
+}
+
+func TestCrossCorrelationFindsLag(t *testing.T) {
+	// b is a copy of a delayed by 3 samples.
+	n := 200
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = math.Sin(float64(i) / 5)
+	}
+	b := make([]float64, n)
+	for i := 3; i < n; i++ {
+		b[i] = a[i-3]
+	}
+	sa, sb := New("A", a), New("B", b)
+	atLag3, err := sa.CrossCorrelation(sb, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atLag0, err := sa.CrossCorrelation(sb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atLag3 < 0.99 {
+		t.Errorf("corr at true lag = %v", atLag3)
+	}
+	if atLag3 <= atLag0 {
+		t.Errorf("lag 3 corr %v not above lag 0 corr %v", atLag3, atLag0)
+	}
+}
+
+func TestCrossCorrelationNegativeLag(t *testing.T) {
+	n := 100
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = float64(i % 7)
+	}
+	copy(b, a)
+	sa, sb := New("A", a), New("B", b)
+	r, err := sa.CrossCorrelation(sb, -2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 1.0001 || r < -1.0001 {
+		t.Errorf("corr out of range: %v", r)
+	}
+	if _, err := sa.CrossCorrelation(sb, 1000); err == nil {
+		t.Error("huge lag should error")
+	}
+	if _, err := sa.CrossCorrelation(sb, -1000); err == nil {
+		t.Error("huge negative lag should error")
+	}
+	short := New("S", []float64{1, 2})
+	if _, err := short.CrossCorrelation(short, 0); err == nil {
+		t.Error("overlap < 3 should error")
+	}
+}
+
+func TestCrossCorrelationConstant(t *testing.T) {
+	a := New("A", []float64{5, 5, 5, 5})
+	b := New("B", []float64{1, 2, 3, 4})
+	r, err := a.CrossCorrelation(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Errorf("constant series corr = %v", r)
+	}
+}

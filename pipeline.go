@@ -1,0 +1,363 @@
+package counterminer
+
+import (
+	"errors"
+	"fmt"
+
+	"counterminer/internal/clean"
+	"counterminer/internal/collector"
+	"counterminer/internal/interact"
+	"counterminer/internal/rank"
+	"counterminer/internal/sgbrt"
+	"counterminer/internal/sim"
+	"counterminer/internal/store"
+)
+
+// Options configures a Pipeline. The zero value selects paper-faithful
+// defaults sized for interactive use.
+type Options struct {
+	// Runs is how many benchmark executions feed each analysis
+	// (default 3). More runs mean more training examples.
+	Runs int
+	// Events restricts the measured event set; nil measures the full
+	// catalogue (229 events).
+	Events []string
+	// Trees is the SGBRT ensemble size (default 80).
+	Trees int
+	// PruneStep is the EIR pruning step (default 10).
+	PruneStep int
+	// TopK is how many important events an Analysis reports in detail
+	// and feeds to the interaction ranker (default 10).
+	TopK int
+	// SkipEIR fits a single model on all events instead of running the
+	// refinement loop (faster, less accurate importance).
+	SkipEIR bool
+	// CleanOptions configures the data cleaner.
+	CleanOptions clean.Options
+	// StorePath, when non-empty, persists every collected run to a
+	// two-level store at that path.
+	StorePath string
+	// Seed decorrelates the pipeline's randomness (default 1).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Runs <= 0 {
+		o.Runs = 3
+	}
+	if o.Trees <= 0 {
+		o.Trees = 80
+	}
+	if o.PruneStep <= 0 {
+		o.PruneStep = rank.DefaultPruneStep
+	}
+	if o.TopK <= 0 {
+		o.TopK = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// EventScore is one ranked event in an Analysis.
+type EventScore struct {
+	// Event is the full event name, Abbrev the Table III code.
+	Event, Abbrev string
+	// Importance is the normalised relative influence in percent.
+	Importance float64
+}
+
+// PairScore is one ranked event-pair interaction.
+type PairScore struct {
+	// A and B are the pair's event abbreviations.
+	A, B string
+	// Importance is the normalised interaction intensity in percent.
+	Importance float64
+}
+
+// Key renders the pair as "A-B", Fig. 11/12 style.
+func (p PairScore) Key() string { return p.A + "-" + p.B }
+
+// Analysis is the result of mining one benchmark's counter data.
+type Analysis struct {
+	// Benchmark is the analysed workload.
+	Benchmark string
+	// Events is the analysed event count (model input dimension before
+	// refinement).
+	Events int
+	// ModelError is the MAPM's held-out relative IPC error in percent
+	// (eq. 14).
+	ModelError float64
+	// MAPMEvents is the event count of the most accurate model.
+	MAPMEvents int
+	// Importance ranks all MAPM events by descending importance.
+	Importance []EventScore
+	// Interactions ranks the TopK events' pairs by interaction
+	// intensity.
+	Interactions []PairScore
+	// EIRNumEvents and EIRErrors trace the refinement curve (Fig. 8).
+	EIRNumEvents []int
+	EIRErrors    []float64
+	// OutliersReplaced and MissingFilled aggregate the cleaner's work.
+	OutliersReplaced, MissingFilled int
+}
+
+// TopEvents returns the k most important events.
+func (a *Analysis) TopEvents(k int) []EventScore {
+	if k > len(a.Importance) {
+		k = len(a.Importance)
+	}
+	return append([]EventScore(nil), a.Importance[:k]...)
+}
+
+// TopInteractions returns the k strongest event-pair interactions.
+func (a *Analysis) TopInteractions(k int) []PairScore {
+	if k > len(a.Interactions) {
+		k = len(a.Interactions)
+	}
+	return append([]PairScore(nil), a.Interactions[:k]...)
+}
+
+// SMICount reports how many of the top three events are significantly
+// more important than the fourth (ratio 1.5), checking the paper's
+// one–three SMI law.
+func (a *Analysis) SMICount() int {
+	if len(a.Importance) < 4 {
+		return len(a.Importance)
+	}
+	cutoff := a.Importance[3].Importance * 1.5
+	n := 0
+	for _, e := range a.Importance[:3] {
+		if e.Importance > cutoff {
+			n++
+		}
+	}
+	return n
+}
+
+// Pipeline wires collector, cleaner, importance ranker, and interaction
+// ranker together over the simulated cluster.
+type Pipeline struct {
+	opts Options
+	cat  *sim.Catalogue
+	col  *collector.Collector
+	db   *store.DB
+}
+
+// NewPipeline builds a pipeline with the given options.
+func NewPipeline(opts Options) (*Pipeline, error) {
+	opts = opts.withDefaults()
+	cat := sim.NewCatalogue()
+	p := &Pipeline{
+		opts: opts,
+		cat:  cat,
+		col:  collector.New(cat),
+	}
+	if opts.StorePath != "" {
+		db, err := store.Open(opts.StorePath)
+		if err != nil {
+			return nil, err
+		}
+		p.db = db
+	}
+	return p, nil
+}
+
+// Catalogue exposes the event catalogue (for resolving abbreviations).
+func (p *Pipeline) Catalogue() *sim.Catalogue { return p.cat }
+
+// Benchmarks lists the available workload names.
+func (p *Pipeline) Benchmarks() []string { return sim.AllBenchmarkNames() }
+
+// Analyze runs the full CounterMiner pipeline on one benchmark:
+// collect (MLPX) → clean → EIR → MAPM importance → interactions.
+func (p *Pipeline) Analyze(benchmark string) (*Analysis, error) {
+	prof, err := sim.ProfileByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	return p.analyzeProfile(prof)
+}
+
+// AnalyzeColocated analyses two benchmarks sharing the cluster (§V-E).
+func (p *Pipeline) AnalyzeColocated(benchA, benchB string) (*Analysis, error) {
+	a, err := sim.ProfileByName(benchA)
+	if err != nil {
+		return nil, err
+	}
+	b, err := sim.ProfileByName(benchB)
+	if err != nil {
+		return nil, err
+	}
+	return p.analyzeProfile(sim.Colocate(a, b))
+}
+
+func (p *Pipeline) analyzeProfile(prof sim.Profile) (*Analysis, error) {
+	events := p.opts.Events
+	if events == nil {
+		events = p.cat.Events()
+	}
+	if len(events) < 2 {
+		return nil, errors.New("counterminer: need at least two events")
+	}
+
+	ana := &Analysis{Benchmark: prof.Name, Events: len(events)}
+
+	// ----- Collect and clean.
+	var X [][]float64
+	var y []float64
+	for run := 1; run <= p.opts.Runs; run++ {
+		r, err := p.col.Collect(prof, int(p.opts.Seed)*100+run, collector.MLPX, events)
+		if err != nil {
+			return nil, err
+		}
+		cleaned, rep, err := clean.Set(r.Series, p.opts.CleanOptions)
+		if err != nil {
+			return nil, err
+		}
+		ana.OutliersReplaced += rep.TotalOutliers
+		ana.MissingFilled += rep.TotalMissing
+		if p.db != nil {
+			if err := p.persist(r); err != nil {
+				return nil, err
+			}
+		}
+		r.Series = cleaned
+		Xr, yr, err := r.TrainingMatrix(events)
+		if err != nil {
+			return nil, err
+		}
+		X = append(X, Xr...)
+		y = append(y, yr...)
+	}
+
+	// ----- Rank (EIR → MAPM).
+	ropts := rank.Options{
+		Params:    sgbrt.Params{Trees: p.opts.Trees, MaxDepth: 4, Seed: p.opts.Seed},
+		PruneStep: p.opts.PruneStep,
+		Seed:      p.opts.Seed,
+	}
+	var mapm *rank.Model
+	if p.opts.SkipEIR {
+		m, err := rank.Fit(X, y, events, ropts)
+		if err != nil {
+			return nil, err
+		}
+		mapm = m
+		ana.EIRNumEvents = []int{len(events)}
+		ana.EIRErrors = []float64{m.TestError}
+	} else {
+		res, err := rank.EIR(X, y, events, ropts)
+		if err != nil {
+			return nil, err
+		}
+		mapm = res.MAPM()
+		ana.EIRNumEvents, ana.EIRErrors = res.Curve()
+	}
+	ana.ModelError = mapm.TestError
+	ana.MAPMEvents = len(mapm.Events)
+	for _, ei := range mapm.Ranking {
+		ana.Importance = append(ana.Importance, EventScore{
+			Event:      ei.Event,
+			Abbrev:     p.abbrev(ei.Event),
+			Importance: ei.Importance,
+		})
+	}
+
+	// ----- Interactions among the top events. Per §III-D the ranker
+	// runs after the important events are known: a dedicated model is
+	// fitted on just those events, which concentrates the ensemble's
+	// capacity on the pair structure instead of spreading it over
+	// hundreds of inputs.
+	top := mapm.TopK(p.opts.TopK)
+	if len(top) >= 2 {
+		names := make([]string, len(top))
+		for i, ei := range top {
+			names[i] = ei.Event
+		}
+		subX, err := matrixColumns(X, events, names)
+		if err != nil {
+			return nil, err
+		}
+		iModel, err := rank.Fit(subX, y, names, rank.Options{
+			Params: sgbrt.Params{Trees: p.opts.Trees * 2, MaxDepth: 4, Seed: p.opts.Seed},
+			Seed:   p.opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pairs, err := interact.RankPairs(iModel, subX, names, interact.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for _, ps := range pairs {
+			ana.Interactions = append(ana.Interactions, PairScore{
+				A:          p.abbrev(ps.A),
+				B:          p.abbrev(ps.B),
+				Importance: ps.Importance,
+			})
+		}
+	}
+
+	if p.db != nil {
+		if err := p.db.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	return ana, nil
+}
+
+// abbrev maps an event name to its catalogue abbreviation (or itself).
+func (p *Pipeline) abbrev(event string) string {
+	if ev, ok := p.cat.ByName(event); ok {
+		return ev.Abbrev
+	}
+	return event
+}
+
+// persist writes a collected run into the store.
+func (p *Pipeline) persist(r *collector.Run) error {
+	rec := store.Record{
+		Meta: store.RunMeta{
+			Benchmark: r.Benchmark,
+			RunID:     r.RunID,
+			Mode:      r.Mode.String(),
+			Intervals: len(r.IPC),
+		},
+		IPC:    r.IPC,
+		Series: make(map[string][]float64, r.Series.Len()),
+	}
+	for _, ev := range r.Series.Events() {
+		s, _ := r.Series.Get(ev)
+		rec.Meta.Events = append(rec.Meta.Events, ev)
+		rec.Series[ev] = s.Values
+	}
+	return p.db.Put(rec)
+}
+
+// matrixColumns re-projects X (whose columns follow `from`) onto the
+// column order `to`.
+func matrixColumns(X [][]float64, from, to []string) ([][]float64, error) {
+	idx := make(map[string]int, len(from))
+	for i, ev := range from {
+		idx[ev] = i
+	}
+	cols := make([]int, len(to))
+	for j, ev := range to {
+		i, ok := idx[ev]
+		if !ok {
+			return nil, fmt.Errorf("counterminer: column %q missing", ev)
+		}
+		cols[j] = i
+	}
+	out := make([][]float64, len(X))
+	for r, row := range X {
+		sub := make([]float64, len(cols))
+		for j, c := range cols {
+			sub[j] = row[c]
+		}
+		out[r] = sub
+	}
+	return out, nil
+}
