@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short allocation-aware sweep over the hot-path micro-benchmarks.
+bench:
+	$(GO) test -run=^$$ -bench='Fit|BuildTreeOrdered|PredictAll|RankPairs|Distance' -benchtime=1x -benchmem ./internal/sgbrt/ ./internal/interact/ ./internal/dtw/

@@ -34,6 +34,7 @@ func main() {
 		topK     = flag.Int("top", 10, "events/interactions to print")
 		skipEIR  = flag.Bool("fast", false, "skip EIR (single model fit)")
 		dbPath   = flag.String("db", "", "persist collected runs to this store path")
+		workers  = flag.Int("workers", 0, "analysis worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -43,6 +44,7 @@ func main() {
 		TopK:      *topK,
 		SkipEIR:   *skipEIR,
 		StorePath: *dbPath,
+		Workers:   *workers,
 	}
 	p, err := counterminer.NewPipeline(opts)
 	if err != nil {

@@ -86,14 +86,18 @@ func AnalyzeData(d *DataSet, opts Options) (*Analysis, error) {
 	opts = opts.withDefaults()
 
 	ana := &Analysis{Benchmark: "external", Events: len(d.Events)}
-	out, miss, err := d.Clean(opts.CleanOptions)
+	copts := opts.CleanOptions
+	if copts.Workers == 0 {
+		copts.Workers = opts.Workers
+	}
+	out, miss, err := d.Clean(copts)
 	if err != nil {
 		return nil, err
 	}
 	ana.OutliersReplaced, ana.MissingFilled = out, miss
 
 	ropts := rank.Options{
-		Params:    sgbrt.Params{Trees: opts.Trees, MaxDepth: 4, Seed: opts.Seed},
+		Params:    sgbrt.Params{Trees: opts.Trees, MaxDepth: 4, Seed: opts.Seed, Workers: opts.Workers},
 		PruneStep: opts.PruneStep,
 		Seed:      opts.Seed,
 	}
@@ -133,13 +137,13 @@ func AnalyzeData(d *DataSet, opts Options) (*Analysis, error) {
 			return nil, err
 		}
 		iModel, err := rank.Fit(subX, d.Y, names, rank.Options{
-			Params: sgbrt.Params{Trees: opts.Trees * 2, MaxDepth: 4, Seed: opts.Seed},
+			Params: sgbrt.Params{Trees: opts.Trees * 2, MaxDepth: 4, Seed: opts.Seed, Workers: opts.Workers},
 			Seed:   opts.Seed,
 		})
 		if err != nil {
 			return nil, err
 		}
-		pairs, err := interact.RankPairs(iModel, subX, names, interact.Options{})
+		pairs, err := interact.RankPairs(iModel, subX, names, interact.Options{Workers: opts.Workers})
 		if err != nil {
 			return nil, err
 		}

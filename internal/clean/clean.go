@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"counterminer/internal/knn"
+	"counterminer/internal/parallel"
 	"counterminer/internal/stats"
 	"counterminer/internal/timeseries"
 )
@@ -57,6 +58,10 @@ type Options struct {
 	SkipOutliers bool
 	// SkipMissing disables missing-value filling (for ablations).
 	SkipMissing bool
+	// Workers bounds how many series Set cleans concurrently; <= 0
+	// uses GOMAXPROCS. Each series cleans independently, so the output
+	// is identical for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -181,20 +186,33 @@ type SetReport struct {
 }
 
 // Set cleans every series in a timeseries.Set, returning a new set and
-// an aggregate report.
+// an aggregate report. The per-event repairs — outlier replacement and
+// KNN imputation — are independent, so the events clean concurrently;
+// the aggregate report is assembled serially in event order.
 func Set(in *timeseries.Set, opts Options) (*timeseries.Set, SetReport, error) {
-	out := timeseries.NewSet()
-	rep := SetReport{PerEvent: make(map[string]Report, in.Len())}
-	for _, ev := range in.Events() {
-		s, _ := in.Get(ev)
+	events := in.Events()
+	type result struct {
+		values []float64
+		rep    Report
+	}
+	results, err := parallel.Map(len(events), opts.Workers, func(i int) (result, error) {
+		s, _ := in.Get(events[i])
 		cleaned, r, err := Series(s.Values, opts)
 		if err != nil {
-			return nil, SetReport{}, fmt.Errorf("clean: event %s: %w", ev, err)
+			return result{}, fmt.Errorf("clean: event %s: %w", events[i], err)
 		}
-		out.Put(timeseries.New(ev, cleaned))
-		rep.PerEvent[ev] = r
-		rep.TotalOutliers += r.Outliers
-		rep.TotalMissing += r.Missing
+		return result{cleaned, r}, nil
+	})
+	if err != nil {
+		return nil, SetReport{}, err
+	}
+	out := timeseries.NewSet()
+	rep := SetReport{PerEvent: make(map[string]Report, in.Len())}
+	for i, ev := range events {
+		out.Put(timeseries.New(ev, results[i].values))
+		rep.PerEvent[ev] = results[i].rep
+		rep.TotalOutliers += results[i].rep.Outliers
+		rep.TotalMissing += results[i].rep.Missing
 	}
 	return out, rep, nil
 }

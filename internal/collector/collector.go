@@ -17,6 +17,7 @@ package collector
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"counterminer/internal/mlpx"
 	"counterminer/internal/sim"
@@ -57,10 +58,14 @@ type Run struct {
 	Groups int
 }
 
-// Collector samples benchmark runs from the simulated cluster.
+// Collector samples benchmark runs from the simulated cluster. It is
+// safe for concurrent use: the experiment sweeps collect runs from
+// many goroutines against one collector.
 type Collector struct {
-	pmu  sim.PMU
-	cat  *sim.Catalogue
+	pmu sim.PMU
+	cat *sim.Catalogue
+
+	mu   sync.Mutex
 	gens map[string]*sim.Generator
 }
 
@@ -83,6 +88,8 @@ func (c *Collector) Catalogue() *sim.Catalogue { return c.cat }
 // generator returns (building if needed) the trace generator for a
 // profile.
 func (c *Collector) generator(p sim.Profile) (*sim.Generator, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if g, ok := c.gens[p.Name]; ok {
 		return g, nil
 	}

@@ -1,0 +1,39 @@
+package dtw
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSeries(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+func BenchmarkDistance(b *testing.B) {
+	s1 := benchSeries(420, 1)
+	s2 := benchSeries(440, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Distance(s1, s2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistanceBanded(b *testing.B) {
+	s1 := benchSeries(420, 1)
+	s2 := benchSeries(440, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DistanceOpt(s1, s2, Options{Window: 40}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

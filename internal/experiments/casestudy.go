@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"counterminer/internal/parallel"
 	"counterminer/internal/sim"
 	"counterminer/internal/spark"
 )
@@ -42,7 +43,7 @@ func Fig13(cfg Config) (*Table, error) {
 		dom   string
 	}
 	rows := make([]row, len(benches))
-	err := parallel(len(benches), cfg.Workers, func(i int) error {
+	err := parallel.ForEach(len(benches), cfg.Workers, func(i int) error {
 		scores, err := cluster.RankParamEventInteractions(benches[i], 10, cfg.Reps+1)
 		if err != nil {
 			return err

@@ -30,6 +30,7 @@ func Fig16(cfg Config) (*Table, error) {
 		Events:    cfg.eventSet(sim.NewCatalogue()),
 		TopK:      10,
 		Seed:      1,
+		Workers:   cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

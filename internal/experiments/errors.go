@@ -8,6 +8,7 @@ import (
 	"counterminer/internal/collector"
 	"counterminer/internal/dtw"
 	"counterminer/internal/mlpx"
+	"counterminer/internal/parallel"
 	"counterminer/internal/sim"
 )
 
@@ -24,7 +25,7 @@ func Fig1(cfg Config) (*Table, error) {
 		err    float64
 	}
 	results := make([]result, len(benches))
-	err := parallel(len(benches), cfg.Workers, func(i int) error {
+	err := parallel.ForEach(len(benches), cfg.Workers, func(i int) error {
 		prof, err := sim.ProfileByName(benches[i])
 		if err != nil {
 			return err
@@ -157,30 +158,36 @@ func errorVsEvents(cfg Config, id, title string, withCleaned bool) (*Table, erro
 		benches = benches[:3] // the paper sweeps one workload class
 	}
 
-	raws := make([]float64, len(counts))
-	cleans := make([]float64, len(counts))
-	err := parallel(len(counts), cfg.Workers, func(i int) error {
-		totalRaw, totalClean, n := 0.0, 0.0, 0
-		for _, b := range benches {
-			prof, err := sim.ProfileByName(b)
-			if err != nil {
-				return err
-			}
-			col := collector.New(cat)
-			r, c, err := avgError(col, prof, counts[i], cfg)
-			if err != nil {
-				return err
-			}
-			totalRaw += r
-			totalClean += c
-			n++
+	// Flatten the (event count × benchmark) grid so every cell — each a
+	// triple of runs plus two DTW distances — runs concurrently, then
+	// average serially in benchmark order per count.
+	type cell struct{ raw, cleaned float64 }
+	col := collector.New(cat)
+	cells, err := parallel.Map(len(counts)*len(benches), cfg.Workers, func(k int) (cell, error) {
+		ci, bi := k/len(benches), k%len(benches)
+		prof, err := sim.ProfileByName(benches[bi])
+		if err != nil {
+			return cell{}, err
 		}
-		raws[i] = totalRaw / float64(n)
-		cleans[i] = totalClean / float64(n)
-		return nil
+		r, c, err := avgError(col, prof, counts[ci], cfg)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{r, c}, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	raws := make([]float64, len(counts))
+	cleans := make([]float64, len(counts))
+	for ci := range counts {
+		totalRaw, totalClean := 0.0, 0.0
+		for bi := range benches {
+			totalRaw += cells[ci*len(benches)+bi].raw
+			totalClean += cells[ci*len(benches)+bi].cleaned
+		}
+		raws[ci] = totalRaw / float64(len(benches))
+		cleans[ci] = totalClean / float64(len(benches))
 	}
 
 	t := &Table{ID: id, Title: title}
@@ -217,7 +224,7 @@ func Table1(cfg Config) (*Table, error) {
 	}
 	rows := make([]row, len(benches))
 	ns := []float64{3, 4, 5}
-	err := parallel(len(benches), cfg.Workers, func(i int) error {
+	err := parallel.ForEach(len(benches), cfg.Workers, func(i int) error {
 		prof, err := sim.ProfileByName(benches[i])
 		if err != nil {
 			return err
@@ -294,7 +301,10 @@ func Fig5(cfg Config) (*Table, error) {
 		Title:  "Data cleaning outcome on the Fig. 2 example series (wordcount)",
 		Header: []string{"event", "outliers replaced", "missing filled", "raw err", "cleaned err"},
 	}
-	for _, ev := range events {
+	// Per-event DTW scoring is independent; run the events concurrently
+	// and collect rows in event order.
+	rows, err := parallel.Map(len(events), cfg.Workers, func(i int) ([]string, error) {
+		ev := events[i]
 		o1, err := col.Collect(prof, 1, collector.OCOE, []string{ev})
 		if err != nil {
 			return nil, err
@@ -322,10 +332,14 @@ func Fig5(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			ev, fmt.Sprint(rep.Outliers), fmt.Sprint(rep.Missing), pct(rawErr), pct(clErr),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	t.Notes = append(t.Notes,
 		"paper: outliers correctly replaced (a), most missing values filled in (b)")
 	return t, nil
@@ -344,7 +358,7 @@ func Fig6(cfg Config) (*Table, error) {
 		raw, cleaned float64
 	}
 	results := make([]result, len(benches))
-	err := parallel(len(benches), cfg.Workers, func(i int) error {
+	err := parallel.ForEach(len(benches), cfg.Workers, func(i int) error {
 		prof, err := sim.ProfileByName(benches[i])
 		if err != nil {
 			return err

@@ -8,14 +8,14 @@ package experiments
 import (
 	"fmt"
 	"io"
-
+	"runtime"
 	"strings"
-	"sync"
 
 	"counterminer/internal/clean"
 	"counterminer/internal/collector"
 	"counterminer/internal/dtw"
 	"counterminer/internal/mlpx"
+	"counterminer/internal/parallel"
 	"counterminer/internal/sim"
 )
 
@@ -29,7 +29,9 @@ type Config struct {
 	Runs int
 	// Trees is the SGBRT ensemble size (default 80).
 	Trees int
-	// Workers bounds experiment-internal parallelism (default 8).
+	// Workers bounds experiment-internal parallelism, from the
+	// benchmark sweeps down to SGBRT tree induction (default
+	// GOMAXPROCS). Results are identical for every worker count.
 	Workers int
 	// EventBudget caps the modelled event set for the ranking
 	// experiments; 0 means the full 229-event catalogue.
@@ -53,7 +55,7 @@ func (c Config) WithDefaults() Config {
 		c.Trees = 80
 	}
 	if c.Workers <= 0 {
-		c.Workers = 8
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.PruneStep <= 0 {
 		c.PruneStep = 10
@@ -141,44 +143,6 @@ func (c Config) eventSet(cat *sim.Catalogue) []string {
 	return evs
 }
 
-// parallel runs fn(i) for i in [0, n) on up to `workers` goroutines and
-// returns the first error.
-func parallel(n, workers int, fn func(i int) error) error {
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		err0 error
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if err0 == nil {
-						err0 = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return err0
-}
-
 // errorSample measures one (raw, cleaned) eq.-(4) error pair for the
 // given benchmark and event count, using run triple `rep`.
 func errorSample(col *collector.Collector, prof sim.Profile, nEvents, rep int) (raw, cleaned float64, err error) {
@@ -216,16 +180,23 @@ func errorSample(col *collector.Collector, prof sim.Profile, nEvents, rep int) (
 	return raw, cleaned, nil
 }
 
-// avgError averages errorSample over cfg.Reps triples.
+// avgError averages errorSample over cfg.Reps triples. The triples —
+// each dominated by its two DTW distance computations — run
+// concurrently; the averages are summed serially in rep order, so the
+// result matches the serial loop bit for bit.
 func avgError(col *collector.Collector, prof sim.Profile, nEvents int, cfg Config) (raw, cleaned float64, err error) {
-	var sumRaw, sumClean float64
-	for rep := 0; rep < cfg.Reps; rep++ {
+	type sample struct{ raw, cleaned float64 }
+	samples, err := parallel.Map(cfg.Reps, cfg.Workers, func(rep int) (sample, error) {
 		r, c, err := errorSample(col, prof, nEvents, rep)
-		if err != nil {
-			return 0, 0, err
-		}
-		sumRaw += r
-		sumClean += c
+		return sample{r, c}, err
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var sumRaw, sumClean float64
+	for _, s := range samples {
+		sumRaw += s.raw
+		sumClean += s.cleaned
 	}
 	return sumRaw / float64(cfg.Reps), sumClean / float64(cfg.Reps), nil
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -19,7 +20,7 @@ func parsePct(t *testing.T, s string) float64 {
 
 func TestQuickConfigDefaults(t *testing.T) {
 	cfg := Config{}.WithDefaults()
-	if cfg.Reps != 3 || cfg.Runs != 3 || cfg.Trees != 80 || cfg.Workers != 8 || cfg.PruneStep != 10 {
+	if cfg.Reps != 3 || cfg.Runs != 3 || cfg.Trees != 80 || cfg.Workers != runtime.GOMAXPROCS(0) || cfg.PruneStep != 10 {
 		t.Errorf("defaults = %+v", cfg)
 	}
 	q := Quick()

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	counterminer "counterminer"
+	"counterminer/internal/parallel"
 	"counterminer/internal/sim"
 )
 
@@ -30,6 +31,7 @@ func analyze(benchmark string, cfg Config) (*counterminer.Analysis, error) {
 		Events:    cfg.eventSet(sim.NewCatalogue()),
 		TopK:      10,
 		Seed:      1,
+		Workers:   cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -60,7 +62,7 @@ func analyzeSuite(s sim.Suite, cfg Config) ([]*counterminer.Analysis, error) {
 		profs = kept
 	}
 	out := make([]*counterminer.Analysis, len(profs))
-	err := parallel(len(profs), cfg.Workers, func(i int) error {
+	err := parallel.ForEach(len(profs), cfg.Workers, func(i int) error {
 		a, err := analyze(profs[i].Name, cfg)
 		if err != nil {
 			return err

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"counterminer/internal/parallel"
 	"counterminer/internal/rank"
 	"counterminer/internal/regress"
 )
@@ -63,6 +64,9 @@ type Options struct {
 	MaxSamples int
 	// Basis selects the additive null model (default BasisAdditive).
 	Basis Basis
+	// Workers bounds how many pairs are scored concurrently; <= 0 uses
+	// GOMAXPROCS. Results are identical for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -136,52 +140,70 @@ func RankPairs(m *rank.Model, X [][]float64, important []string, opts Options) (
 		}
 	}
 
-	var scores []PairScore
-	point := make([]float64, len(m.Events))
+	// Enumerate the pairs up front, then score them concurrently: every
+	// pairwise fit is independent, each result lands in its own indexed
+	// slot, and the normalisation below runs serially in pair order, so
+	// the ranking is identical for every worker count.
+	type pairIdx struct{ ai, bi int }
+	var pairs []pairIdx
 	for ai := 0; ai < len(important); ai++ {
 		for bi := ai + 1; bi < len(important); bi++ {
-			a, b := important[ai], important[bi]
-			ca, cb := colIdx[a], colIdx[b]
-
-			var v float64
-			if opts.Basis == BasisANOVA {
-				// Evaluate the performance model on the pair's grid,
-				// everything else at its mean, and take the two-way
-				// interaction sum of squares.
-				iv, err := anovaInteraction(m.Ensemble, point, means, ca, cb, grids[ca], grids[cb])
-				if err != nil {
-					return nil, fmt.Errorf("interact: pair %s-%s: %w", a, b, err)
-				}
-				v = iv
-			} else {
-				// Query the performance model over the pair's observed
-				// joint values, everything else at its mean.
-				xa := make([]float64, len(rows))
-				xb := make([]float64, len(rows))
-				obs := make([]float64, len(rows))
-				for i, row := range rows {
-					copy(point, means)
-					point[ca] = row[ca]
-					point[cb] = row[cb]
-					p, err := m.Ensemble.Predict(point)
-					if err != nil {
-						return nil, err
-					}
-					xa[i], xb[i] = row[ca], row[cb]
-					obs[i] = p
-				}
-				pred, err := fitPair(xa, xb, obs, opts.Basis)
-				if err != nil {
-					return nil, fmt.Errorf("interact: pair %s-%s: %w", a, b, err)
-				}
-				rv, err := regress.ResidualVariance(pred, obs)
-				if err != nil {
-					return nil, err
-				}
-				v = rv
-			}
-			scores = append(scores, PairScore{A: a, B: b, Intensity: v})
+			pairs = append(pairs, pairIdx{ai, bi})
 		}
+	}
+	workers := parallel.Workers(opts.Workers)
+	points := make([][]float64, workers)
+	for w := range points {
+		points[w] = append([]float64(nil), means...)
+	}
+	scores := make([]PairScore, len(pairs))
+	err := parallel.ForEachWorker(len(pairs), workers, func(w, k int) error {
+		a, b := important[pairs[k].ai], important[pairs[k].bi]
+		ca, cb := colIdx[a], colIdx[b]
+		point := points[w]
+
+		var v float64
+		if opts.Basis == BasisANOVA {
+			// Evaluate the performance model on the pair's grid,
+			// everything else at its mean, and take the two-way
+			// interaction sum of squares.
+			iv, err := anovaInteraction(m.Ensemble, point, means, ca, cb, grids[ca], grids[cb])
+			if err != nil {
+				return fmt.Errorf("interact: pair %s-%s: %w", a, b, err)
+			}
+			v = iv
+		} else {
+			// Query the performance model over the pair's observed
+			// joint values, everything else at its mean.
+			xa := make([]float64, len(rows))
+			xb := make([]float64, len(rows))
+			obs := make([]float64, len(rows))
+			for i, row := range rows {
+				copy(point, means)
+				point[ca] = row[ca]
+				point[cb] = row[cb]
+				p, err := m.Ensemble.Predict(point)
+				if err != nil {
+					return err
+				}
+				xa[i], xb[i] = row[ca], row[cb]
+				obs[i] = p
+			}
+			pred, err := fitPair(xa, xb, obs, opts.Basis)
+			if err != nil {
+				return fmt.Errorf("interact: pair %s-%s: %w", a, b, err)
+			}
+			rv, err := regress.ResidualVariance(pred, obs)
+			if err != nil {
+				return err
+			}
+			v = rv
+		}
+		scores[k] = PairScore{A: a, B: b, Intensity: v}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// eq. (13): normalise across pairs.

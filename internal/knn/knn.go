@@ -49,17 +49,24 @@ func (r *Regressor) Fit(xs, ys []float64) error {
 	return nil
 }
 
+// neighbour is one candidate training point during prediction.
+type neighbour struct {
+	dist float64
+	y    float64
+}
+
 // Predict returns the mean y of the k nearest training points to x.
 // When fewer than k points exist, all of them are used.
 func (r *Regressor) Predict(x float64) (float64, error) {
 	if len(r.xs) == 0 {
 		return 0, errors.New("knn: predict before fit")
 	}
-	type neighbour struct {
-		dist float64
-		y    float64
-	}
-	ns := make([]neighbour, len(r.xs))
+	return r.predictWith(make([]neighbour, len(r.xs)), x), nil
+}
+
+// predictWith is Predict over a caller-owned scratch buffer (length
+// len(r.xs)), so bulk imputation sorts without re-allocating per point.
+func (r *Regressor) predictWith(ns []neighbour, x float64) float64 {
 	for i := range r.xs {
 		ns[i] = neighbour{dist: math.Abs(r.xs[i] - x), y: r.ys[i]}
 	}
@@ -72,7 +79,7 @@ func (r *Regressor) Predict(x float64) (float64, error) {
 	for i := 0; i < k; i++ {
 		sum += ns[i].y
 	}
-	return sum / float64(k), nil
+	return sum / float64(k)
 }
 
 // ImputeSeries fills the positions listed in missing (indices into
@@ -106,12 +113,9 @@ func ImputeSeries(values []float64, missing []int, k int) ([]float64, error) {
 	if err := reg.Fit(xs, ys); err != nil {
 		return nil, err
 	}
+	ns := make([]neighbour, len(xs))
 	for _, i := range missing {
-		v, err := reg.Predict(float64(i))
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v
+		out[i] = reg.predictWith(ns, float64(i))
 	}
 	return out, nil
 }

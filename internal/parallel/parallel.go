@@ -1,0 +1,118 @@
+// Package parallel is the shared bounded worker pool behind every
+// compute-heavy path in the analysis engine: SGBRT split search and
+// stage updates, the pairwise interaction ranker, the DTW error
+// sweeps, and KNN imputation in the cleaner. It replaces the ad-hoc
+// per-package goroutine helpers with one implementation and one
+// determinism contract:
+//
+//   - Work items are identified by index; every result must be written
+//     to its own index-addressed slot, never appended or reduced
+//     inside workers. Callers then aggregate serially in index order,
+//     so the output is bit-identical for any worker count.
+//   - When several items fail, the error of the lowest index is
+//     returned, matching what a serial loop would have reported.
+//
+// A worker count <= 0 selects runtime.GOMAXPROCS(0), so the engine
+// scales with cores by default and can be pinned (e.g. the cmexp
+// -workers flag) for reproducible scheduling experiments.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 default to
+// runtime.GOMAXPROCS(0), everything else is returned unchanged.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers
+// goroutines (Workers-resolved). Indices are claimed in increasing
+// order. After the first failure no new indices are claimed; already
+// claimed items run to completion and the error with the lowest index
+// is returned — the same error a serial loop would surface.
+func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachWorker(n, workers, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker's identity (in [0, workers))
+// passed to fn, so callers can maintain per-worker scratch buffers
+// without synchronisation.
+func ForEachWorker(n, workers int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errIdx = -1
+		first  error
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := fn(worker, i); err != nil {
+					mu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, first = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Indices are claimed in increasing order, so when any item fails,
+	// every lower index was claimed too and has recorded its own error
+	// (if it had one) before wg.Wait returns: `first` is the error of
+	// the lowest failing index, deterministically.
+	return first
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines
+// and returns the results in index order. On error the slice is nil
+// and the lowest-index error is returned.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

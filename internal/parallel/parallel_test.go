@@ -1,0 +1,126 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d, want 7", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		n := 57
+		counts := make([]int32, n)
+		err := ForEach(n, workers, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	if err := ForEach(0, 4, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("fn called for n=0")
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	// Indices 3 and 40 fail; whatever the scheduling, the error of
+	// index 3 must be reported (same as a serial loop).
+	want := errors.New("fail-3")
+	for trial := 0; trial < 50; trial++ {
+		err := ForEach(64, 8, func(i int) error {
+			switch i {
+			case 3:
+				return want
+			case 40:
+				return errors.New("fail-40")
+			}
+			return nil
+		})
+		if err != want {
+			t.Fatalf("trial %d: err = %v, want %v", trial, err, want)
+		}
+	}
+}
+
+func TestForEachStopsClaimingAfterFailure(t *testing.T) {
+	var ran int32
+	err := ForEach(1_000_000, 4, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := atomic.LoadInt32(&ran); n == 1_000_000 {
+		t.Error("all items ran despite early failure")
+	}
+}
+
+func TestForEachWorkerIDsInRange(t *testing.T) {
+	const workers = 4
+	err := ForEachWorker(100, workers, func(w, i int) error {
+		if w < 0 || w >= workers {
+			return fmt.Errorf("worker id %d out of range", w)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		out, err := Map(20, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	out, err := Map(10, 4, func(i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("bad")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("Map = (%v, %v), want nil slice and error", out, err)
+	}
+}

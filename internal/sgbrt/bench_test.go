@@ -1,0 +1,74 @@
+package sgbrt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchMatrix builds a synthetic regression problem of n rows and p
+// features where the target depends on a handful of the features, so
+// tree induction does realistic split work.
+func benchMatrix(n, p int) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(17))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, p)
+		for j := range row {
+			row[j] = rng.Float64() * 100
+		}
+		X[i] = row
+		y[i] = 3*row[0] - 0.5*row[1] + row[2]*row[3]/50 + rng.NormFloat64()
+	}
+	return X, y
+}
+
+func BenchmarkFit(b *testing.B) {
+	X, y := benchMatrix(600, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(X, y, Params{Trees: 40, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitParallel(b *testing.B) {
+	X, y := benchMatrix(600, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(X, y, Params{Trees: 40, Seed: 1, Workers: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildTreeOrdered(b *testing.B) {
+	X, y := benchMatrix(600, 40)
+	orders := sortOrders(X, allIdx(len(X)))
+	p := TreeParams{MaxDepth: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := buildTreeOrdered(X, y, orders, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictAll(b *testing.B) {
+	X, y := benchMatrix(600, 40)
+	e, err := Fit(X, y, Params{Trees: 40, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.PredictAll(X); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

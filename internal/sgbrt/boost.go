@@ -4,7 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+
+	"counterminer/internal/parallel"
 )
+
+// parallelRowThreshold is the minimum row count before the per-stage
+// F-update fans out to the pool.
+const parallelRowThreshold = 512
 
 // Params configures a boosted ensemble. The defaults mirror common
 // scikit-learn GradientBoostingRegressor settings, which is what the
@@ -28,6 +34,10 @@ type Params struct {
 	// Seed seeds the row subsampler; runs with equal seeds and inputs
 	// are deterministic.
 	Seed int64
+	// Workers bounds fit-time parallelism (split search and stage
+	// updates); <= 0 uses GOMAXPROCS. The fitted model is identical
+	// for every worker count.
+	Workers int
 }
 
 func (p Params) withDefaults() Params {
@@ -80,6 +90,7 @@ func Fit(X [][]float64, y []float64, params Params) (*Ensemble, error) {
 	}
 	params = params.withDefaults()
 	rng := rand.New(rand.NewSource(params.Seed))
+	workers := parallel.Workers(params.Workers)
 
 	e := &Ensemble{params: params, nFeatures: p}
 	for _, t := range y {
@@ -102,13 +113,23 @@ func Fit(X [][]float64, y []float64, params Params) (*Ensemble, error) {
 		sampleSize = n
 	}
 
+	// Column-major copy of the training matrix: split scans and
+	// stage-update traversals walk one contiguous slice per feature.
+	cols := toColumns(X)
+
 	// Pre-sort every feature once; each stage filters the global order
 	// down to its subsample instead of re-sorting (the standard
 	// presorted-CART optimisation).
-	fullOrders := sortOrders(X, perm)
+	fullOrders := sortOrdersCols(cols, n, workers)
 	keep := make([]bool, n)
 
-	tp := TreeParams{MaxDepth: params.MaxDepth, MinLeaf: params.MinLeaf}
+	// One builder reused for every stage: trees fit the residuals, so
+	// the builder's target is the residual buffer updated in place.
+	tb := newBuilder(cols, residual, TreeParams{
+		MaxDepth: params.MaxDepth,
+		MinLeaf:  params.MinLeaf,
+		Workers:  params.Workers,
+	})
 	useColSample := params.ColSample > 0 && params.ColSample < 1
 	nCols := 0
 	if useColSample {
@@ -121,14 +142,17 @@ func Fit(X [][]float64, y []float64, params Params) (*Ensemble, error) {
 	for i := range colPerm {
 		colPerm[i] = i
 	}
+	mask := make([]bool, p)
 	for stage := 0; stage < params.Trees; stage++ {
 		if useColSample {
 			rng.Shuffle(p, func(a, b int) { colPerm[a], colPerm[b] = colPerm[b], colPerm[a] })
-			mask := make([]bool, p)
+			for i := range mask {
+				mask[i] = false
+			}
 			for _, c := range colPerm[:nCols] {
 				mask[c] = true
 			}
-			tp.FeatureMask = mask
+			tb.p.FeatureMask = mask
 		}
 		for i := range residual {
 			residual[i] = y[i] - F[i]
@@ -143,24 +167,40 @@ func Fit(X [][]float64, y []float64, params Params) (*Ensemble, error) {
 			keep[i] = true
 		}
 
-		var tree *Tree
-		var err error
 		if sampleSize == n {
-			tree, err = buildTreeOrdered(X, residual, fullOrders, tp)
+			tb.load(fullOrders)
 		} else {
-			tree, err = buildTreeOrdered(X, residual, filterOrders(fullOrders, keep, sampleSize), tp)
+			tb.loadFiltered(fullOrders, keep)
 		}
+		tree, err := tb.build()
 		if err != nil {
 			return nil, err
 		}
 		e.trees = append(e.trees, tree)
-		// Update F on ALL rows (not only the subsample).
-		for i := range F {
-			v, err := tree.Predict(X[i])
-			if err != nil {
-				return nil, err
+		// Update F on ALL rows (not only the subsample). Every row is
+		// independent, so chunks update concurrently with no change in
+		// the result.
+		lr := params.LearningRate
+		update := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				F[i] += lr * tree.predictRow(cols, i)
 			}
-			F[i] += params.LearningRate * v
+		}
+		if workers > 1 && n >= parallelRowThreshold {
+			chunk := (n + workers - 1) / workers
+			parallel.ForEach(workers, workers, func(c int) error {
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				if lo < hi {
+					update(lo, hi)
+				}
+				return nil
+			})
+		} else {
+			update(0, n)
 		}
 	}
 	return e, nil
@@ -177,26 +217,27 @@ func (e *Ensemble) Predict(x []float64) (float64, error) {
 	if len(x) != e.nFeatures {
 		return 0, fmt.Errorf("sgbrt: predict with %d features, model has %d", len(x), e.nFeatures)
 	}
+	return e.predictUnchecked(x), nil
+}
+
+// predictUnchecked sums the stages without re-validating the input
+// dimensionality per tree; callers must have checked len(x) once.
+func (e *Ensemble) predictUnchecked(x []float64) float64 {
 	out := e.base
 	for _, t := range e.trees {
-		v, err := t.Predict(x)
-		if err != nil {
-			return 0, err
-		}
-		out += e.params.LearningRate * v
+		out += e.params.LearningRate * t.predictUnchecked(x)
 	}
-	return out, nil
+	return out
 }
 
 // PredictAll evaluates the ensemble on every row of X.
 func (e *Ensemble) PredictAll(X [][]float64) ([]float64, error) {
 	out := make([]float64, len(X))
 	for i, row := range X {
-		v, err := e.Predict(row)
-		if err != nil {
-			return nil, err
+		if len(row) != e.nFeatures {
+			return nil, fmt.Errorf("sgbrt: row %d has %d features, model has %d", i, len(row), e.nFeatures)
 		}
-		out[i] = v
+		out[i] = e.predictUnchecked(row)
 	}
 	return out, nil
 }
@@ -238,10 +279,10 @@ func (e *Ensemble) MAPE(X [][]float64, y []float64) (float64, error) {
 		if y[i] == 0 {
 			continue
 		}
-		pred, err := e.Predict(row)
-		if err != nil {
-			return 0, err
+		if len(row) != e.nFeatures {
+			return 0, fmt.Errorf("sgbrt: row %d has %d features, model has %d", i, len(row), e.nFeatures)
 		}
+		pred := e.predictUnchecked(row)
 		d := (y[i] - pred) / y[i]
 		if d < 0 {
 			d = -d

@@ -1,0 +1,122 @@
+package sgbrt
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestBestSplitTieBreakFeature: two identical feature columns produce
+// identical gains for every candidate split; the lowest feature index
+// must win regardless of scan order or worker count.
+func TestBestSplitTieBreakFeature(t *testing.T) {
+	// Feature 1 duplicates feature 0; feature 2 is constant noise-free
+	// but uninformative.
+	X := [][]float64{
+		{0, 0, 7}, {1, 1, 7}, {2, 2, 7}, {3, 3, 7},
+	}
+	y := []float64{0, 0, 10, 10}
+	for _, workers := range []int{1, 8} {
+		tree, err := buildTree(X, y, allIdx(4), TreeParams{MaxDepth: 1, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := tree.nodes[0]
+		if root.feature != 0 {
+			t.Errorf("workers=%d: root split feature = %d, want 0 (lowest index wins ties)", workers, root.feature)
+		}
+		if root.threshold != 1.5 {
+			t.Errorf("workers=%d: root threshold = %v, want 1.5", workers, root.threshold)
+		}
+	}
+}
+
+// TestBestSplitTieBreakThreshold: a symmetric target gives two
+// thresholds of one feature the same gain; the lower threshold wins.
+func TestBestSplitTieBreakThreshold(t *testing.T) {
+	// y = [1,0,0,1] over x = [0,1,2,3]: splitting at 0.5 and at 2.5
+	// yield the same gain; 1.5 is strictly worse.
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{1, 0, 0, 1}
+	tree, err := buildTree(X, y, allIdx(4), TreeParams{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tree.nodes[0]
+	if root.feature != 0 || root.threshold != 0.5 {
+		t.Errorf("root split = (feature %d, threshold %v), want (0, 0.5): lowest threshold wins ties",
+			root.feature, root.threshold)
+	}
+}
+
+// TestFitParallelMatchesSerial: the fitted ensemble must be
+// bit-identical for any worker count — tree structure, predictions,
+// and importances.
+func TestFitParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, p := 300, 12
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, p)
+		for j := range row {
+			row[j] = rng.Float64() * 50
+		}
+		X[i] = row
+		y[i] = 2*row[0] - row[1] + row[2]*row[3]/25 + rng.NormFloat64()*0.5
+	}
+	base := Params{Trees: 25, Seed: 9, ColSample: 0.6}
+
+	serial, err := Fit(X, y, withWorkers(base, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := Fit(X, y, withWorkers(base, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par.trees) != len(serial.trees) {
+			t.Fatalf("workers=%d: %d trees, serial has %d", workers, len(par.trees), len(serial.trees))
+		}
+		for k := range par.trees {
+			if !reflect.DeepEqual(par.trees[k].nodes, serial.trees[k].nodes) {
+				t.Fatalf("workers=%d: tree %d differs from serial", workers, k)
+			}
+		}
+		if !reflect.DeepEqual(par.Importances(), serial.Importances()) {
+			t.Errorf("workers=%d: importances differ from serial", workers)
+		}
+		ps, err1 := serial.PredictAll(X)
+		pp, err2 := par.PredictAll(X)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !reflect.DeepEqual(ps, pp) {
+			t.Errorf("workers=%d: predictions differ from serial", workers)
+		}
+	}
+}
+
+func withWorkers(p Params, w int) Params {
+	p.Workers = w
+	return p
+}
+
+// TestBuildTreeOrderedDoesNotMutateOrders guards the presorted-orders
+// contract: Fit shares fullOrders across stages, so induction must
+// leave its input intact.
+func TestBuildTreeOrderedDoesNotMutateOrders(t *testing.T) {
+	X, y := benchMatrix(50, 4)
+	orders := sortOrders(X, allIdx(50))
+	want := make([][]int, len(orders))
+	for f := range orders {
+		want[f] = append([]int(nil), orders[f]...)
+	}
+	if _, err := buildTreeOrdered(X, y, orders, TreeParams{MaxDepth: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orders, want) {
+		t.Error("buildTreeOrdered mutated its input orders")
+	}
+}

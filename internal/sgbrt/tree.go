@@ -5,6 +5,13 @@
 // of a feature in one tree is the sum of squared improvements over all
 // splits on that feature, averaged across the ensemble and normalised
 // to percentages.
+//
+// Tree induction runs over a column-major copy of the training matrix
+// (split scans walk one contiguous slice per feature) and reuses all
+// partition buffers across nodes and boosting stages. The split search
+// is feature-parallel with a deterministic tie-break — equal-gain
+// splits go to the lowest feature index, then the lowest threshold —
+// so the induced tree is identical for every worker count.
 package sgbrt
 
 import (
@@ -12,7 +19,19 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"counterminer/internal/parallel"
 )
+
+// gainEpsilon is the minimum gain margin for one split candidate to
+// beat another; candidates within it are ties and lose to the earlier
+// (lower-threshold, then lower-feature-index) candidate.
+const gainEpsilon = 1e-12
+
+// parallelNodeThreshold is the minimum segment-rows × features product
+// before a node's split search and partition fan out to the pool;
+// below it the goroutine handoff costs more than the scan.
+const parallelNodeThreshold = 4096
 
 // node is one node of a CART regression tree stored in a flat slice.
 type node struct {
@@ -48,6 +67,10 @@ type TreeParams struct {
 	// FeatureMask, when non-nil, restricts splits to features with
 	// mask[f] == true (per-tree column subsampling).
 	FeatureMask []bool
+	// Workers bounds the feature-parallel split search and partition;
+	// <= 0 uses GOMAXPROCS. The induced tree is identical for every
+	// worker count.
+	Workers int
 }
 
 func (p TreeParams) withDefaults() TreeParams {
@@ -58,6 +81,27 @@ func (p TreeParams) withDefaults() TreeParams {
 		p.MinLeaf = 1
 	}
 	return p
+}
+
+// toColumns transposes the row-major training matrix into column-major
+// storage (one backing array) so split scans and tree traversals walk
+// contiguous memory per feature.
+func toColumns(X [][]float64) [][]float64 {
+	if len(X) == 0 {
+		return nil
+	}
+	n, nf := len(X), len(X[0])
+	buf := make([]float64, nf*n)
+	cols := make([][]float64, nf)
+	for f := range cols {
+		cols[f] = buf[f*n : (f+1)*n]
+	}
+	for i, row := range X {
+		for f, v := range row {
+			cols[f][i] = v
+		}
+	}
+	return cols
 }
 
 // sortOrders returns, for every feature, the indices in idx sorted by
@@ -75,20 +119,291 @@ func sortOrders(X [][]float64, idx []int) [][]int {
 	return orders
 }
 
-// filterOrders keeps only the indices marked in keep, preserving sorted
-// order per feature.
-func filterOrders(orders [][]int, keep []bool, n int) [][]int {
-	out := make([][]int, len(orders))
+// sortOrdersCols is sortOrders over the column-major view, sorting the
+// features concurrently (each feature's sort is independent, so the
+// result does not depend on the worker count).
+func sortOrdersCols(cols [][]float64, n, workers int) [][]int {
+	orders := make([][]int, len(cols))
+	sortOne := func(f int) {
+		o := make([]int, n)
+		for i := range o {
+			o[i] = i
+		}
+		col := cols[f]
+		sort.Slice(o, func(a, b int) bool { return col[o[a]] < col[o[b]] })
+		orders[f] = o
+	}
+	if workers > 1 && len(cols) > 1 {
+		parallel.ForEach(len(cols), workers, func(f int) error { sortOne(f); return nil })
+	} else {
+		for f := range cols {
+			sortOne(f)
+		}
+	}
+	return orders
+}
+
+// builder grows trees over the column-major training view, reusing all
+// induction buffers (working orders, partition scratch, split-side
+// cache, candidate slots) across nodes and across trees, so fitting a
+// tree allocates only its node slice.
+type builder struct {
+	cols    [][]float64 // cols[f][rowID]
+	y       []float64   // fit target, indexed by rowID
+	p       TreeParams
+	workers int
+
+	// orders holds, per feature, the working sample order of the tree
+	// being grown; grow partitions subranges of it in place.
+	orders [][]int
+	// scratch holds one stable-partition buffer per worker.
+	scratch [][]int
+	// goLeft caches, per row id, which side of the current split the
+	// row falls on, so each feature's partition is a flag lookup.
+	goLeft []bool
+	// cands holds the per-feature split candidates of the current node.
+	cands []splitCand
+}
+
+// splitCand is one feature's best split of the current node.
+type splitCand struct {
+	gain float64
+	thr  float64
+	ok   bool
+}
+
+// newBuilder sizes all working buffers for a training set of len(y)
+// rows and len(cols) features.
+func newBuilder(cols [][]float64, y []float64, p TreeParams) *builder {
+	p = p.withDefaults()
+	n, nf := len(y), len(cols)
+	workers := parallel.Workers(p.Workers)
+	b := &builder{cols: cols, y: y, p: p, workers: workers}
+	buf := make([]int, nf*n)
+	b.orders = make([][]int, nf)
+	for f := range b.orders {
+		b.orders[f] = buf[f*n : f*n : (f+1)*n]
+	}
+	b.scratch = make([][]int, workers)
+	for w := range b.scratch {
+		b.scratch[w] = make([]int, n)
+	}
+	b.goLeft = make([]bool, n)
+	b.cands = make([]splitCand, nf)
+	return b
+}
+
+// load copies the caller's per-feature sample orders into the working
+// buffers (build partitions them in place, so the input stays intact).
+func (b *builder) load(orders [][]int) {
 	for f, o := range orders {
-		fo := make([]int, 0, n)
-		for _, i := range o {
+		b.orders[f] = append(b.orders[f][:0], o...)
+	}
+}
+
+// loadFiltered projects full-sample orders down to the rows marked in
+// keep, preserving per-feature sortedness.
+func (b *builder) loadFiltered(full [][]int, keep []bool) {
+	fill := func(f int) {
+		dst := b.orders[f][:0]
+		for _, i := range full[f] {
 			if keep[i] {
-				fo = append(fo, i)
+				dst = append(dst, i)
 			}
 		}
-		out[f] = fo
+		b.orders[f] = dst
 	}
-	return out
+	if b.workers > 1 && len(full) > 1 {
+		parallel.ForEach(len(full), b.workers, func(f int) error { fill(f); return nil })
+	} else {
+		for f := range full {
+			fill(f)
+		}
+	}
+}
+
+// build grows one tree over the currently loaded sample orders.
+func (b *builder) build() (*Tree, error) {
+	if len(b.orders) == 0 || len(b.orders[0]) == 0 {
+		return nil, errors.New("sgbrt: empty sample index")
+	}
+	n := len(b.orders[0])
+	maxNodes := 1
+	for d := 0; d <= b.p.MaxDepth && maxNodes < 2*n-1; d++ {
+		maxNodes = 2*maxNodes + 1
+	}
+	if maxNodes > 2*n-1 {
+		maxNodes = 2*n - 1
+	}
+	t := &Tree{nFeatures: len(b.cols), nodes: make([]node, 0, maxNodes)}
+	b.grow(t, 0, n, 1)
+	return t, nil
+}
+
+// grow builds the subtree for the sample segment [lo, hi) of the
+// working orders and returns its node index.
+func (b *builder) grow(t *Tree, lo, hi, depth int) int {
+	seg := b.orders[0][lo:hi]
+	sum := 0.0
+	for _, i := range seg {
+		sum += b.y[i]
+	}
+	mean := sum / float64(len(seg))
+
+	self := len(t.nodes)
+	t.nodes = append(t.nodes, node{
+		feature: -1, left: -1, right: -1,
+		value: mean, samples: len(seg),
+	})
+
+	if depth > b.p.MaxDepth || len(seg) < 2*b.p.MinLeaf {
+		return self
+	}
+	feat, thr, improvement, ok := b.bestSplit(lo, hi)
+	if !ok {
+		return self
+	}
+	nl := b.partition(lo, hi, feat, thr)
+	if nl < b.p.MinLeaf || (hi-lo)-nl < b.p.MinLeaf {
+		return self
+	}
+	l := b.grow(t, lo, lo+nl, depth+1)
+	r := b.grow(t, lo+nl, hi, depth+1)
+	t.nodes[self].feature = feat
+	t.nodes[self].threshold = thr
+	t.nodes[self].left = l
+	t.nodes[self].right = r
+	t.nodes[self].improvement = improvement
+	return self
+}
+
+// bestSplit scans all features over the segment [lo, hi) for the split
+// that maximises the squared-error improvement. Features scan
+// concurrently into per-feature candidate slots; the reduce runs
+// serially in ascending feature order, so equal-gain splits resolve to
+// the lowest feature index (then, within a feature, the lowest
+// threshold) no matter how many workers ran the scans.
+func (b *builder) bestSplit(lo, hi int) (feat int, thr, improvement float64, ok bool) {
+	n := hi - lo
+	if n < 2 {
+		return 0, 0, 0, false
+	}
+	totalSum, totalSq := 0.0, 0.0
+	for _, i := range b.orders[0][lo:hi] {
+		yi := b.y[i]
+		totalSum += yi
+		totalSq += yi * yi
+	}
+	parentSSE := totalSq - totalSum*totalSum/float64(n)
+
+	nf := len(b.cols)
+	scan := func(f int) {
+		if b.p.FeatureMask != nil && !b.p.FeatureMask[f] {
+			b.cands[f] = splitCand{}
+			return
+		}
+		b.cands[f] = scanFeature(b.cols[f], b.y, b.orders[f][lo:hi], totalSum, totalSq, parentSSE, b.p.MinLeaf)
+	}
+	if b.workers > 1 && n*nf >= parallelNodeThreshold {
+		parallel.ForEach(nf, b.workers, func(f int) error { scan(f); return nil })
+	} else {
+		for f := 0; f < nf; f++ {
+			scan(f)
+		}
+	}
+
+	var best splitCand
+	bestFeat := 0
+	for f := 0; f < nf; f++ {
+		c := b.cands[f]
+		if !c.ok {
+			continue
+		}
+		if !best.ok || c.gain > best.gain+gainEpsilon {
+			best, bestFeat = c, f
+		}
+	}
+	if !best.ok {
+		return 0, 0, 0, false
+	}
+	return bestFeat, best.thr, best.gain, true
+}
+
+// scanFeature finds one feature's best split over its pre-sorted
+// segment order. Candidates must beat the running best by more than
+// gainEpsilon, so near-equal gains keep the earlier — lower —
+// threshold.
+func scanFeature(col, y []float64, order []int, totalSum, totalSq, parentSSE float64, minLeaf int) splitCand {
+	n := len(order)
+	var c splitCand
+	leftSum, leftSq := 0.0, 0.0
+	for k := 0; k < n-1; k++ {
+		i := order[k]
+		yi := y[i]
+		leftSum += yi
+		leftSq += yi * yi
+		v := col[i]
+		// Can't split between equal feature values.
+		if v == col[order[k+1]] {
+			continue
+		}
+		nl, nr := k+1, n-k-1
+		if nl < minLeaf || nr < minLeaf {
+			continue
+		}
+		rightSum := totalSum - leftSum
+		rightSq := totalSq - leftSq
+		sse := (leftSq - leftSum*leftSum/float64(nl)) +
+			(rightSq - rightSum*rightSum/float64(nr))
+		gain := parentSSE - sse
+		if gain > c.gain+gainEpsilon {
+			c.gain = gain
+			c.thr = (v + col[order[k+1]]) / 2
+			c.ok = true
+		}
+	}
+	return c
+}
+
+// partition reorders every feature's segment [lo, hi) so rows going
+// left of the split precede rows going right, preserving per-feature
+// sortedness, and returns the left count. The side of each row is
+// computed once into goLeft; each worker partitions its features with
+// its own scratch buffer, so no memory is allocated.
+func (b *builder) partition(lo, hi int, feat int, thr float64) int {
+	col := b.cols[feat]
+	nl := 0
+	for _, i := range b.orders[feat][lo:hi] {
+		left := col[i] <= thr
+		b.goLeft[i] = left
+		if left {
+			nl++
+		}
+	}
+	part := func(w, f int) {
+		o := b.orders[f][lo:hi]
+		scratch := b.scratch[w]
+		nr, k := 0, 0
+		for _, i := range o {
+			if b.goLeft[i] {
+				o[k] = i
+				k++
+			} else {
+				scratch[nr] = i
+				nr++
+			}
+		}
+		copy(o[k:], scratch[:nr])
+	}
+	nf := len(b.orders)
+	if b.workers > 1 && (hi-lo)*nf >= parallelNodeThreshold {
+		parallel.ForEachWorker(nf, b.workers, func(w, f int) error { part(w, f); return nil })
+	} else {
+		for f := 0; f < nf; f++ {
+			part(0, f)
+		}
+	}
+	return nl
 }
 
 // buildTree fits a regression tree on the rows of X indexed by idx.
@@ -106,123 +421,15 @@ func buildTree(X [][]float64, y []float64, idx []int, p TreeParams) (*Tree, erro
 }
 
 // buildTreeOrdered fits a tree given per-feature pre-sorted sample
-// orders (all features must cover the same sample set).
+// orders (all features must cover the same sample set). The input
+// orders are not modified.
 func buildTreeOrdered(X [][]float64, y []float64, orders [][]int, p TreeParams) (*Tree, error) {
 	if len(orders) == 0 || len(orders[0]) == 0 {
 		return nil, errors.New("sgbrt: empty sample index")
 	}
-	p = p.withDefaults()
-	t := &Tree{nFeatures: len(orders)}
-	if _, err := t.grow(X, y, orders, 1, p); err != nil {
-		return nil, err
-	}
-	return t, nil
-}
-
-// grow recursively builds the subtree for the samples in orders and
-// returns its node index.
-func (t *Tree) grow(X [][]float64, y []float64, orders [][]int, depth int, p TreeParams) (int, error) {
-	idx := orders[0]
-	mean := 0.0
-	for _, i := range idx {
-		mean += y[i]
-	}
-	mean /= float64(len(idx))
-
-	self := len(t.nodes)
-	t.nodes = append(t.nodes, node{
-		feature: -1, left: -1, right: -1,
-		value: mean, samples: len(idx),
-	})
-
-	if depth > p.MaxDepth || len(idx) < 2*p.MinLeaf {
-		return self, nil
-	}
-	feat, thr, improvement, ok := bestSplitOrdered(X, y, orders, p.MinLeaf, p.FeatureMask)
-	if !ok {
-		return self, nil
-	}
-	// Partition every feature's order, preserving sortedness.
-	leftOrders := make([][]int, len(orders))
-	rightOrders := make([][]int, len(orders))
-	for f, o := range orders {
-		var lo, ro []int
-		for _, i := range o {
-			if X[i][feat] <= thr {
-				lo = append(lo, i)
-			} else {
-				ro = append(ro, i)
-			}
-		}
-		leftOrders[f] = lo
-		rightOrders[f] = ro
-	}
-	if len(leftOrders[0]) < p.MinLeaf || len(rightOrders[0]) < p.MinLeaf {
-		return self, nil
-	}
-	l, err := t.grow(X, y, leftOrders, depth+1, p)
-	if err != nil {
-		return 0, err
-	}
-	r, err := t.grow(X, y, rightOrders, depth+1, p)
-	if err != nil {
-		return 0, err
-	}
-	t.nodes[self].feature = feat
-	t.nodes[self].threshold = thr
-	t.nodes[self].left = l
-	t.nodes[self].right = r
-	t.nodes[self].improvement = improvement
-	return self, nil
-}
-
-// bestSplitOrdered scans all features (via their pre-sorted orders) for
-// the split that maximises the squared-error improvement. It returns
-// ok=false when no split reduces the error (e.g. constant targets).
-func bestSplitOrdered(X [][]float64, y []float64, orders [][]int, minLeaf int, mask []bool) (feat int, thr, improvement float64, ok bool) {
-	n := len(orders[0])
-	if n < 2 {
-		return 0, 0, 0, false
-	}
-	totalSum, totalSq := 0.0, 0.0
-	for _, i := range orders[0] {
-		totalSum += y[i]
-		totalSq += y[i] * y[i]
-	}
-	parentSSE := totalSq - totalSum*totalSum/float64(n)
-	bestGain := 0.0
-
-	for f, order := range orders {
-		if mask != nil && !mask[f] {
-			continue
-		}
-		leftSum, leftSq := 0.0, 0.0
-		for k := 0; k < n-1; k++ {
-			i := order[k]
-			leftSum += y[i]
-			leftSq += y[i] * y[i]
-			// Can't split between equal feature values.
-			if X[order[k]][f] == X[order[k+1]][f] {
-				continue
-			}
-			nl, nr := k+1, n-k-1
-			if nl < minLeaf || nr < minLeaf {
-				continue
-			}
-			rightSum := totalSum - leftSum
-			rightSq := totalSq - leftSq
-			sse := (leftSq - leftSum*leftSum/float64(nl)) +
-				(rightSq - rightSum*rightSum/float64(nr))
-			gain := parentSSE - sse
-			if gain > bestGain+1e-12 {
-				bestGain = gain
-				feat = f
-				thr = (X[order[k]][f] + X[order[k+1]][f]) / 2
-				ok = true
-			}
-		}
-	}
-	return feat, thr, bestGain, ok
+	b := newBuilder(toColumns(X), y, p)
+	b.load(orders)
+	return b.build()
 }
 
 // Predict returns the tree's prediction for one feature vector.
@@ -230,13 +437,36 @@ func (t *Tree) Predict(x []float64) (float64, error) {
 	if len(x) != t.nFeatures {
 		return 0, fmt.Errorf("sgbrt: predict with %d features, tree has %d", len(x), t.nFeatures)
 	}
+	return t.predictUnchecked(x), nil
+}
+
+// predictUnchecked is the internal fast path shared by the boosting
+// stage updates and the bulk scorers: it assumes len(x) == t.nFeatures.
+func (t *Tree) predictUnchecked(x []float64) float64 {
 	i := 0
 	for {
 		nd := &t.nodes[i]
 		if nd.feature < 0 {
-			return nd.value, nil
+			return nd.value
 		}
 		if x[nd.feature] <= nd.threshold {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}
+
+// predictRow traverses the tree for one training row of the
+// column-major view, avoiding any per-row vector assembly.
+func (t *Tree) predictRow(cols [][]float64, row int) float64 {
+	i := 0
+	for {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return nd.value
+		}
+		if cols[nd.feature][row] <= nd.threshold {
 			i = nd.left
 		} else {
 			i = nd.right

@@ -1,0 +1,40 @@
+package counterminer
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelMatchesSerial is the pipeline-level determinism contract:
+// the same benchmark, seed, and event set must produce a bit-identical
+// Analysis — importance ranking, interaction ranking, EIR curve, model
+// error, cleaner counts — no matter how many workers run the analysis
+// stages.
+func TestParallelMatchesSerial(t *testing.T) {
+	analyze := func(workers int) *Analysis {
+		t.Helper()
+		opts := fastOptions(t)
+		opts.SkipEIR = false
+		opts.PruneStep = 8
+		opts.Trees = 20
+		opts.Workers = workers
+		p, err := NewPipeline(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := p.Analyze("wordcount")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	serial := analyze(1)
+	for _, workers := range []int{2, 8} {
+		got := analyze(workers)
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("analysis at workers=%d differs from workers=1:\n got %+v\nwant %+v",
+				workers, got, serial)
+		}
+	}
+}

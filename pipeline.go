@@ -39,6 +39,10 @@ type Options struct {
 	StorePath string
 	// Seed decorrelates the pipeline's randomness (default 1).
 	Seed int64
+	// Workers bounds the analysis-stage parallelism (cleaning, SGBRT
+	// induction, interaction ranking); <= 0 uses GOMAXPROCS. Results are
+	// identical for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -205,6 +209,10 @@ func (p *Pipeline) analyzeProfile(prof sim.Profile) (*Analysis, error) {
 	ana := &Analysis{Benchmark: prof.Name, Events: len(events)}
 
 	// ----- Collect and clean.
+	copts := p.opts.CleanOptions
+	if copts.Workers == 0 {
+		copts.Workers = p.opts.Workers
+	}
 	var X [][]float64
 	var y []float64
 	for run := 1; run <= p.opts.Runs; run++ {
@@ -212,7 +220,7 @@ func (p *Pipeline) analyzeProfile(prof sim.Profile) (*Analysis, error) {
 		if err != nil {
 			return nil, err
 		}
-		cleaned, rep, err := clean.Set(r.Series, p.opts.CleanOptions)
+		cleaned, rep, err := clean.Set(r.Series, copts)
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +242,7 @@ func (p *Pipeline) analyzeProfile(prof sim.Profile) (*Analysis, error) {
 
 	// ----- Rank (EIR → MAPM).
 	ropts := rank.Options{
-		Params:    sgbrt.Params{Trees: p.opts.Trees, MaxDepth: 4, Seed: p.opts.Seed},
+		Params:    sgbrt.Params{Trees: p.opts.Trees, MaxDepth: 4, Seed: p.opts.Seed, Workers: p.opts.Workers},
 		PruneStep: p.opts.PruneStep,
 		Seed:      p.opts.Seed,
 	}
@@ -281,13 +289,13 @@ func (p *Pipeline) analyzeProfile(prof sim.Profile) (*Analysis, error) {
 			return nil, err
 		}
 		iModel, err := rank.Fit(subX, y, names, rank.Options{
-			Params: sgbrt.Params{Trees: p.opts.Trees * 2, MaxDepth: 4, Seed: p.opts.Seed},
+			Params: sgbrt.Params{Trees: p.opts.Trees * 2, MaxDepth: 4, Seed: p.opts.Seed, Workers: p.opts.Workers},
 			Seed:   p.opts.Seed,
 		})
 		if err != nil {
 			return nil, err
 		}
-		pairs, err := interact.RankPairs(iModel, subX, names, interact.Options{})
+		pairs, err := interact.RankPairs(iModel, subX, names, interact.Options{Workers: p.opts.Workers})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Full pre-commit gate: vet, build, race-enabled tests, and a short
+# allocation-aware pass over the hot-path micro-benchmarks. Equivalent
+# to `make check` for environments without make.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== short benchmarks =="
+go test -run='^$' -bench='Fit|BuildTreeOrdered|PredictAll|RankPairs|Distance' \
+    -benchtime=1x -benchmem ./internal/sgbrt/ ./internal/interact/ ./internal/dtw/
+
+echo "check OK"
