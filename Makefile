@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench chaos
 
-check: vet build race bench
+check: vet build race bench chaos
 
 vet:
 	$(GO) vet ./...
@@ -15,6 +15,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Seeded chaos soak: the fault-injection sweep (failed runs, corrupt
+# series, broken stores at 0%/5%/20%) plus the fault unit tests, run
+# twice under the race detector. Deterministic — a failure here is a
+# real regression, not flakiness.
+chaos:
+	$(GO) test -race -count=2 -run 'Chaos|Retry|Injection|Transient|Permanent|Corruption|Sink|KeyedRNG' . ./internal/fault/
 
 # Short allocation-aware sweep over the hot-path micro-benchmarks.
 bench:

@@ -1,0 +1,394 @@
+package counterminer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"counterminer/internal/collector"
+	"counterminer/internal/fault"
+	"counterminer/internal/sim"
+	"counterminer/internal/store"
+)
+
+// chaosOptions is fastOptions plus the robustness knobs: a run quorum of
+// one and an instant retry loop.
+func chaosOptions(t *testing.T) Options {
+	t.Helper()
+	o := fastOptions(t)
+	o.Runs = 3
+	o.Trees = 30
+	o.MinRuns = 1
+	o.Retry = RetryPolicy{Attempts: 3, Sleep: func(time.Duration) {}}
+	return o
+}
+
+// chaosConfig mirrors the cmd/counterminer -chaos flag mapping.
+func chaosConfig(rate float64, seed int64) fault.Config {
+	return fault.Config{
+		Seed:          seed,
+		RunFailRate:   rate / 4,
+		TransientRate: rate,
+		CorruptRate:   rate,
+		StoreFailRate: rate,
+	}
+}
+
+// runChaos builds a fresh pipeline (fault sources are stateful across
+// retries, so each invocation gets its own) and analyses wordcount.
+func runChaos(t *testing.T, rate float64, seed int64, workers int, dbPath string) (*Analysis, error) {
+	t.Helper()
+	opts := chaosOptions(t)
+	opts.Workers = workers
+	if rate > 0 {
+		opts.Source = fault.NewSource(collector.New(sim.NewCatalogue()), chaosConfig(rate, seed))
+	}
+	if dbPath != "" {
+		db, err := store.Open(dbPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate > 0 {
+			opts.Sink = fault.NewSink(db, chaosConfig(rate, seed))
+		} else {
+			opts.Sink = db
+		}
+	}
+	p, err := NewPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Analyze("wordcount")
+}
+
+// TestChaosSweep is the acceptance sweep: at fault rates 0%, 5%, and
+// 20% the pipeline either returns an Analysis whose Degradation report
+// accounts for every injected fault, or fails with the documented typed
+// error — and the outcome is bit-identical for workers 1, 2, and 8.
+func TestChaosSweep(t *testing.T) {
+	for _, rate := range []float64{0, 0.05, 0.20} {
+		for _, seed := range []int64{1, 2, 3} {
+			rate, seed := rate, seed
+			t.Run(fmt.Sprintf("rate=%v/seed=%d", rate, seed), func(t *testing.T) {
+				dir := t.TempDir()
+				base, baseErr := runChaos(t, rate, seed, 1, filepath.Join(dir, "w1.db"))
+
+				if baseErr != nil {
+					if !errors.Is(baseErr, ErrQuorum) && !errors.Is(baseErr, ErrSeriesInvalid) {
+						t.Fatalf("pipeline failed with untyped error: %v", baseErr)
+					}
+				} else {
+					checkDegradation(t, base, rate)
+				}
+
+				for _, workers := range []int{2, 8} {
+					got, gotErr := runChaos(t, rate, seed, workers, filepath.Join(dir, fmt.Sprintf("w%d.db", workers)))
+					if (gotErr == nil) != (baseErr == nil) {
+						t.Fatalf("workers=%d: err=%v, workers=1: err=%v", workers, gotErr, baseErr)
+					}
+					if gotErr != nil {
+						if gotErr.Error() != baseErr.Error() {
+							t.Fatalf("workers=%d error %q != workers=1 error %q", workers, gotErr, baseErr)
+						}
+						continue
+					}
+					if !reflect.DeepEqual(got, base) {
+						t.Errorf("workers=%d analysis differs from workers=1", workers)
+					}
+				}
+			})
+		}
+	}
+}
+
+// checkDegradation asserts the report's accounting invariants.
+func checkDegradation(t *testing.T, a *Analysis, rate float64) {
+	t.Helper()
+	d := &a.Degradation
+	if d.RunsAttempted != 3 {
+		t.Errorf("RunsAttempted = %d, want 3", d.RunsAttempted)
+	}
+	if d.RunsSucceeded+len(d.RunsFailed) != d.RunsAttempted {
+		t.Errorf("RunsSucceeded %d + RunsFailed %d != RunsAttempted %d",
+			d.RunsSucceeded, len(d.RunsFailed), d.RunsAttempted)
+	}
+	if d.RunsSucceeded < 1 {
+		t.Error("analysis returned without any successful run")
+	}
+	if rate == 0 && d.Degraded() {
+		t.Errorf("zero fault rate degraded: %s", d.String())
+	}
+	// Quarantined events must not reappear in the model.
+	bad := make(map[string]bool)
+	for _, q := range d.EventsQuarantined {
+		bad[q.Event] = true
+		if q.Reason == "" {
+			t.Errorf("quarantine of %s without reason", q.Event)
+		}
+	}
+	for _, e := range a.Importance {
+		if bad[e.Event] {
+			t.Errorf("quarantined event %s still ranked", e.Event)
+		}
+	}
+	for _, e := range a.Importance {
+		if math.IsNaN(e.Importance) || math.IsInf(e.Importance, 0) {
+			t.Errorf("non-finite importance for %s", e.Event)
+		}
+	}
+}
+
+// TestChaosZeroFaultByteIdentical pins the acceptance requirement that
+// wiring the fault layer at rate zero changes nothing: the analysis is
+// identical to one from an unwrapped pipeline.
+func TestChaosZeroFaultByteIdentical(t *testing.T) {
+	opts := chaosOptions(t)
+
+	plain, err := NewPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Analyze("wordcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wrapped := opts
+	wrapped.Source = fault.NewSource(collector.New(sim.NewCatalogue()), fault.Config{Seed: 99})
+	p, err := NewPipeline(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Analyze("wordcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("zero-rate fault source changed the analysis")
+	}
+	if got.Degradation.Degraded() {
+		t.Errorf("zero-rate fault source degraded: %s", got.Degradation.String())
+	}
+}
+
+// TestChaosQuorumTyped drives every run into permanent failure and
+// checks the typed error contract.
+func TestChaosQuorumTyped(t *testing.T) {
+	opts := chaosOptions(t)
+	opts.Source = fault.NewSource(collector.New(sim.NewCatalogue()), fault.Config{Seed: 1, RunFailRate: 1})
+	p, err := NewPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Analyze("wordcount")
+	if !errors.Is(err, ErrQuorum) {
+		t.Fatalf("err = %v, want ErrQuorum", err)
+	}
+	var qe *QuorumError
+	if !errors.As(err, &qe) {
+		t.Fatalf("err %T does not unwrap to *QuorumError", err)
+	}
+	if qe.Succeeded != 0 || qe.Attempted != 3 || qe.Required != 1 {
+		t.Errorf("quorum accounting = %+v", qe)
+	}
+	if len(qe.Failures) != 3 {
+		t.Fatalf("failures = %d, want 3", len(qe.Failures))
+	}
+	for _, f := range qe.Failures {
+		if f.Attempts != 3 {
+			t.Errorf("run %d used %d attempts, want 3 (full retry budget)", f.RunID, f.Attempts)
+		}
+	}
+}
+
+// poisonSource passes collection through and then damages the named
+// event series — NaN garbage or truncation — in every run.
+type poisonSource struct {
+	inner    fault.RunSource
+	nanify   string
+	truncate string
+}
+
+func (s *poisonSource) Collect(p sim.Profile, runID int, mode collector.Mode, events []string) (*collector.Run, error) {
+	r, err := s.inner.Collect(p, runID, mode, events)
+	if err != nil {
+		return nil, err
+	}
+	if sr, err := r.Series.Lookup(s.nanify); err == nil {
+		sr.Values[len(sr.Values)/2] = math.NaN()
+	}
+	if sr, err := r.Series.Lookup(s.truncate); err == nil && len(sr.Values) > 4 {
+		sr.Values = sr.Values[:len(sr.Values)/2]
+	}
+	return r, nil
+}
+
+// TestChaosQuarantineAccuracy poisons two specific columns and checks
+// they — and only they — are quarantined, with the right reasons.
+func TestChaosQuarantineAccuracy(t *testing.T) {
+	opts := chaosOptions(t)
+	nanEv, truncEv := opts.Events[3], opts.Events[7]
+	opts.Source = &poisonSource{
+		inner:    collector.New(sim.NewCatalogue()),
+		nanify:   nanEv,
+		truncate: truncEv,
+	}
+	p, err := NewPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Analyze("wordcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &a.Degradation
+	if len(d.EventsQuarantined) != 2 {
+		t.Fatalf("quarantined %d events, want 2: %+v", len(d.EventsQuarantined), d.EventsQuarantined)
+	}
+	reasons := make(map[string]string)
+	for _, q := range d.EventsQuarantined {
+		reasons[q.Event] = q.Reason
+	}
+	if r, ok := reasons[nanEv]; !ok || !contains(r, "non-finite") {
+		t.Errorf("%s quarantine reason = %q, want non-finite", nanEv, r)
+	}
+	if r, ok := reasons[truncEv]; !ok || !contains(r, "length") {
+		t.Errorf("%s quarantine reason = %q, want length mismatch", truncEv, r)
+	}
+	if len(a.Importance) != len(opts.Events)-2 {
+		t.Errorf("ranked %d events, want %d", len(a.Importance), len(opts.Events)-2)
+	}
+	for _, e := range a.Importance {
+		if e.Event == nanEv || e.Event == truncEv {
+			t.Errorf("poisoned event %s still ranked", e.Event)
+		}
+	}
+}
+
+// TestChaosSeriesInvalidTyped poisons every column so validation leaves
+// fewer than two usable events.
+func TestChaosSeriesInvalidTyped(t *testing.T) {
+	opts := chaosOptions(t)
+	opts.Events = opts.Events[:2]
+	opts.Source = &poisonSource{
+		inner:  collector.New(sim.NewCatalogue()),
+		nanify: opts.Events[0],
+	}
+	p, err := NewPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Analyze("wordcount")
+	if !errors.Is(err, ErrSeriesInvalid) {
+		t.Fatalf("err = %v, want ErrSeriesInvalid", err)
+	}
+	var se *SeriesError
+	if !errors.As(err, &se) {
+		t.Fatalf("err %T does not unwrap to *SeriesError", err)
+	}
+	if se.Remaining != 1 || len(se.Quarantined) != 1 {
+		t.Errorf("series accounting = %+v", se)
+	}
+}
+
+// TestChaosStoreFailuresNonFatal: broken persistence must cost the
+// store writes, never the analysis.
+func TestChaosStoreFailuresNonFatal(t *testing.T) {
+	db, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := chaosOptions(t)
+	opts.Sink = fault.NewSink(db, fault.Config{Seed: 4, StoreFailRate: 1})
+	p, err := NewPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Analyze("wordcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every Put fails; the in-memory Flush also errors. All recorded.
+	if len(a.Degradation.StoreErrors) < opts.Runs {
+		t.Errorf("StoreErrors = %d, want >= %d", len(a.Degradation.StoreErrors), opts.Runs)
+	}
+	if db.Len() != 0 {
+		t.Errorf("store holds %d records despite 100%% write failures", db.Len())
+	}
+	if len(a.Importance) == 0 {
+		t.Error("analysis lost despite store-only faults")
+	}
+}
+
+// TestChaosTransientRecovered: with a generous retry budget a transient
+// fault storm costs retries, not runs.
+func TestChaosTransientRecovered(t *testing.T) {
+	opts := chaosOptions(t)
+	opts.Retry.Attempts = 5 // MaxTransient defaults to 2 → recovery within 3
+	opts.Source = fault.NewSource(collector.New(sim.NewCatalogue()), fault.Config{Seed: 2, TransientRate: 1})
+	p, err := NewPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Analyze("wordcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &a.Degradation
+	if d.RunsSucceeded != opts.Runs || len(d.RunsFailed) != 0 {
+		t.Errorf("runs = %d/%d with %d failed; transient faults should all recover",
+			d.RunsSucceeded, d.RunsAttempted, len(d.RunsFailed))
+	}
+	if d.Retries < opts.Runs {
+		t.Errorf("Retries = %d, want >= %d (every run fails at least once)", d.Retries, opts.Runs)
+	}
+}
+
+// TestRetryBackoffSchedule pins the capped-doubling delay sequence.
+func TestRetryBackoffSchedule(t *testing.T) {
+	pol := RetryPolicy{Attempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}.withDefaults()
+	want := []time.Duration{
+		10 * time.Millisecond, // retry 1
+		20 * time.Millisecond, // retry 2
+		40 * time.Millisecond, // retry 3: capped
+		40 * time.Millisecond, // retry 4: stays capped
+	}
+	for k, w := range want {
+		if got := pol.delay(k + 1); got != w {
+			t.Errorf("delay(%d) = %v, want %v", k+1, got, w)
+		}
+	}
+
+	// The pipeline must route every wait through the injectable Sleep.
+	var slept []time.Duration
+	opts := chaosOptions(t)
+	opts.Retry = RetryPolicy{
+		Attempts:  3,
+		BaseDelay: time.Millisecond,
+		Sleep:     func(d time.Duration) { slept = append(slept, d) },
+	}
+	opts.Source = fault.NewSource(collector.New(sim.NewCatalogue()), fault.Config{Seed: 1, RunFailRate: 1})
+	p, err := NewPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Analyze("wordcount"); !errors.Is(err, ErrQuorum) {
+		t.Fatalf("err = %v, want ErrQuorum", err)
+	}
+	// 3 runs × 2 retries each, delays 1ms then 2ms.
+	wantSlept := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond,
+		time.Millisecond, 2 * time.Millisecond,
+		time.Millisecond, 2 * time.Millisecond,
+	}
+	if !reflect.DeepEqual(slept, wantSlept) {
+		t.Errorf("sleep schedule = %v, want %v", slept, wantSlept)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"counterminer/internal/experiments"
@@ -33,6 +34,21 @@ func main() {
 	)
 	flag.Parse()
 
+	// Flag validation: 0 means "use the configuration default", so
+	// only negative overrides are nonsense.
+	for _, f := range []struct {
+		name  string
+		value int
+	}{
+		{"-trees", *trees}, {"-reps", *reps}, {"-runs", *runs},
+		{"-workers", *workers}, {"-events", *budget},
+	} {
+		if f.value < 0 {
+			fmt.Fprintf(os.Stderr, "cmexp: %s must be > 0 (or omitted for the default)\n", f.name)
+			os.Exit(2)
+		}
+	}
+
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
@@ -42,6 +58,30 @@ func main() {
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "cmexp: -exp required (or -list); e.g. cmexp -exp fig6")
 		os.Exit(2)
+	}
+	if *exp != "all" {
+		known := false
+		for _, id := range experiments.IDs() {
+			if id == *exp {
+				known = true
+				break
+			}
+		}
+		if !known {
+			low := strings.ToLower(*exp)
+			var cands []string
+			for _, id := range experiments.IDs() {
+				if strings.Contains(strings.ToLower(id), low) {
+					cands = append(cands, id)
+				}
+			}
+			if len(cands) == 0 {
+				cands = experiments.IDs()
+			}
+			fmt.Fprintf(os.Stderr, "cmexp: unknown experiment %q; candidates: %s\n",
+				*exp, strings.Join(cands, ", "))
+			os.Exit(2)
+		}
 	}
 
 	cfg := experiments.Config{}

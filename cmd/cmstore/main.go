@@ -35,6 +35,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if n := db.Skipped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "cmstore: warning: skipped %d damaged record(s) in %s\n", n, *dbPath)
+	}
 
 	switch {
 	case *doStats:
@@ -44,6 +47,9 @@ func main() {
 		fmt.Printf("samples:    %d\n", s.Samples)
 		for m, n := range s.ByMode {
 			fmt.Printf("  %s runs: %d\n", m, n)
+		}
+		if s.SkippedRecords > 0 {
+			fmt.Printf("skipped:    %d damaged record(s) dropped at open\n", s.SkippedRecords)
 		}
 	case *doList:
 		rows := db.Select(store.Query{

@@ -8,8 +8,13 @@
 //	counterminer -bench wordcount
 //	counterminer -bench sort -events "L2_RQSTS.*,BR_*,ISF,ICACHE.MISSES"
 //	counterminer -bench DataCaching -colocate GraphAnalytics
+//	counterminer -bench wordcount -chaos 0.2 -min-runs 1
 //	counterminer -csv run.csv
 //	counterminer -list
+//
+// -chaos injects seeded collection/store faults (see internal/fault)
+// to demonstrate the graceful-degradation path: the run completes with
+// a degradation report instead of aborting on the first failure.
 package main
 
 import (
@@ -20,23 +25,49 @@ import (
 	"time"
 
 	counterminer "counterminer"
+	"counterminer/internal/collector"
+	"counterminer/internal/fault"
+	"counterminer/internal/sim"
 )
 
 func main() {
 	var (
-		bench    = flag.String("bench", "", "benchmark to analyse (see -list)")
-		colocate = flag.String("colocate", "", "second benchmark to co-locate with -bench")
-		list     = flag.Bool("list", false, "list benchmarks and exit")
-		runs     = flag.Int("runs", 3, "benchmark executions to collect")
-		trees    = flag.Int("trees", 80, "SGBRT ensemble size")
-		events   = flag.String("events", "", "comma-separated event patterns (globs or abbreviations; empty = all 229)")
-		csvPath  = flag.String("csv", "", "analyse an external CSV data set (interval,<events...>,ipc) instead of a benchmark")
-		topK     = flag.Int("top", 10, "events/interactions to print")
-		skipEIR  = flag.Bool("fast", false, "skip EIR (single model fit)")
-		dbPath   = flag.String("db", "", "persist collected runs to this store path")
-		workers  = flag.Int("workers", 0, "analysis worker count (0 = GOMAXPROCS)")
+		bench     = flag.String("bench", "", "benchmark to analyse (see -list)")
+		colocate  = flag.String("colocate", "", "second benchmark to co-locate with -bench")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		runs      = flag.Int("runs", 3, "benchmark executions to collect")
+		trees     = flag.Int("trees", 80, "SGBRT ensemble size")
+		events    = flag.String("events", "", "comma-separated event patterns (globs or abbreviations; empty = all 229)")
+		csvPath   = flag.String("csv", "", "analyse an external CSV data set (interval,<events...>,ipc) instead of a benchmark")
+		topK      = flag.Int("top", 10, "events/interactions to print")
+		skipEIR   = flag.Bool("fast", false, "skip EIR (single model fit)")
+		dbPath    = flag.String("db", "", "persist collected runs to this store path")
+		workers   = flag.Int("workers", 0, "analysis worker count (0 = GOMAXPROCS)")
+		retries   = flag.Int("retries", 3, "collect attempts per run")
+		retryWait = flag.Duration("retry-delay", 0, "base backoff between collect attempts (doubles per retry, capped)")
+		minRuns   = flag.Int("min-runs", 0, "run quorum: proceed when this many runs succeed (0 = all)")
+		chaos     = flag.Float64("chaos", 0, "fault-injection rate in [0,1): per-run failures, series corruption, store errors")
+		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed (identical seeds replay identical failures)")
 	)
 	flag.Parse()
+
+	// Flag validation: catch nonsense before spending any compute.
+	switch {
+	case *runs <= 0:
+		fatalUsage("-runs must be > 0")
+	case *trees <= 0:
+		fatalUsage("-trees must be > 0")
+	case *topK <= 0:
+		fatalUsage("-top must be > 0")
+	case *workers < 0:
+		fatalUsage("-workers must be >= 0 (0 = GOMAXPROCS)")
+	case *retries <= 0:
+		fatalUsage("-retries must be > 0")
+	case *minRuns < 0 || *minRuns > *runs:
+		fatalUsage(fmt.Sprintf("-min-runs must be in [0, %d]", *runs))
+	case *chaos < 0 || *chaos >= 1:
+		fatalUsage("-chaos must be in [0, 1)")
+	}
 
 	opts := counterminer.Options{
 		Runs:      *runs,
@@ -45,6 +76,17 @@ func main() {
 		SkipEIR:   *skipEIR,
 		StorePath: *dbPath,
 		Workers:   *workers,
+		Retry:     counterminer.RetryPolicy{Attempts: *retries, BaseDelay: *retryWait},
+		MinRuns:   *minRuns,
+	}
+	if *chaos > 0 {
+		opts.Source = fault.NewSource(collector.New(sim.NewCatalogue()), fault.Config{
+			Seed:          *chaosSeed,
+			RunFailRate:   *chaos / 4,
+			TransientRate: *chaos,
+			CorruptRate:   *chaos,
+			StoreFailRate: *chaos,
+		})
 	}
 	p, err := counterminer.NewPipeline(opts)
 	if err != nil {
@@ -74,6 +116,10 @@ func main() {
 			fatal(err)
 		}
 	case *bench != "":
+		checkBenchmark(*bench, p.Benchmarks())
+		if *colocate != "" {
+			checkBenchmark(*colocate, p.Benchmarks())
+		}
 		if *events != "" {
 			sel, err := p.Catalogue().Select(strings.Split(*events, ","))
 			if err != nil {
@@ -103,6 +149,9 @@ func main() {
 		a.Events, a.MAPMEvents, a.ModelError)
 	fmt.Printf("cleaner: %d outliers replaced, %d missing values filled\n",
 		a.OutliersReplaced, a.MissingFilled)
+	if d := &a.Degradation; d.Degraded() {
+		fmt.Printf("degradation report:\n  %s\n", strings.ReplaceAll(d.String(), "\n", "\n  "))
+	}
 	fmt.Printf("one-three SMI count: %d\n\n", a.SMICount())
 
 	fmt.Printf("top %d important events:\n", *topK)
@@ -120,6 +169,34 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// checkBenchmark exits with a friendly candidate-listing error when
+// name is not a known benchmark.
+func checkBenchmark(name string, all []string) {
+	for _, b := range all {
+		if b == name {
+			return
+		}
+	}
+	low := strings.ToLower(name)
+	var cands []string
+	for _, b := range all {
+		if strings.Contains(strings.ToLower(b), low) {
+			cands = append(cands, b)
+		}
+	}
+	if len(cands) == 0 {
+		cands = all
+	}
+	fmt.Fprintf(os.Stderr, "counterminer: unknown benchmark %q; candidates: %s\n",
+		name, strings.Join(cands, ", "))
+	os.Exit(2)
+}
+
+func fatalUsage(msg string) {
+	fmt.Fprintln(os.Stderr, "counterminer:", msg)
+	os.Exit(2)
 }
 
 func fatal(err error) {

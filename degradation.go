@@ -1,0 +1,93 @@
+package counterminer
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RunFailure records one benchmark run that exhausted its Collect
+// retries.
+type RunFailure struct {
+	// RunID identifies the failed execution.
+	RunID int
+	// Attempts is how many Collect attempts were made.
+	Attempts int
+	// Reason is the final attempt's error text.
+	Reason string
+}
+
+// Quarantine records one event column the validation pass excluded from
+// the analysis instead of letting it poison the model.
+type Quarantine struct {
+	// Event is the quarantined event name.
+	Event string
+	// RunID identifies the run whose series triggered the quarantine
+	// (the column is dropped from every run).
+	RunID int
+	// Reason says why the series was unusable.
+	Reason string
+}
+
+// Degradation reports everything an analysis survived: runs that were
+// retried or lost, event columns quarantined by validation, and store
+// writes that failed. The zero value means the analysis ran entirely
+// clean.
+type Degradation struct {
+	// RunsAttempted and RunsSucceeded count the requested collections
+	// and how many delivered a run (after retries).
+	RunsAttempted, RunsSucceeded int
+	// Retries is the total number of extra Collect attempts spent
+	// recovering transient failures.
+	Retries int
+	// RunsFailed describes the runs that failed permanently.
+	RunsFailed []RunFailure
+	// EventsQuarantined describes the event columns excluded by the
+	// pre-clean validation pass, and why.
+	EventsQuarantined []Quarantine
+	// StoreErrors holds the messages of failed store writes (the runs
+	// still feed the analysis; only persistence was lost).
+	StoreErrors []string
+}
+
+// Degraded reports whether anything at all went wrong.
+func (d *Degradation) Degraded() bool {
+	return d.Retries > 0 || len(d.RunsFailed) > 0 ||
+		len(d.EventsQuarantined) > 0 || len(d.StoreErrors) > 0
+}
+
+// String renders a compact multi-line report, empty when nothing was
+// degraded.
+func (d *Degradation) String() string {
+	if !d.Degraded() {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "runs: %d/%d succeeded", d.RunsSucceeded, d.RunsAttempted)
+	if d.Retries > 0 {
+		fmt.Fprintf(&b, " (%d retr%s)", d.Retries, plural(d.Retries, "y", "ies"))
+	}
+	for _, f := range d.RunsFailed {
+		fmt.Fprintf(&b, "\n  run %d failed after %d attempt(s): %s", f.RunID, f.Attempts, f.Reason)
+	}
+	if n := len(d.EventsQuarantined); n > 0 {
+		fmt.Fprintf(&b, "\nevents quarantined: %d", n)
+		for _, q := range d.EventsQuarantined {
+			fmt.Fprintf(&b, "\n  %s (run %d): %s", q.Event, q.RunID, q.Reason)
+		}
+	}
+	if n := len(d.StoreErrors); n > 0 {
+		fmt.Fprintf(&b, "\nstore write failures: %d", n)
+		for _, msg := range d.StoreErrors {
+			fmt.Fprintf(&b, "\n  %s", msg)
+		}
+	}
+	return b.String()
+}
+
+// plural picks the singular or plural suffix.
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}

@@ -1,0 +1,99 @@
+package counterminer
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// The pipeline's typed error taxonomy. Every failure Analyze can return
+// for operational (rather than configuration) reasons wraps one of
+// these sentinels, so callers can dispatch with errors.Is and recover
+// detail with errors.As:
+//
+//	var qe *counterminer.QuorumError
+//	if errors.As(err, &qe) { ... qe.Succeeded, qe.Failures ... }
+var (
+	// ErrRunFailed marks one benchmark run that exhausted its Collect
+	// retries.
+	ErrRunFailed = errors.New("counterminer: run failed")
+	// ErrSeriesInvalid marks collected series data that validation
+	// rejected (the analysis cannot proceed on what survived).
+	ErrSeriesInvalid = errors.New("counterminer: series invalid")
+	// ErrQuorum marks an analysis abandoned because fewer than MinRuns
+	// of the requested runs could be collected.
+	ErrQuorum = errors.New("counterminer: run quorum not met")
+)
+
+// RunError reports one run that failed after all retry attempts. It
+// matches ErrRunFailed under errors.Is and unwraps to the final
+// attempt's underlying error.
+type RunError struct {
+	// Benchmark and RunID locate the failed run.
+	Benchmark string
+	RunID     int
+	// Attempts is how many Collect attempts were made.
+	Attempts int
+	// Err is the last attempt's error.
+	Err error
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("counterminer: %s/run %d failed after %d attempt(s): %v",
+		e.Benchmark, e.RunID, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the final attempt's error to errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// Is matches ErrRunFailed.
+func (e *RunError) Is(target error) bool { return target == ErrRunFailed }
+
+// QuorumError reports an analysis abandoned because too few runs
+// succeeded. It matches ErrQuorum under errors.Is.
+type QuorumError struct {
+	// Benchmark is the analysed workload.
+	Benchmark string
+	// Succeeded, Required, and Attempted count the collection outcome:
+	// Succeeded of Attempted runs completed, Required were needed.
+	Succeeded, Required, Attempted int
+	// Failures describes the runs that failed.
+	Failures []RunFailure
+}
+
+func (e *QuorumError) Error() string {
+	return fmt.Sprintf("counterminer: %s: %d of %d runs succeeded, need %d: quorum not met",
+		e.Benchmark, e.Succeeded, e.Attempted, e.Required)
+}
+
+// Is matches ErrQuorum.
+func (e *QuorumError) Is(target error) bool { return target == ErrQuorum }
+
+// SeriesError reports an analysis abandoned because validation
+// quarantined too many event columns. It matches ErrSeriesInvalid under
+// errors.Is.
+type SeriesError struct {
+	// Benchmark is the analysed workload.
+	Benchmark string
+	// Remaining is how many usable event columns survived validation
+	// (an analysis needs at least two).
+	Remaining int
+	// Quarantined describes the rejected columns.
+	Quarantined []Quarantine
+}
+
+func (e *SeriesError) Error() string {
+	reasons := make([]string, 0, len(e.Quarantined))
+	for _, q := range e.Quarantined {
+		reasons = append(reasons, q.Event+": "+q.Reason)
+		if len(reasons) == 3 && len(e.Quarantined) > 3 {
+			reasons = append(reasons, fmt.Sprintf("… %d more", len(e.Quarantined)-3))
+			break
+		}
+	}
+	return fmt.Sprintf("counterminer: %s: only %d usable event column(s) after quarantining %d (%s)",
+		e.Benchmark, e.Remaining, len(e.Quarantined), strings.Join(reasons, "; "))
+}
+
+// Is matches ErrSeriesInvalid.
+func (e *SeriesError) Is(target error) bool { return target == ErrSeriesInvalid }

@@ -27,6 +27,7 @@ package clean
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"counterminer/internal/knn"
 	"counterminer/internal/parallel"
@@ -74,12 +75,51 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// ValidateSeries checks whether a collected event series is usable at
+// all, before any cleaning. It returns nil for a usable series and an
+// error naming the defect otherwise. The pipeline quarantines event
+// columns that fail validation instead of aborting the analysis:
+//
+//   - a series shorter or longer than the run's IPC (wantLen) cannot be
+//     column-aligned into the training matrix (truncated or dropped
+//     intervals);
+//   - non-finite values (NaN/Inf) would poison every downstream
+//     statistic;
+//   - a constant series is a dead counter: it carries no information
+//     and its zero variance breaks threshold statistics.
+//
+// wantLen <= 0 skips the length check.
+func ValidateSeries(values []float64, wantLen int) error {
+	if len(values) == 0 {
+		return errors.New("empty series")
+	}
+	if wantLen > 0 && len(values) != wantLen {
+		return fmt.Errorf("length %d, want %d intervals", len(values), wantLen)
+	}
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("non-finite value %v at interval %d", v, i)
+		}
+	}
+	if len(values) > 1 {
+		min, max := stats.MinMax(values)
+		if min == max {
+			return fmt.Errorf("constant series (dead counter, value %g)", min)
+		}
+	}
+	return nil
+}
+
 // Report describes what the cleaner changed in one series.
 type Report struct {
 	// Outliers is the number of values replaced as outliers.
 	Outliers int
-	// Missing is the number of zeros filled as missing values.
+	// Missing is the number of values filled as missing (zeros plus
+	// non-finite garbage).
 	Missing int
+	// NonFinite is how many of the filled values were NaN/Inf garbage
+	// rather than zeros.
+	NonFinite int
 	// Threshold is the final outlier threshold that was applied.
 	Threshold float64
 	// Rounds is how many threshold-replace iterations ran.
@@ -99,11 +139,29 @@ func Series(values []float64, opts Options) ([]float64, Report, error) {
 	out := append([]float64(nil), values...)
 	var rep Report
 
+	// Non-finite values (NaN/Inf garbage from a broken collection) can
+	// never be used as-is: they join the missing set so the KNN fill
+	// repairs them from finite neighbours, and they are excluded from
+	// every statistic below. A series with no finite values at all is
+	// unrecoverable.
+	var missing []int
+	finite := make([]float64, 0, len(out))
+	for i, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			missing = append(missing, i)
+			rep.NonFinite++
+			continue
+		}
+		finite = append(finite, v)
+	}
+	if len(finite) == 0 {
+		return nil, Report{}, errors.New("clean: no finite values in series")
+	}
+
 	// Classify zeros up front: they are missing-value candidates and
 	// must not contaminate the outlier statistics.
-	var missing []int
 	if !opts.SkipMissing {
-		min, max := stats.MinMax(out)
+		min, max := stats.MinMax(finite)
 		if min == 0 && max < zeroBound {
 			rep.ZerosKeptGenuine = true
 		} else {
@@ -196,7 +254,10 @@ func Set(in *timeseries.Set, opts Options) (*timeseries.Set, SetReport, error) {
 		rep    Report
 	}
 	results, err := parallel.Map(len(events), opts.Workers, func(i int) (result, error) {
-		s, _ := in.Get(events[i])
+		s, err := in.Lookup(events[i])
+		if err != nil {
+			return result{}, fmt.Errorf("clean: %w", err)
+		}
 		cleaned, r, err := Series(s.Values, opts)
 		if err != nil {
 			return result{}, fmt.Errorf("clean: event %s: %w", events[i], err)

@@ -3,6 +3,7 @@ package clean
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"counterminer/internal/timeseries"
@@ -361,5 +362,107 @@ func TestCleanPreservesCleanData(t *testing.T) {
 	}
 	if unchanged < len(values)-3 {
 		t.Errorf("only %d/%d values unchanged", unchanged, len(values))
+	}
+}
+
+// ---- Adversarial inputs: the cleaner must repair or reject, never
+// panic or emit garbage.
+
+func TestAllNaNSeriesErrors(t *testing.T) {
+	values := make([]float64, 50)
+	for i := range values {
+		values[i] = math.NaN()
+	}
+	if _, _, err := Series(values, Options{}); err == nil {
+		t.Fatal("all-NaN series cleaned without error")
+	}
+}
+
+func TestInfSpikesFilled(t *testing.T) {
+	values := make([]float64, 120)
+	rng := rand.New(rand.NewSource(7))
+	for i := range values {
+		values[i] = 50 + rng.NormFloat64()*2
+	}
+	values[10] = math.Inf(1)
+	values[60] = math.Inf(-1)
+	values[90] = math.NaN()
+	out, rep, err := Series(values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("out[%d] = %v still non-finite", i, v)
+		}
+	}
+	if rep.NonFinite != 3 {
+		t.Errorf("NonFinite = %d, want 3", rep.NonFinite)
+	}
+	if rep.Missing < 3 {
+		t.Errorf("Missing = %d, want >= 3 (non-finite count as missing)", rep.Missing)
+	}
+	// Filled values should sit near the surrounding level, not at an
+	// extreme.
+	for _, i := range []int{10, 60, 90} {
+		if out[i] < 30 || out[i] > 70 {
+			t.Errorf("filled out[%d] = %v, far from the series level ~50", i, out[i])
+		}
+	}
+}
+
+func TestLengthOneSeries(t *testing.T) {
+	out, rep, err := Series([]float64{3.5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != 3.5 {
+		t.Errorf("out = %v, want [3.5]", out)
+	}
+	if rep.Outliers != 0 || rep.Missing != 0 {
+		t.Errorf("length-1 report = %+v, want no repairs", rep)
+	}
+}
+
+func TestSetWithAllNaNEventErrors(t *testing.T) {
+	set := timeseries.NewSet()
+	set.Put(timeseries.New("GOOD", []float64{1, 2, 3, 4, 5}))
+	set.Put(timeseries.New("DEAD", []float64{math.NaN(), math.NaN(), math.NaN()}))
+	_, _, err := Set(set, Options{})
+	if err == nil {
+		t.Fatal("set with an all-NaN event cleaned without error")
+	}
+	if !strings.Contains(err.Error(), "DEAD") {
+		t.Errorf("error %q does not name the broken event", err)
+	}
+}
+
+func TestValidateSeries(t *testing.T) {
+	cases := []struct {
+		name    string
+		values  []float64
+		wantLen int
+		wantSub string // "" = valid
+	}{
+		{"valid", []float64{1, 2, 3}, 3, ""},
+		{"valid no length check", []float64{1, 2, 3}, 0, ""},
+		{"empty", nil, 0, "empty"},
+		{"truncated", []float64{1, 2}, 5, "length 2, want 5"},
+		{"nan", []float64{1, math.NaN(), 3}, 3, "non-finite"},
+		{"inf", []float64{1, math.Inf(1), 3}, 3, "non-finite"},
+		{"constant", []float64{4, 4, 4}, 3, "constant"},
+		{"single value ok", []float64{4}, 1, ""},
+	}
+	for _, c := range cases {
+		err := ValidateSeries(c.values, c.wantLen)
+		if c.wantSub == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.wantSub)
+		}
 	}
 }

@@ -38,7 +38,10 @@ func Census(cfg Config) (*Table, error) {
 		}
 		for _, r := range runs {
 			for _, ev := range r.Series.Events() {
-				s, _ := r.Series.Get(ev)
+				s, err := r.Series.Lookup(ev)
+				if err != nil {
+					return nil, err
+				}
 				values[ev] = append(values[ev], s.Values...)
 			}
 		}

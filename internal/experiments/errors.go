@@ -94,7 +94,10 @@ func Fig2(cfg Config) (*Table, error) {
 		Header: []string{"event", "samples", "outliers(>2x truth)", "zeros", "zeros in cold start", "max overshoot"},
 	}
 	for _, ev := range events {
-		obs, _ := run.Series.Get(ev)
+		obs, err := run.Series.Lookup(ev)
+		if err != nil {
+			return nil, err
+		}
 		tr, err := truth.Series(ev)
 		if err != nil {
 			return nil, err
@@ -237,7 +240,10 @@ func Table1(cfg Config) (*Table, error) {
 		var totals [3]float64
 		var counted int
 		for _, ev := range run.Series.Events() {
-			s, _ := run.Series.Get(ev)
+			s, err := run.Series.Lookup(ev)
+			if err != nil {
+				return err
+			}
 			for k, n := range ns {
 				cov, err := clean.ThresholdCoverage(s.Values, n)
 				if err != nil {
@@ -317,9 +323,18 @@ func Fig5(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		s1, _ := o1.Series.Get(ev)
-		s2, _ := o2.Series.Get(ev)
-		sm, _ := m.Series.Get(ev)
+		s1, err := o1.Series.Lookup(ev)
+		if err != nil {
+			return nil, err
+		}
+		s2, err := o2.Series.Lookup(ev)
+		if err != nil {
+			return nil, err
+		}
+		sm, err := m.Series.Lookup(ev)
+		if err != nil {
+			return nil, err
+		}
 		rawErr, err := mlpxErr(s1.Values, s2.Values, sm.Values)
 		if err != nil {
 			return nil, err

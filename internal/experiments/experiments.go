@@ -161,9 +161,18 @@ func errorSample(col *collector.Collector, prof sim.Profile, nEvents, rep int) (
 	if err != nil {
 		return 0, 0, err
 	}
-	s1, _ := o1.Series.Get(refEvent)
-	s2, _ := o2.Series.Get(refEvent)
-	sm, _ := m.Series.Get(refEvent)
+	s1, err := o1.Series.Lookup(refEvent)
+	if err != nil {
+		return 0, 0, err
+	}
+	s2, err := o2.Series.Lookup(refEvent)
+	if err != nil {
+		return 0, 0, err
+	}
+	sm, err := m.Series.Lookup(refEvent)
+	if err != nil {
+		return 0, 0, err
+	}
 
 	raw, err = dtw.MLPXError(s1.Values, s2.Values, sm.Values)
 	if err != nil {

@@ -1,0 +1,310 @@
+// Package fault is CounterMiner's deterministic fault-injection layer.
+// The real system runs atop Linux perf on a live cluster, where
+// collection is inherently unreliable: runs die, multiplexed series
+// come back truncated or clipped, events are silently unsupported, and
+// store writes fail. This package reproduces those failure modes behind
+// the same small interfaces the pipeline consumes (RunSource, RunSink),
+// so the whole graceful-degradation path — retries, run quorum, series
+// quarantine, store-error tolerance — can be exercised end to end.
+//
+// Every injection decision is drawn from an RNG seeded purely by
+// (Config.Seed, benchmark, runID[, event]), never by call order or wall
+// clock. Identical seeds therefore replay identical failures at any
+// worker count, which is what makes chaos tests bit-reproducible.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"counterminer/internal/collector"
+	"counterminer/internal/sim"
+	"counterminer/internal/store"
+)
+
+// RunSource abstracts where benchmark runs come from. The concrete
+// collector satisfies it; Source wraps any RunSource with injected
+// failures.
+type RunSource interface {
+	Collect(p sim.Profile, runID int, mode collector.Mode, events []string) (*collector.Run, error)
+}
+
+// RunSink abstracts where collected runs are persisted. The store's DB
+// satisfies it; Sink wraps any RunSink with injected write failures.
+type RunSink interface {
+	Put(rec store.Record) error
+	Flush() error
+}
+
+// Compile-time checks that the real collector and store satisfy the
+// interfaces the pipeline consumes.
+var (
+	_ RunSource = (*collector.Collector)(nil)
+	_ RunSink   = (*store.DB)(nil)
+)
+
+// ErrInjected is the sentinel all injected failures wrap; use
+// errors.Is(err, fault.ErrInjected) to tell injected faults from real
+// ones in tests.
+var ErrInjected = errors.New("fault: injected failure")
+
+// InjectedError is one injected failure, carrying where it struck.
+type InjectedError struct {
+	// Kind classifies the failure: "run-permanent", "run-transient",
+	// or "store-put".
+	Kind string
+	// Benchmark and RunID locate the run the failure hit.
+	Benchmark string
+	RunID     int
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("fault: injected %s failure for %s/run %d", e.Kind, e.Benchmark, e.RunID)
+}
+
+// Unwrap makes errors.Is(err, ErrInjected) true.
+func (e *InjectedError) Unwrap() error { return ErrInjected }
+
+// Config sets the per-decision injection probabilities. All rates are
+// in [0, 1]; the zero value injects nothing.
+type Config struct {
+	// Seed decorrelates the injection pattern. Two Sources with equal
+	// Seed (and equal rates) inject identical failures.
+	Seed int64
+	// RunFailRate is the probability a run fails permanently: every
+	// Collect attempt for that (benchmark, runID) errors.
+	RunFailRate float64
+	// TransientRate is the probability a run fails transiently: the
+	// first 1..MaxTransient Collect attempts error, then attempts
+	// succeed — the failure mode a retry loop recovers from.
+	TransientRate float64
+	// MaxTransient bounds how many leading attempts a transient run
+	// failure consumes (default 2, so Attempts >= 3 always recovers).
+	MaxTransient int
+	// CorruptRate is the per-(run, event) probability that one
+	// collected series comes back corrupted: tail truncation, dropped
+	// intervals, counter-saturation clipping, or NaN/Inf garbage.
+	CorruptRate float64
+	// StoreFailRate is the per-record probability that a store Put
+	// fails with an injected I/O error.
+	StoreFailRate float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxTransient <= 0 {
+		c.MaxTransient = 2
+	}
+	return c
+}
+
+// Corruption kinds, drawn uniformly once a series is selected.
+const (
+	corruptTruncate = iota // cut the tail off (10–50% lost)
+	corruptDrop            // drop scattered intervals (5–15% lost)
+	corruptSaturate        // clip values above a saturation cap
+	corruptGarbage         // overwrite scattered values with NaN/Inf
+	numCorruptions
+)
+
+// Source wraps a RunSource with injected run failures and series
+// corruption. It is safe for concurrent use. The only mutable state is
+// the per-run attempt counter backing transient failures; injection
+// decisions themselves depend solely on (Seed, benchmark, runID, event),
+// so concurrent interleavings cannot change what gets injected.
+type Source struct {
+	inner RunSource
+	cfg   Config
+
+	mu       sync.Mutex
+	attempts map[string]int
+}
+
+// NewSource wraps inner with fault injection per cfg.
+func NewSource(inner RunSource, cfg Config) *Source {
+	return &Source{inner: inner, cfg: cfg.withDefaults(), attempts: make(map[string]int)}
+}
+
+// Reset clears the per-run attempt counters, so a subsequent identical
+// call sequence replays the identical failure pattern.
+func (s *Source) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.attempts = make(map[string]int)
+}
+
+// attempt returns the 1-based attempt number of this Collect call for
+// the given run key.
+func (s *Source) attempt(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.attempts[key]++
+	return s.attempts[key]
+}
+
+// Collect implements RunSource: it decides the run's fate from the
+// seeded RNG, then delegates to the wrapped source and corrupts the
+// returned series as configured.
+func (s *Source) Collect(p sim.Profile, runID int, mode collector.Mode, events []string) (*collector.Run, error) {
+	rng := newRNG(s.cfg.Seed, "run", p.Name, itoa(runID))
+	u := rng.float64()
+	switch {
+	case u < s.cfg.RunFailRate:
+		return nil, &InjectedError{Kind: "run-permanent", Benchmark: p.Name, RunID: runID}
+	case u < s.cfg.RunFailRate+s.cfg.TransientRate:
+		fails := 1 + rng.intn(s.cfg.MaxTransient)
+		if s.attempt(p.Name+"/"+itoa(runID)) <= fails {
+			return nil, &InjectedError{Kind: "run-transient", Benchmark: p.Name, RunID: runID}
+		}
+	}
+	run, err := s.inner.Collect(p, runID, mode, events)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.CorruptRate > 0 {
+		s.corrupt(run, p.Name, runID)
+	}
+	return run, nil
+}
+
+// corrupt damages a deterministic subset of the run's series in place.
+// The collector allocates fresh value slices per Collect, so mutating
+// them cannot alias other runs.
+func (s *Source) corrupt(run *collector.Run, benchmark string, runID int) {
+	for _, ev := range run.Series.Events() {
+		rng := newRNG(s.cfg.Seed, "series", benchmark, itoa(runID), ev)
+		if rng.float64() >= s.cfg.CorruptRate {
+			continue
+		}
+		series, err := run.Series.Lookup(ev)
+		if err != nil || series.Len() < 4 {
+			continue
+		}
+		vals := series.Values
+		n := len(vals)
+		switch rng.intn(numCorruptions) {
+		case corruptTruncate:
+			// Lose 10–50% of the tail, as if the counter group stopped
+			// being scheduled before the run ended.
+			lost := n/10 + rng.intn(n*2/5+1)
+			if lost >= n {
+				lost = n - 1
+			}
+			series.Values = vals[:n-lost]
+		case corruptDrop:
+			// Drop 5–15% of intervals at scattered positions, as if
+			// individual samples were lost in flight.
+			lost := 1 + n/20 + rng.intn(n/10+1)
+			kept := vals[:0]
+			for i, v := range vals {
+				// Deterministic per-index keep/drop decision.
+				if lost > 0 && rng.intn(n-i) < lost {
+					lost--
+					continue
+				}
+				kept = append(kept, v)
+			}
+			series.Values = kept
+		case corruptSaturate:
+			// Clip everything above a fraction of the observed maximum,
+			// mimicking a saturating counter register.
+			max := math.Inf(-1)
+			for _, v := range vals {
+				if v > max {
+					max = v
+				}
+			}
+			cap := max * (0.3 + 0.3*rng.float64())
+			for i, v := range vals {
+				if v > cap {
+					vals[i] = cap
+				}
+			}
+		case corruptGarbage:
+			// Overwrite 1–5% of samples with non-finite garbage.
+			bad := 1 + rng.intn(n/20+1)
+			garbage := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+			for k := 0; k < bad; k++ {
+				vals[rng.intn(n)] = garbage[rng.intn(len(garbage))]
+			}
+		}
+	}
+}
+
+// Sink wraps a RunSink with injected per-record write failures.
+type Sink struct {
+	inner RunSink
+	cfg   Config
+}
+
+// NewSink wraps inner with fault injection per cfg.
+func NewSink(inner RunSink, cfg Config) *Sink {
+	return &Sink{inner: inner, cfg: cfg.withDefaults()}
+}
+
+// Put implements RunSink, failing deterministically per record.
+func (k *Sink) Put(rec store.Record) error {
+	rng := newRNG(k.cfg.Seed, "store", rec.Meta.Benchmark, itoa(rec.Meta.RunID), rec.Meta.Mode)
+	if rng.float64() < k.cfg.StoreFailRate {
+		return &InjectedError{Kind: "store-put", Benchmark: rec.Meta.Benchmark, RunID: rec.Meta.RunID}
+	}
+	return k.inner.Put(rec)
+}
+
+// Flush implements RunSink by delegating to the wrapped sink.
+func (k *Sink) Flush() error { return k.inner.Flush() }
+
+// ----- Seeded keyed RNG.
+//
+// A tiny splitmix64 generator seeded from an FNV-1a hash of the
+// decision key. Independent of math/rand so the injection pattern can
+// never entangle with the pipeline's modelling randomness.
+
+type rng struct{ state uint64 }
+
+// newRNG derives a generator from the seed and key parts.
+func newRNG(seed int64, parts ...string) *rng {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(uint64(seed) >> (8 * i)))
+	}
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			mix(p[i])
+		}
+		mix(0xff) // separator so ("ab","c") != ("a","bc")
+	}
+	return &rng{state: h}
+}
+
+// next advances the splitmix64 state.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// itoa is strconv.Itoa without the import.
+func itoa(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,239 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"counterminer/internal/collector"
+	"counterminer/internal/sim"
+	"counterminer/internal/store"
+)
+
+func testProfile(t *testing.T) sim.Profile {
+	t.Helper()
+	prof, err := sim.ProfileByName("wordcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func testEvents(t *testing.T, n int) []string {
+	t.Helper()
+	return sim.NewCatalogue().Events()[:n]
+}
+
+func newTestSource(cfg Config) *Source {
+	return NewSource(collector.New(sim.NewCatalogue()), cfg)
+}
+
+// collectOutcome captures one Collect call for comparison: the error
+// text or the full series contents.
+func collectOutcome(t *testing.T, s *Source, prof sim.Profile, runID int, events []string) (string, map[string][]float64) {
+	t.Helper()
+	run, err := s.Collect(prof, runID, collector.MLPX, events)
+	if err != nil {
+		return err.Error(), nil
+	}
+	series := make(map[string][]float64)
+	for _, ev := range run.Series.Events() {
+		sr, err := run.Series.Lookup(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		series[ev] = append([]float64(nil), sr.Values...)
+	}
+	return "", series
+}
+
+func TestInjectionDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, RunFailRate: 0.1, TransientRate: 0.2, CorruptRate: 0.3}
+	prof := testProfile(t)
+	events := testEvents(t, 12)
+
+	a := newTestSource(cfg)
+	b := newTestSource(cfg)
+	for runID := 1; runID <= 8; runID++ {
+		errA, serA := collectOutcome(t, a, prof, runID, events)
+		errB, serB := collectOutcome(t, b, prof, runID, events)
+		if errA != errB {
+			t.Fatalf("run %d: error %q vs %q", runID, errA, errB)
+		}
+		if len(serA) != len(serB) {
+			t.Fatalf("run %d: series count %d vs %d", runID, len(serA), len(serB))
+		}
+		for ev, va := range serA {
+			vb := serB[ev]
+			if len(va) != len(vb) {
+				t.Fatalf("run %d %s: len %d vs %d", runID, ev, len(va), len(vb))
+			}
+			for i := range va {
+				if va[i] != vb[i] && !(math.IsNaN(va[i]) && math.IsNaN(vb[i])) {
+					t.Fatalf("run %d %s[%d]: %v vs %v", runID, ev, i, va[i], vb[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSeedChangesPattern(t *testing.T) {
+	prof := testProfile(t)
+	events := testEvents(t, 8)
+	outcomes := func(seed int64) []string {
+		s := newTestSource(Config{Seed: seed, RunFailRate: 0.5})
+		var out []string
+		for runID := 1; runID <= 20; runID++ {
+			e, _ := collectOutcome(t, s, prof, runID, events)
+			out = append(out, e)
+		}
+		return out
+	}
+	a, b := outcomes(1), outcomes(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical failure patterns")
+	}
+}
+
+func TestTransientRecoversOnRetry(t *testing.T) {
+	cfg := Config{Seed: 3, TransientRate: 1, MaxTransient: 2}
+	s := newTestSource(cfg)
+	prof := testProfile(t)
+	events := testEvents(t, 4)
+
+	var attempts int
+	for a := 1; a <= cfg.MaxTransient+1; a++ {
+		attempts = a
+		run, err := s.Collect(prof, 5, collector.MLPX, events)
+		if err == nil {
+			if run == nil || run.Series.Len() != len(events) {
+				t.Fatalf("recovered run malformed: %+v", run)
+			}
+			break
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("transient failure is not ErrInjected: %v", err)
+		}
+		if a == cfg.MaxTransient+1 {
+			t.Fatal("transient failure did not recover within MaxTransient+1 attempts")
+		}
+	}
+	if attempts < 2 {
+		t.Errorf("transient run succeeded on attempt %d; want at least one failure", attempts)
+	}
+
+	// After Reset the identical attempt sequence replays.
+	s.Reset()
+	if _, err := s.Collect(prof, 5, collector.MLPX, events); err == nil {
+		t.Error("Reset did not replay the transient failure")
+	}
+}
+
+func TestPermanentNeverRecovers(t *testing.T) {
+	s := newTestSource(Config{Seed: 1, RunFailRate: 1})
+	prof := testProfile(t)
+	for a := 0; a < 5; a++ {
+		_, err := s.Collect(prof, 9, collector.MLPX, testEvents(t, 4))
+		if err == nil {
+			t.Fatal("permanent failure recovered")
+		}
+		var ie *InjectedError
+		if !errors.As(err, &ie) || ie.Kind != "run-permanent" {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+}
+
+func TestCorruptionDamagesSeries(t *testing.T) {
+	prof := testProfile(t)
+	events := testEvents(t, 24)
+	clean := newTestSource(Config{Seed: 11})
+	dirty := newTestSource(Config{Seed: 11, CorruptRate: 1})
+
+	ref, err := clean.Collect(prof, 2, collector.MLPX, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dirty.Collect(prof, 2, collector.MLPX, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	changed := 0
+	for _, ev := range events {
+		rs, err := ref.Series.Lookup(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs, err := got.Series.Lookup(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gs.Values) != len(rs.Values) {
+			changed++ // truncation or drops
+			continue
+		}
+		for i := range gs.Values {
+			if gs.Values[i] != rs.Values[i] &&
+				!(math.IsNaN(gs.Values[i]) && math.IsNaN(rs.Values[i])) {
+				changed++
+				break
+			}
+		}
+	}
+	if changed < len(events)/2 {
+		t.Errorf("CorruptRate=1 changed only %d of %d series", changed, len(events))
+	}
+}
+
+func TestSinkInjectsPutFailures(t *testing.T) {
+	db, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := store.Record{
+		Meta:   store.RunMeta{Benchmark: "wc", RunID: 1, Mode: "MLPX"},
+		IPC:    []float64{1, 2},
+		Series: map[string][]float64{"E": {3, 4}},
+	}
+
+	failing := NewSink(db, Config{Seed: 5, StoreFailRate: 1})
+	if err := failing.Put(rec); !errors.Is(err, ErrInjected) {
+		t.Errorf("Put error = %v, want ErrInjected", err)
+	}
+	if db.Len() != 0 {
+		t.Error("failed Put reached the store")
+	}
+
+	passing := NewSink(db, Config{Seed: 5})
+	if err := passing.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 1 {
+		t.Error("clean Put did not reach the store")
+	}
+}
+
+func TestKeyedRNGIndependentOfCallOrder(t *testing.T) {
+	// The same decision key yields the same stream regardless of what
+	// other keys were derived in between.
+	a := newRNG(42, "run", "wc", "7")
+	_ = newRNG(42, "run", "other", "3").float64()
+	b := newRNG(42, "run", "wc", "7")
+	for i := 0; i < 10; i++ {
+		if a.next() != b.next() {
+			t.Fatal("keyed RNG depends on call order")
+		}
+	}
+	// Part boundaries matter: ("ab","c") != ("a","bc").
+	if newRNG(1, "ab", "c").next() == newRNG(1, "a", "bc").next() {
+		t.Error("key parts are ambiguous")
+	}
+}

@@ -99,6 +99,9 @@ type Stats struct {
 	Runs, Benchmarks int
 	// Samples is the total number of stored values across all series.
 	Samples int
+	// SkippedRecords counts records dropped while opening a damaged
+	// file (corrupt, truncated, or internally inconsistent entries).
+	SkippedRecords int
 	// ByMode counts runs per sampling mode.
 	ByMode map[string]int
 }
@@ -107,7 +110,7 @@ type Stats struct {
 func (db *DB) Summarize() Stats {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	s := Stats{ByMode: make(map[string]int)}
+	s := Stats{ByMode: make(map[string]int), SkippedRecords: db.skipped}
 	benches := map[string]bool{}
 	for _, m := range db.firstLevel {
 		s.Runs++

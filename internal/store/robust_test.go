@@ -1,0 +1,210 @@
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// bigRecord pads the series so each on-disk record spans many bytes —
+// truncation tests can then damage exactly the tail record.
+func bigRecord(benchmark string, runID int) Record {
+	vals := make([]float64, 300)
+	for i := range vals {
+		vals[i] = float64(runID*1000 + i)
+	}
+	return Record{
+		Meta:   RunMeta{Benchmark: benchmark, RunID: runID, Mode: "MLPX"},
+		IPC:    vals,
+		Series: map[string][]float64{"A.EVENT": vals},
+	}
+}
+
+func flushedStore(t *testing.T, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "runs.db")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if err := db.Put(bigRecord("wordcount", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenTruncatedFileSkipsTail(t *testing.T) {
+	path := flushedStore(t, 3)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the last record: everything before it must survive.
+	if err := os.WriteFile(path, raw[:len(raw)-40], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := Open(path)
+	if err != nil {
+		t.Fatalf("truncated file failed to open: %v", err)
+	}
+	if db.Len() != 2 {
+		t.Errorf("Len = %d, want 2 surviving records", db.Len())
+	}
+	if db.Skipped() != 1 {
+		t.Errorf("Skipped = %d, want 1", db.Skipped())
+	}
+	// Survivors are intact.
+	for runID := 1; runID <= 2; runID++ {
+		rec, ok := db.Get("wordcount", runID, "MLPX")
+		if !ok {
+			t.Fatalf("surviving run %d missing", runID)
+		}
+		if len(rec.Series["A.EVENT"]) != 300 {
+			t.Errorf("run %d series damaged: %d values", runID, len(rec.Series["A.EVENT"]))
+		}
+	}
+}
+
+func TestOpenGarbageTailSkips(t *testing.T) {
+	path := flushedStore(t, 2)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("\x01\x02not gob at all\xff\xfe")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	db, err := Open(path)
+	if err != nil {
+		t.Fatalf("file with garbage tail failed to open: %v", err)
+	}
+	if db.Len() != 2 {
+		t.Errorf("Len = %d, want 2", db.Len())
+	}
+	if db.Skipped() != 1 {
+		t.Errorf("Skipped = %d, want 1", db.Skipped())
+	}
+}
+
+func TestOpenHealthyFileSkipsNothing(t *testing.T) {
+	db, err := Open(flushedStore(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 3 || db.Skipped() != 0 {
+		t.Errorf("Len = %d, Skipped = %d; want 3, 0", db.Len(), db.Skipped())
+	}
+}
+
+func TestStatsReportSkippedRecords(t *testing.T) {
+	path := flushedStore(t, 3)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-40], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Summarize().SkippedRecords; got != 1 {
+		t.Errorf("Stats.SkippedRecords = %d, want 1", got)
+	}
+}
+
+// TestOpenLegacyV1 reads a version-1 single-blob file, skipping entries
+// whose two levels are inconsistent.
+func TestOpenLegacyV1(t *testing.T) {
+	good := RunMeta{
+		Benchmark: "wordcount", RunID: 1, Mode: "MLPX",
+		Events: []string{"A.EVENT"}, Intervals: 3,
+		SeriesTable: "series/wordcount/1/MLPX",
+	}
+	orphan := RunMeta{ // SeriesTable missing from SecondLevel
+		Benchmark: "sort", RunID: 2, Mode: "MLPX",
+		SeriesTable: "series/sort/2/MLPX",
+	}
+	invalid := RunMeta{ // no SeriesTable at all
+		Benchmark: "terasort", RunID: 3, Mode: "MLPX",
+	}
+	img := persisted{
+		Version: 1,
+		FirstLevel: map[string]RunMeta{
+			"wordcount/1/MLPX": good,
+			"sort/2/MLPX":      orphan,
+			"terasort/3/MLPX":  invalid,
+		},
+		SecondLevel: map[string]map[string][]float64{
+			good.SeriesTable: {"A.EVENT": {1, 2, 3}, ipcColumn: {0.5, 0.6, 0.7}},
+			"series/terasort/3/MLPX": {"A.EVENT": {9}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "legacy.db")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := Open(path)
+	if err != nil {
+		t.Fatalf("legacy v1 file failed to open: %v", err)
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (only the consistent record)", db.Len())
+	}
+	if db.Skipped() != 2 {
+		t.Errorf("Skipped = %d, want 2", db.Skipped())
+	}
+	rec, ok := db.Get("wordcount", 1, "MLPX")
+	if !ok {
+		t.Fatal("good legacy record missing")
+	}
+	if len(rec.IPC) != 3 || rec.Series["A.EVENT"][2] != 3 {
+		t.Errorf("legacy record damaged: %+v", rec)
+	}
+}
+
+func TestOpenFutureVersionErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(persisted{Version: 99}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "future.db")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("future format version opened without error")
+	}
+}
+
+// TestFlushDeterministic: flushing the same contents twice produces
+// byte-identical files (records are written in sorted key order).
+func TestFlushDeterministic(t *testing.T) {
+	a, err := os.ReadFile(flushedStore(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(flushedStore(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two flushes of identical contents differ on disk")
+	}
+}

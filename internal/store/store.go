@@ -14,6 +14,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -59,22 +60,48 @@ type DB struct {
 	// secondLevel maps a series-table name to its per-event series
 	// (IPC stored under the reserved name "__ipc__").
 	secondLevel map[string]map[string][]float64
-	dirty       bool
+	// skipped counts records dropped while opening a damaged file.
+	skipped int
+	dirty   bool
 }
 
 const ipcColumn = "__ipc__"
 
-// persisted is the on-disk image.
+// persisted is the on-disk header. Version 1 stored the whole database
+// in this one gob value; version 2 stores only the header here,
+// followed by a stream of independent diskRecord values, so a corrupt
+// or truncated tail loses individual records instead of the whole file.
 type persisted struct {
 	Version     int
 	FirstLevel  map[string]RunMeta
 	SecondLevel map[string]map[string][]float64
 }
 
-const formatVersion = 1
+// diskRecord is one version-2 on-disk record. Series is a slice sorted
+// by event name rather than a map so that encoding is deterministic:
+// flushing the same contents always produces byte-identical files.
+type diskRecord struct {
+	Key    string
+	Meta   RunMeta
+	Series []diskSeries
+}
+
+// diskSeries is one event column of a version-2 record.
+type diskSeries struct {
+	Event  string
+	Values []float64
+}
+
+const formatVersion = 2
 
 // Open opens (or creates) a store at path. An empty path creates a
 // purely in-memory store that cannot be flushed.
+//
+// Open is resilient to damaged files: records that are corrupt,
+// truncated, or internally inconsistent are skipped (and counted in
+// Skipped / Stats.SkippedRecords) rather than failing the whole open.
+// Only an unreadable header — a file that is not a store at all —
+// returns an error.
 func Open(path string) (*DB, error) {
 	db := &DB{
 		path:        path,
@@ -92,20 +119,74 @@ func Open(path string) (*DB, error) {
 		return nil, fmt.Errorf("store: open: %w", err)
 	}
 	defer f.Close()
+	dec := gob.NewDecoder(f)
 	var img persisted
-	if err := gob.NewDecoder(f).Decode(&img); err != nil {
+	if err := dec.Decode(&img); err != nil {
 		return nil, fmt.Errorf("store: decode %s: %w", path, err)
 	}
-	if img.Version != formatVersion {
-		return nil, fmt.Errorf("store: %s has format version %d, want %d", path, img.Version, formatVersion)
-	}
-	if img.FirstLevel != nil {
-		db.firstLevel = img.FirstLevel
-	}
-	if img.SecondLevel != nil {
-		db.secondLevel = img.SecondLevel
+	switch img.Version {
+	case 1:
+		db.loadLegacy(img)
+	case formatVersion:
+		db.loadStream(dec)
+	default:
+		return nil, fmt.Errorf("store: %s has format version %d, want <= %d", path, img.Version, formatVersion)
 	}
 	return db, nil
+}
+
+// loadLegacy imports a version-1 single-blob image, skipping records
+// whose two levels are inconsistent.
+func (db *DB) loadLegacy(img persisted) {
+	for k, meta := range img.FirstLevel {
+		series, ok := img.SecondLevel[meta.SeriesTable]
+		if !ok || !validMeta(meta) {
+			db.skipped++
+			continue
+		}
+		db.firstLevel[k] = meta
+		db.secondLevel[meta.SeriesTable] = series
+	}
+}
+
+// loadStream imports version-2 records until the stream ends. A decode
+// error (corruption or truncation) ends the load — a gob stream cannot
+// be resynchronised — with everything already read retained and the
+// broken tail counted as skipped.
+func (db *DB) loadStream(dec *gob.Decoder) {
+	for {
+		var dr diskRecord
+		if err := dec.Decode(&dr); err != nil {
+			if !errors.Is(err, io.EOF) {
+				db.skipped++
+			}
+			return
+		}
+		if dr.Key == "" || len(dr.Series) == 0 || !validMeta(dr.Meta) ||
+			dr.Key != key(dr.Meta.Benchmark, dr.Meta.RunID, dr.Meta.Mode) {
+			db.skipped++
+			continue
+		}
+		table := make(map[string][]float64, len(dr.Series))
+		for _, ds := range dr.Series {
+			table[ds.Event] = ds.Values
+		}
+		db.firstLevel[dr.Key] = dr.Meta
+		db.secondLevel[dr.Meta.SeriesTable] = table
+	}
+}
+
+// validMeta checks the invariants every stored record satisfies.
+func validMeta(m RunMeta) bool {
+	return m.Benchmark != "" && m.Mode != "" && m.SeriesTable != ""
+}
+
+// Skipped reports how many records were dropped while opening a
+// damaged file (0 for a healthy one).
+func (db *DB) Skipped() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.skipped
 }
 
 // key builds the first-level primary key.
@@ -251,18 +332,13 @@ func (db *DB) Flush() error {
 	if !db.dirty {
 		return nil
 	}
-	img := persisted{
-		Version:     formatVersion,
-		FirstLevel:  db.firstLevel,
-		SecondLevel: db.secondLevel,
-	}
 	dir := filepath.Dir(db.path)
 	tmp, err := os.CreateTemp(dir, ".cmdb-*")
 	if err != nil {
 		return fmt.Errorf("store: flush: %w", err)
 	}
 	tmpName := tmp.Name()
-	if err := gob.NewEncoder(tmp).Encode(&img); err != nil {
+	if err := db.encodeTo(tmp); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
 		return fmt.Errorf("store: encode: %w", err)
@@ -276,5 +352,37 @@ func (db *DB) Flush() error {
 		return fmt.Errorf("store: rename: %w", err)
 	}
 	db.dirty = false
+	return nil
+}
+
+// encodeTo writes the version-2 image: a header, then one gob value per
+// record in key order (deterministic files, independently decodable
+// records).
+func (db *DB) encodeTo(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(&persisted{Version: formatVersion}); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(db.firstLevel))
+	for k := range db.firstLevel {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		meta := db.firstLevel[k]
+		table := db.secondLevel[meta.SeriesTable]
+		events := make([]string, 0, len(table))
+		for ev := range table {
+			events = append(events, ev)
+		}
+		sort.Strings(events)
+		series := make([]diskSeries, len(events))
+		for i, ev := range events {
+			series[i] = diskSeries{Event: ev, Values: table[ev]}
+		}
+		if err := enc.Encode(&diskRecord{Key: k, Meta: meta, Series: series}); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -28,9 +28,20 @@ func (set *Set) Get(event string) (*Series, bool) {
 	return s, ok
 }
 
-// MustGet returns the series for event, panicking if it is absent. It is
-// intended for experiment code where the event set is fixed by
-// construction.
+// Lookup returns the series for event, or an error naming the missing
+// event. Library code should use Lookup (or Get) rather than MustGet so
+// an absent event surfaces as a reportable error instead of a panic.
+func (set *Set) Lookup(event string) (*Series, error) {
+	s, ok := set.series[event]
+	if !ok {
+		return nil, fmt.Errorf("timeseries: no series for event %q", event)
+	}
+	return s, nil
+}
+
+// MustGet returns the series for event, panicking if it is absent. It
+// is intended for tests only, where the event set is fixed by
+// construction; library code must use Lookup or Get.
 func (set *Set) MustGet(event string) *Series {
 	s, ok := set.series[event]
 	if !ok {
@@ -80,19 +91,30 @@ func (set *Set) MinLen() int {
 
 // Matrix returns a rectangular sample matrix X with one row per
 // measurement interval and one column per event (in the order given),
-// truncated to the shortest series. Events missing from the set yield an
-// error.
+// truncated to the shortest *requested* series — series in the set but
+// not in events (e.g. quarantined columns) do not shrink the matrix.
+// Events missing from the set yield an error.
 func (set *Set) Matrix(events []string) ([][]float64, error) {
-	n := set.MinLen()
-	X := make([][]float64, n)
-	for i := range X {
-		X[i] = make([]float64, len(events))
-	}
+	cols := make([]*Series, len(events))
+	n := -1
 	for j, ev := range events {
 		s, ok := set.Get(ev)
 		if !ok {
 			return nil, fmt.Errorf("timeseries: matrix: missing event %q", ev)
 		}
+		cols[j] = s
+		if n < 0 || s.Len() < n {
+			n = s.Len()
+		}
+	}
+	if n < 0 {
+		n = 0
+	}
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = make([]float64, len(events))
+	}
+	for j, s := range cols {
 		for i := 0; i < n; i++ {
 			X[i][j] = s.At(i)
 		}

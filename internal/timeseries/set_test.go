@@ -93,3 +93,52 @@ func TestMustGetPanics(t *testing.T) {
 	}()
 	NewSet().MustGet("missing")
 }
+
+func TestSetLookup(t *testing.T) {
+	set := NewSet()
+	set.Put(New("A", []float64{1, 2, 3}))
+
+	s, err := set.Lookup("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Event != "A" || len(s.Values) != 3 {
+		t.Errorf("lookup returned %+v", s)
+	}
+
+	if _, err := set.Lookup("MISSING"); err == nil {
+		t.Fatal("Lookup of an absent event returned no error")
+	} else if got := err.Error(); got != `timeseries: no series for event "MISSING"` {
+		t.Errorf("error = %q", got)
+	}
+}
+
+// TestMatrixIgnoresUnrequestedShortSeries pins the property the
+// quarantine path depends on: a damaged (short) series left in the set
+// but excluded from the requested columns must not shrink the matrix.
+func TestMatrixIgnoresUnrequestedShortSeries(t *testing.T) {
+	set := NewSet()
+	set.Put(New("A", []float64{1, 2, 3, 4, 5}))
+	set.Put(New("B", []float64{10, 20, 30, 40, 50}))
+	set.Put(New("TRUNCATED", []float64{7, 8})) // quarantined column
+
+	m, err := set.Matrix([]string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 5 {
+		t.Fatalf("matrix rows = %d, want 5 (short unrequested series must not truncate)", len(m))
+	}
+	if m[4][0] != 5 || m[4][1] != 50 {
+		t.Errorf("last row = %v", m[4])
+	}
+
+	// When a short series IS requested, the matrix truncates to it.
+	m, err = set.Matrix([]string{"A", "TRUNCATED"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Errorf("matrix rows = %d, want 2", len(m))
+	}
+}

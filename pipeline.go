@@ -3,14 +3,17 @@ package counterminer
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"counterminer/internal/clean"
 	"counterminer/internal/collector"
+	"counterminer/internal/fault"
 	"counterminer/internal/interact"
 	"counterminer/internal/rank"
 	"counterminer/internal/sgbrt"
 	"counterminer/internal/sim"
 	"counterminer/internal/store"
+	"counterminer/internal/timeseries"
 )
 
 // Options configures a Pipeline. The zero value selects paper-faithful
@@ -43,6 +46,67 @@ type Options struct {
 	// induction, interaction ranking); <= 0 uses GOMAXPROCS. Results are
 	// identical for every worker count.
 	Workers int
+	// Retry configures the per-run Collect retry loop; the zero value
+	// selects 3 attempts with no backoff delay.
+	Retry RetryPolicy
+	// MinRuns is the run quorum: the analysis proceeds when at least
+	// MinRuns of Runs collections succeed (after retries) and returns a
+	// QuorumError otherwise. <= 0 requires every run to succeed.
+	MinRuns int
+	// Source overrides where benchmark runs come from; nil collects
+	// from the built-in simulated cluster. Wrap a collector with
+	// fault.NewSource to inject failures.
+	Source fault.RunSource
+	// Sink overrides where collected runs are persisted; nil persists
+	// to StorePath (if set). Wrap a store with fault.NewSink to inject
+	// write failures.
+	Sink fault.RunSink
+}
+
+// RetryPolicy configures the capped deterministic backoff around run
+// collection.
+type RetryPolicy struct {
+	// Attempts is the maximum Collect attempts per run (default 3).
+	Attempts int
+	// BaseDelay is the backoff before the first retry; retry k waits
+	// BaseDelay << (k-1), capped at MaxDelay. Zero retries immediately,
+	// which keeps tests deterministic and fast.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 32 * BaseDelay).
+	MaxDelay time.Duration
+	// Sleep overrides time.Sleep; tests inject a recorder or no-op.
+	Sleep func(time.Duration)
+}
+
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	if r.Attempts <= 0 {
+		r.Attempts = 3
+	}
+	if r.MaxDelay <= 0 {
+		r.MaxDelay = 32 * r.BaseDelay
+	}
+	if r.Sleep == nil {
+		r.Sleep = time.Sleep
+	}
+	return r
+}
+
+// delay returns the capped exponential backoff before retry k (1-based).
+func (r RetryPolicy) delay(k int) time.Duration {
+	if r.BaseDelay <= 0 {
+		return 0
+	}
+	d := r.BaseDelay
+	for i := 1; i < k; i++ {
+		d *= 2
+		if d >= r.MaxDelay {
+			return r.MaxDelay
+		}
+	}
+	if d > r.MaxDelay {
+		d = r.MaxDelay
+	}
+	return d
 }
 
 func (o Options) withDefaults() Options {
@@ -61,6 +125,10 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.MinRuns <= 0 || o.MinRuns > o.Runs {
+		o.MinRuns = o.Runs
+	}
+	o.Retry = o.Retry.withDefaults()
 	return o
 }
 
@@ -105,6 +173,10 @@ type Analysis struct {
 	EIRErrors    []float64
 	// OutliersReplaced and MissingFilled aggregate the cleaner's work.
 	OutliersReplaced, MissingFilled int
+	// Degradation reports everything the analysis survived: retried
+	// and failed runs, quarantined event columns, store write
+	// failures. Its zero value means the analysis ran entirely clean.
+	Degradation Degradation
 }
 
 // TopEvents returns the k most important events.
@@ -143,10 +215,10 @@ func (a *Analysis) SMICount() int {
 // Pipeline wires collector, cleaner, importance ranker, and interaction
 // ranker together over the simulated cluster.
 type Pipeline struct {
-	opts Options
-	cat  *sim.Catalogue
-	col  *collector.Collector
-	db   *store.DB
+	opts   Options
+	cat    *sim.Catalogue
+	source fault.RunSource
+	sink   fault.RunSink
 }
 
 // NewPipeline builds a pipeline with the given options.
@@ -154,16 +226,20 @@ func NewPipeline(opts Options) (*Pipeline, error) {
 	opts = opts.withDefaults()
 	cat := sim.NewCatalogue()
 	p := &Pipeline{
-		opts: opts,
-		cat:  cat,
-		col:  collector.New(cat),
+		opts:   opts,
+		cat:    cat,
+		source: opts.Source,
 	}
-	if opts.StorePath != "" {
+	if p.source == nil {
+		p.source = collector.New(cat)
+	}
+	p.sink = opts.Sink
+	if p.sink == nil && opts.StorePath != "" {
 		db, err := store.Open(opts.StorePath)
 		if err != nil {
 			return nil, err
 		}
-		p.db = db
+		p.sink = db
 	}
 	return p, nil
 }
@@ -207,32 +283,102 @@ func (p *Pipeline) analyzeProfile(prof sim.Profile) (*Analysis, error) {
 	}
 
 	ana := &Analysis{Benchmark: prof.Name, Events: len(events)}
+	deg := &ana.Degradation
 
-	// ----- Collect and clean.
+	// ----- Collect, with a capped-backoff retry loop and a run quorum.
+	// Cluster-scale collection loses runs; the analysis degrades
+	// gracefully as long as MinRuns survive, and every loss is recorded
+	// in the Degradation report.
+	runs := make([]*collector.Run, 0, p.opts.Runs)
+	for run := 1; run <= p.opts.Runs; run++ {
+		runID := int(p.opts.Seed)*100 + run
+		deg.RunsAttempted++
+		r, attempts, err := p.collectWithRetry(prof, runID, events)
+		deg.Retries += attempts - 1
+		if err != nil {
+			deg.RunsFailed = append(deg.RunsFailed, RunFailure{
+				RunID: runID, Attempts: attempts, Reason: err.Error(),
+			})
+			continue
+		}
+		deg.RunsSucceeded++
+		runs = append(runs, r)
+	}
+	if len(runs) < p.opts.MinRuns {
+		return nil, &QuorumError{
+			Benchmark: prof.Name,
+			Succeeded: len(runs),
+			Required:  p.opts.MinRuns,
+			Attempted: p.opts.Runs,
+			Failures:  append([]RunFailure(nil), deg.RunsFailed...),
+		}
+	}
+
+	// ----- Validate: quarantine event columns no cleaner can repair
+	// (truncated or dropped intervals, NaN/Inf garbage, dead counters).
+	// A column quarantined in any run is excluded from all of them so
+	// the training matrices stay column-aligned across runs.
+	quarantined := make(map[string]bool)
+	for _, r := range runs {
+		for _, ev := range events {
+			if quarantined[ev] {
+				continue
+			}
+			reason := ""
+			if s, err := r.Series.Lookup(ev); err != nil {
+				reason = "missing from run"
+			} else if verr := clean.ValidateSeries(s.Values, len(r.IPC)); verr != nil {
+				reason = verr.Error()
+			}
+			if reason != "" {
+				quarantined[ev] = true
+				deg.EventsQuarantined = append(deg.EventsQuarantined, Quarantine{
+					Event: ev, RunID: r.RunID, Reason: reason,
+				})
+			}
+		}
+	}
+	kept := events
+	if len(quarantined) > 0 {
+		kept = make([]string, 0, len(events)-len(quarantined))
+		for _, ev := range events {
+			if !quarantined[ev] {
+				kept = append(kept, ev)
+			}
+		}
+	}
+	if len(kept) < 2 {
+		return nil, &SeriesError{
+			Benchmark:   prof.Name,
+			Remaining:   len(kept),
+			Quarantined: append([]Quarantine(nil), deg.EventsQuarantined...),
+		}
+	}
+
+	// ----- Clean, persist, and assemble the training matrix.
 	copts := p.opts.CleanOptions
 	if copts.Workers == 0 {
 		copts.Workers = p.opts.Workers
 	}
 	var X [][]float64
 	var y []float64
-	for run := 1; run <= p.opts.Runs; run++ {
-		r, err := p.col.Collect(prof, int(p.opts.Seed)*100+run, collector.MLPX, events)
-		if err != nil {
-			return nil, err
-		}
-		cleaned, rep, err := clean.Set(r.Series, copts)
+	for _, r := range runs {
+		cleaned, rep, err := clean.Set(subset(r.Series, kept), copts)
 		if err != nil {
 			return nil, err
 		}
 		ana.OutliersReplaced += rep.TotalOutliers
 		ana.MissingFilled += rep.TotalMissing
-		if p.db != nil {
+		if p.sink != nil {
+			// The raw run (every event, quarantined ones included) is
+			// what the store keeps; a failed write loses persistence
+			// only, never the analysis.
 			if err := p.persist(r); err != nil {
-				return nil, err
+				deg.StoreErrors = append(deg.StoreErrors, err.Error())
 			}
 		}
 		r.Series = cleaned
-		Xr, yr, err := r.TrainingMatrix(events)
+		Xr, yr, err := r.TrainingMatrix(kept)
 		if err != nil {
 			return nil, err
 		}
@@ -248,15 +394,15 @@ func (p *Pipeline) analyzeProfile(prof sim.Profile) (*Analysis, error) {
 	}
 	var mapm *rank.Model
 	if p.opts.SkipEIR {
-		m, err := rank.Fit(X, y, events, ropts)
+		m, err := rank.Fit(X, y, kept, ropts)
 		if err != nil {
 			return nil, err
 		}
 		mapm = m
-		ana.EIRNumEvents = []int{len(events)}
+		ana.EIRNumEvents = []int{len(kept)}
 		ana.EIRErrors = []float64{m.TestError}
 	} else {
-		res, err := rank.EIR(X, y, events, ropts)
+		res, err := rank.EIR(X, y, kept, ropts)
 		if err != nil {
 			return nil, err
 		}
@@ -284,7 +430,7 @@ func (p *Pipeline) analyzeProfile(prof sim.Profile) (*Analysis, error) {
 		for i, ei := range top {
 			names[i] = ei.Event
 		}
-		subX, err := matrixColumns(X, events, names)
+		subX, err := matrixColumns(X, kept, names)
 		if err != nil {
 			return nil, err
 		}
@@ -308,12 +454,52 @@ func (p *Pipeline) analyzeProfile(prof sim.Profile) (*Analysis, error) {
 		}
 	}
 
-	if p.db != nil {
-		if err := p.db.Flush(); err != nil {
-			return nil, err
+	if p.sink != nil {
+		if err := p.sink.Flush(); err != nil {
+			deg.StoreErrors = append(deg.StoreErrors, err.Error())
 		}
 	}
 	return ana, nil
+}
+
+// collectWithRetry wraps one run collection in the Options.Retry
+// policy: up to Attempts tries with capped exponential backoff. It
+// returns the run, the attempts spent, and a *RunError (matching
+// ErrRunFailed) once every attempt has failed.
+func (p *Pipeline) collectWithRetry(prof sim.Profile, runID int, events []string) (*collector.Run, int, error) {
+	pol := p.opts.Retry
+	var lastErr error
+	for a := 1; a <= pol.Attempts; a++ {
+		if a > 1 {
+			if d := pol.delay(a - 1); d > 0 {
+				pol.Sleep(d)
+			}
+		}
+		r, err := p.source.Collect(prof, runID, collector.MLPX, events)
+		if err == nil {
+			return r, a, nil
+		}
+		lastErr = err
+	}
+	return nil, pol.Attempts, &RunError{
+		Benchmark: prof.Name, RunID: runID, Attempts: pol.Attempts, Err: lastErr,
+	}
+}
+
+// subset returns a set holding only the given events (series shared,
+// not copied); the input is returned unchanged when nothing is
+// excluded.
+func subset(in *timeseries.Set, events []string) *timeseries.Set {
+	if in.Len() == len(events) {
+		return in
+	}
+	out := timeseries.NewSet()
+	for _, ev := range events {
+		if s, ok := in.Get(ev); ok {
+			out.Put(s)
+		}
+	}
+	return out
 }
 
 // abbrev maps an event name to its catalogue abbreviation (or itself).
@@ -337,11 +523,14 @@ func (p *Pipeline) persist(r *collector.Run) error {
 		Series: make(map[string][]float64, r.Series.Len()),
 	}
 	for _, ev := range r.Series.Events() {
-		s, _ := r.Series.Get(ev)
+		s, err := r.Series.Lookup(ev)
+		if err != nil {
+			return err
+		}
 		rec.Meta.Events = append(rec.Meta.Events, ev)
 		rec.Series[ev] = s.Values
 	}
-	return p.db.Put(rec)
+	return p.sink.Put(rec)
 }
 
 // matrixColumns re-projects X (whose columns follow `from`) onto the

@@ -15,6 +15,10 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== chaos soak (seeded fault-injection sweep) =="
+go test -race -count=2 -run 'Chaos|Retry|Injection|Transient|Permanent|Corruption|Sink|KeyedRNG' \
+    . ./internal/fault/
+
 echo "== short benchmarks =="
 go test -run='^$' -bench='Fit|BuildTreeOrdered|PredictAll|RankPairs|Distance' \
     -benchtime=1x -benchmem ./internal/sgbrt/ ./internal/interact/ ./internal/dtw/
