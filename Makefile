@@ -21,7 +21,7 @@ race:
 # twice under the race detector. Deterministic — a failure here is a
 # real regression, not flakiness.
 chaos:
-	$(GO) test -race -count=2 -run 'Chaos|Retry|Injection|Transient|Permanent|Corruption|Sink|KeyedRNG' . ./internal/fault/
+	$(GO) test -race -count=2 -run 'Chaos|Retry|Injection|Transient|Permanent|Corruption|Sink|KeyedRNG|Cancel' . ./internal/fault/
 
 # Short allocation-aware sweep over the hot-path micro-benchmarks.
 bench:

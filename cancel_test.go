@@ -1,0 +1,373 @@
+package counterminer
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"counterminer/internal/collector"
+	"counterminer/internal/sim"
+	"counterminer/internal/store"
+)
+
+// cancellingSource wraps the real collector and fires cancel after a
+// set number of Collect calls — a deterministic way to land a
+// cancellation inside the Collect stage.
+type cancellingSource struct {
+	inner       *collector.Collector
+	cancelAfter int
+	calls       atomic.Int64
+	cancel      context.CancelFunc
+}
+
+func (s *cancellingSource) Collect(p sim.Profile, runID int, mode collector.Mode, events []string) (*collector.Run, error) {
+	if int(s.calls.Add(1)) == s.cancelAfter {
+		s.cancel()
+	}
+	return s.inner.Collect(p, runID, mode, events)
+}
+
+// cancellingSink wraps a store and fires cancel on the Nth Put (or on
+// Flush when putCancelAt is 0) — landing the cancellation inside the
+// Persist stage.
+type cancellingSink struct {
+	inner       *store.DB
+	putCancelAt int
+	puts        atomic.Int64
+	cancel      context.CancelFunc
+}
+
+func (k *cancellingSink) Put(rec store.Record) error {
+	if int(k.puts.Add(1)) == k.putCancelAt {
+		k.cancel()
+	}
+	return k.inner.Put(rec)
+}
+
+func (k *cancellingSink) Flush() error {
+	if k.putCancelAt == 0 {
+		k.cancel()
+	}
+	return k.inner.Flush()
+}
+
+func TestAnalyzeContextPreCanceled(t *testing.T) {
+	p, err := NewPipeline(fastOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a, err := p.AnalyzeContext(ctx, "wordcount")
+	if a != nil {
+		t.Error("pre-canceled context returned an analysis")
+	}
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	var ce *CancelError
+	if !errors.As(err, &ce) || ce.Stage != StageCollect {
+		t.Errorf("err = %v, want *CancelError at stage %s", err, StageCollect)
+	}
+}
+
+// TestAnalyzeContextCancelDuringCollect cancels from inside the second
+// Collect call and asserts the typed error, the stage name, and that
+// no further runs were collected (cancel latency of one work item).
+func TestAnalyzeContextCancelDuringCollect(t *testing.T) {
+	opts := fastOptions(t)
+	opts.Runs = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := &cancellingSource{inner: collector.New(sim.NewCatalogue()), cancelAfter: 2, cancel: cancel}
+	opts.Source = src
+	p, err := NewPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.AnalyzeContext(ctx, "wordcount")
+	if a != nil {
+		t.Error("canceled analysis returned a result")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	var ce *CancelError
+	if !errors.As(err, &ce) || ce.Stage != StageCollect {
+		t.Fatalf("err = %v, want *CancelError at stage %s", err, StageCollect)
+	}
+	if n := src.calls.Load(); n != 2 {
+		t.Errorf("source collected %d runs after cancel at call 2", n)
+	}
+}
+
+// TestAnalyzeContextCancelDuringPersist cancels from inside the first
+// store Put and asserts that the analysis aborts with the typed error
+// before Flush, leaving no partial store on disk: a reopen sees zero
+// records and zero skipped (corrupt-tail) entries.
+func TestAnalyzeContextCancelDuringPersist(t *testing.T) {
+	dbPath := filepath.Join(t.TempDir(), "runs.db")
+	db, err := store.Open(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := fastOptions(t)
+	sink := &cancellingSink{inner: db, putCancelAt: 1, cancel: cancel}
+	opts.Sink = sink
+	p, err := NewPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.AnalyzeContext(ctx, "wordcount")
+	if a != nil {
+		t.Error("canceled analysis returned a result")
+	}
+	var ce *CancelError
+	if !errors.As(err, &ce) || ce.Stage != StagePersist {
+		t.Fatalf("err = %v, want *CancelError at stage %s", err, StagePersist)
+	}
+	// The cancel fired during the first Put; the stage must abort before
+	// reaching Flush, so nothing was written to disk.
+	reopened, err := store.Open(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reopened.Len(); n != 0 {
+		t.Errorf("store has %d records after canceled persist, want 0", n)
+	}
+	if n := reopened.Skipped(); n != 0 {
+		t.Errorf("store skipped %d corrupt records, want 0", n)
+	}
+}
+
+// TestAnalyzeContextCompletedThenCanceled fires the cancellation from
+// inside the final Flush — after every stage's work is done. The
+// completed analysis must be returned, not discarded.
+func TestAnalyzeContextCompletedThenCanceled(t *testing.T) {
+	dbPath := filepath.Join(t.TempDir(), "runs.db")
+	db, err := store.Open(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := fastOptions(t)
+	opts.Sink = &cancellingSink{inner: db, putCancelAt: 0, cancel: cancel} // cancel on Flush
+	p, err := NewPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.AnalyzeContext(ctx, "wordcount")
+	if err != nil {
+		t.Fatalf("completed-then-canceled analysis errored: %v", err)
+	}
+	if a == nil || len(a.Importance) == 0 {
+		t.Fatalf("finished analysis missing: %+v", a)
+	}
+	if len(a.Stages) != 6 {
+		t.Errorf("Stages = %v, want all 6 stages recorded", a.Stages)
+	}
+	// Flush itself ran before the cancel was observable: the records are
+	// on disk.
+	reopened, err := store.Open(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reopened.Len(); n != opts.Runs {
+		t.Errorf("store has %d records, want %d", n, opts.Runs)
+	}
+}
+
+// countdownCtx reports Canceled after a fixed number of Err polls —
+// a deterministic device to land a cancellation at successive points
+// of the (serial, Workers=1) stage plan without depending on timing.
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+	done      chan struct{}
+	once      sync.Once
+}
+
+func newCountdownCtx(polls int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background(), done: make(chan struct{})}
+	c.remaining.Store(polls)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		c.once.Do(func() { close(c.done) })
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countdownCtx) Done() <-chan struct{} { return c.done }
+
+// TestAnalyzeContextCancelLandsInEveryStage sweeps a geometric ladder
+// of poll budgets so the cancellation lands in different stages (the
+// Rank stage's boosting loop polls per tree, so mid-size budgets land
+// there) and asserts the invariant: every aborted run yields a typed
+// *CancelError naming a known stage, and a large enough budget lets
+// the analysis complete.
+func TestAnalyzeContextCancelLandsInEveryStage(t *testing.T) {
+	known := map[string]bool{
+		StageCollect: true, StageValidate: true, StageClean: true,
+		StageRank: true, StageInteract: true, StagePersist: true,
+	}
+	opts := fastOptions(t)
+	opts.Workers = 1
+	opts.Trees = 20
+	stagesHit := map[string]bool{}
+	completed := false
+	for polls := int64(1); polls < 1<<22 && !completed; polls *= 4 {
+		p, err := NewPipeline(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := p.AnalyzeContext(newCountdownCtx(polls), "wordcount")
+		if err == nil {
+			if a == nil || len(a.Importance) == 0 {
+				t.Fatalf("polls=%d: completed analysis is empty", polls)
+			}
+			completed = true
+			continue
+		}
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("polls=%d: err = %v, want ErrCanceled", polls, err)
+		}
+		var ce *CancelError
+		if !errors.As(err, &ce) {
+			t.Fatalf("polls=%d: err = %v, want *CancelError", polls, err)
+		}
+		if !known[ce.Stage] {
+			t.Fatalf("polls=%d: unknown stage %q in %v", polls, ce.Stage, err)
+		}
+		stagesHit[ce.Stage] = true
+	}
+	if !completed {
+		t.Error("no poll budget let the analysis complete")
+	}
+	if len(stagesHit) < 2 {
+		t.Errorf("cancellation only ever landed in %v; expected the ladder to hit several stages", stagesHit)
+	}
+}
+
+// failOnceSource fails the first Collect call (after cancelling the
+// context) and would succeed afterwards — but a canceled context must
+// stop the retry loop before any second attempt.
+type failOnceSource struct {
+	inner  *collector.Collector
+	calls  atomic.Int64
+	cancel context.CancelFunc
+}
+
+func (s *failOnceSource) Collect(p sim.Profile, runID int, mode collector.Mode, events []string) (*collector.Run, error) {
+	if s.calls.Add(1) == 1 {
+		s.cancel()
+		return nil, errors.New("transient failure racing the cancellation")
+	}
+	return s.inner.Collect(p, runID, mode, events)
+}
+
+// TestCollectRetryNeverRetriesCanceled pins the ISSUE's retry rule: a
+// cancellation between attempts aborts the loop with the context's
+// error — it is not counted as a failed attempt, not retried, and not
+// charged to the degradation report.
+func TestCollectRetryNeverRetriesCanceled(t *testing.T) {
+	var slept []time.Duration
+	opts := fastOptions(t)
+	opts.Retry = RetryPolicy{
+		Attempts:  3,
+		BaseDelay: 10 * time.Millisecond,
+		Sleep:     func(d time.Duration) { slept = append(slept, d) },
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := &failOnceSource{inner: collector.New(sim.NewCatalogue()), cancel: cancel}
+	opts.Source = src
+	p, err := NewPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.AnalyzeContext(ctx, "wordcount")
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	var ce *CancelError
+	if !errors.As(err, &ce) || ce.Stage != StageCollect {
+		t.Fatalf("err = %v, want *CancelError at stage %s", err, StageCollect)
+	}
+	if n := src.calls.Load(); n != 1 {
+		t.Errorf("source called %d times; a canceled retry loop must not re-attempt", n)
+	}
+	// The injected Sleep runs to completion before the context check, so
+	// exactly one backoff wait happened — and none after.
+	if len(slept) > 1 {
+		t.Errorf("backoff slept %d times after cancellation", len(slept))
+	}
+}
+
+// TestBackoffSleepAbortsOnCancel pins the context-aware timer: with a
+// long BaseDelay and no injected Sleep, cancelling mid-backoff returns
+// promptly instead of serving out the full delay.
+func TestBackoffSleepAbortsOnCancel(t *testing.T) {
+	pol := RetryPolicy{BaseDelay: time.Minute}.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := pol.sleep(ctx, pol.delay(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sleep returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("sleep took %v despite cancellation", elapsed)
+	}
+}
+
+// TestRetryDelayOverflow is the regression test for the d *= 2
+// overflow: with a huge BaseDelay the doubling used to wrap into a
+// negative duration. The delay must now clamp at MaxDelay for every
+// retry index.
+func TestRetryDelayOverflow(t *testing.T) {
+	pol := RetryPolicy{
+		Attempts:  64,
+		BaseDelay: time.Duration(math.MaxInt64/2 + 1),
+	}.withDefaults()
+	if pol.MaxDelay != time.Duration(math.MaxInt64) {
+		t.Fatalf("MaxDelay = %v, want MaxInt64 (32*BaseDelay overflows)", pol.MaxDelay)
+	}
+	for k := 1; k <= pol.Attempts; k++ {
+		d := pol.delay(k)
+		if d < 0 {
+			t.Fatalf("delay(%d) = %v, negative duration (overflow)", k, d)
+		}
+		if k > 1 && d != pol.MaxDelay {
+			t.Errorf("delay(%d) = %v, want clamp at MaxDelay %v", k, d, pol.MaxDelay)
+		}
+	}
+
+	// A modest base with many retries crosses the old overflow point
+	// (2^62 ns ≈ 146 years) long before attempt 64; every step must stay
+	// capped and non-negative.
+	pol = RetryPolicy{Attempts: 64, BaseDelay: time.Hour}.withDefaults()
+	for k := 1; k <= pol.Attempts; k++ {
+		d := pol.delay(k)
+		if d < 0 || d > pol.MaxDelay {
+			t.Fatalf("delay(%d) = %v, outside [0, %v]", k, d, pol.MaxDelay)
+		}
+	}
+	if got := pol.delay(63); got != pol.MaxDelay {
+		t.Errorf("delay(63) = %v, want MaxDelay %v", got, pol.MaxDelay)
+	}
+}

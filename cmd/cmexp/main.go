@@ -12,12 +12,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	counterminer "counterminer"
 	"counterminer/internal/experiments"
 )
 
@@ -31,8 +36,13 @@ func main() {
 		runs    = flag.Int("runs", 0, "override training-run count")
 		workers = flag.Int("workers", 0, "override worker-goroutine count")
 		budget  = flag.Int("events", 0, "override modelled-event budget (0 = all 229)")
+		timeout = flag.Duration("timeout", 0, "abort the experiment run after this long (0 = no deadline)")
 	)
 	flag.Parse()
+	if *timeout < 0 {
+		fmt.Fprintln(os.Stderr, "cmexp: -timeout must be >= 0")
+		os.Exit(2)
+	}
 
 	// Flag validation: 0 means "use the configuration default", so
 	// only negative overrides are nonsense.
@@ -104,15 +114,28 @@ func main() {
 		cfg.EventBudget = *budget
 	}
 
+	// Ctrl-C (SIGINT) or SIGTERM cancels the experiment context; the
+	// sweeps observe it between benchmarks, reps, and grid cells.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
 	for _, id := range ids {
 		start := time.Now()
-		tab, err := experiments.Run(id, cfg)
+		tab, err := experiments.RunCtx(ctx, id, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cmexp: %s: %v\n", id, err)
+			if errors.Is(err, counterminer.ErrCanceled) {
+				os.Exit(130)
+			}
 			os.Exit(1)
 		}
 		tab.Render(os.Stdout)

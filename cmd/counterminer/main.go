@@ -18,10 +18,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	counterminer "counterminer"
@@ -48,6 +52,7 @@ func main() {
 		minRuns   = flag.Int("min-runs", 0, "run quorum: proceed when this many runs succeed (0 = all)")
 		chaos     = flag.Float64("chaos", 0, "fault-injection rate in [0,1): per-run failures, series corruption, store errors")
 		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed (identical seeds replay identical failures)")
+		timeout   = flag.Duration("timeout", 0, "abort the analysis after this long (0 = no deadline)")
 	)
 	flag.Parse()
 
@@ -67,6 +72,19 @@ func main() {
 		fatalUsage(fmt.Sprintf("-min-runs must be in [0, %d]", *runs))
 	case *chaos < 0 || *chaos >= 1:
 		fatalUsage("-chaos must be in [0, 1)")
+	case *timeout < 0:
+		fatalUsage("-timeout must be >= 0")
+	}
+
+	// Ctrl-C (SIGINT) or SIGTERM cancels the analysis context; every
+	// pipeline stage observes it within one unit of work, and the store's
+	// atomic flush means an interrupted run never leaves a partial store.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	opts := counterminer.Options{
@@ -111,7 +129,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		a, err = counterminer.AnalyzeData(data, opts)
+		a, err = counterminer.AnalyzeDataContext(ctx, data, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -132,9 +150,9 @@ func main() {
 			}
 		}
 		if *colocate != "" {
-			a, err = p.AnalyzeColocated(*bench, *colocate)
+			a, err = p.AnalyzeColocatedContext(ctx, *bench, *colocate)
 		} else {
-			a, err = p.Analyze(*bench)
+			a, err = p.AnalyzeContext(ctx, *bench)
 		}
 		if err != nil {
 			fatal(err)
@@ -145,6 +163,9 @@ func main() {
 	}
 
 	fmt.Printf("benchmark: %s  (analysed in %v)\n", a.Benchmark, time.Since(start).Round(time.Millisecond))
+	if sr := a.StageReport(); sr != "" {
+		fmt.Printf("stages: %s\n", sr)
+	}
 	fmt.Printf("events measured: %d   MAPM events: %d   model error: %.1f%%\n",
 		a.Events, a.MAPMEvents, a.ModelError)
 	fmt.Printf("cleaner: %d outliers replaced, %d missing values filled\n",
@@ -200,6 +221,12 @@ func fatalUsage(msg string) {
 }
 
 func fatal(err error) {
+	// An interrupted or timed-out analysis gets the conventional
+	// terminated-by-signal exit status; the typed error already names
+	// the stage that observed the cancellation.
 	fmt.Fprintln(os.Stderr, "counterminer:", err)
+	if errors.Is(err, counterminer.ErrCanceled) {
+		os.Exit(130)
+	}
 	os.Exit(1)
 }

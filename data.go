@@ -1,6 +1,7 @@
 package counterminer
 
 import (
+	"context"
 	"encoding/csv"
 	"errors"
 	"fmt"
@@ -74,86 +75,108 @@ func (d *DataSet) Clean(opts clean.Options) (outliers, missing int, err error) {
 	return outliers, missing, nil
 }
 
-// AnalyzeData runs the mining stages — optional cleaning, EIR/MAPM
-// importance ranking, and interaction ranking — on an external data
-// set. The simulator is not involved; this is the entry point for real
-// perf measurements. Options fields that concern collection (Runs,
-// Events, StorePath) are ignored.
-func AnalyzeData(d *DataSet, opts Options) (*Analysis, error) {
+// AnalyzeDataContext runs the mining stages — optional cleaning,
+// EIR/MAPM importance ranking, and interaction ranking — on an
+// external data set, under the given context with the AnalyzeContext
+// cancellation contract (stage plan Clean → Rank → Interact). The
+// simulator is not involved; this is the entry point for real perf
+// measurements. Options fields that concern collection (Runs, Events,
+// StorePath) are ignored.
+func AnalyzeDataContext(ctx context.Context, d *DataSet, opts Options) (*Analysis, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
 	opts = opts.withDefaults()
 
 	ana := &Analysis{Benchmark: "external", Events: len(d.Events)}
-	copts := opts.CleanOptions
-	if copts.Workers == 0 {
-		copts.Workers = opts.Workers
-	}
-	out, miss, err := d.Clean(copts)
+	var mapm *rank.Model
+	sr := &stageRunner{ctx: ctx}
+	err := sr.run([]stage{
+		{StageClean, func(ctx context.Context) error {
+			copts := opts.CleanOptions
+			if copts.Workers == 0 {
+				copts.Workers = opts.Workers
+			}
+			out, miss, err := d.Clean(copts)
+			if err != nil {
+				return err
+			}
+			ana.OutliersReplaced, ana.MissingFilled = out, miss
+			return nil
+		}},
+		{StageRank, func(ctx context.Context) error {
+			ropts := rank.Options{
+				Params:    sgbrt.Params{Trees: opts.Trees, MaxDepth: 4, Seed: opts.Seed, Workers: opts.Workers},
+				PruneStep: opts.PruneStep,
+				Seed:      opts.Seed,
+			}
+			if opts.SkipEIR {
+				m, err := rank.FitCtx(ctx, d.X, d.Y, d.Events, ropts)
+				if err != nil {
+					return err
+				}
+				mapm = m
+				ana.EIRNumEvents = []int{len(d.Events)}
+				ana.EIRErrors = []float64{m.TestError}
+			} else {
+				res, err := rank.EIRCtx(ctx, d.X, d.Y, d.Events, ropts)
+				if err != nil {
+					return err
+				}
+				mapm = res.MAPM()
+				ana.EIRNumEvents, ana.EIRErrors = res.Curve()
+			}
+			ana.ModelError = mapm.TestError
+			ana.MAPMEvents = len(mapm.Events)
+			for _, ei := range mapm.Ranking {
+				ana.Importance = append(ana.Importance, EventScore{
+					Event: ei.Event, Abbrev: ei.Event, Importance: ei.Importance,
+				})
+			}
+			return nil
+		}},
+		{StageInteract, func(ctx context.Context) error {
+			top := mapm.TopK(opts.TopK)
+			if len(top) < 2 {
+				return nil
+			}
+			names := make([]string, len(top))
+			for i, ei := range top {
+				names[i] = ei.Event
+			}
+			subX, err := matrixColumns(d.X, d.Events, names)
+			if err != nil {
+				return err
+			}
+			iModel, err := rank.FitCtx(ctx, subX, d.Y, names, rank.Options{
+				Params: sgbrt.Params{Trees: opts.Trees * 2, MaxDepth: 4, Seed: opts.Seed, Workers: opts.Workers},
+				Seed:   opts.Seed,
+			})
+			if err != nil {
+				return err
+			}
+			pairs, err := interact.RankPairsCtx(ctx, iModel, subX, names, interact.Options{Workers: opts.Workers})
+			if err != nil {
+				return err
+			}
+			for _, ps := range pairs {
+				ana.Interactions = append(ana.Interactions, PairScore{
+					A: ps.A, B: ps.B, Importance: ps.Importance,
+				})
+			}
+			return nil
+		}},
+	})
+	ana.Stages = sr.timings
 	if err != nil {
 		return nil, err
 	}
-	ana.OutliersReplaced, ana.MissingFilled = out, miss
-
-	ropts := rank.Options{
-		Params:    sgbrt.Params{Trees: opts.Trees, MaxDepth: 4, Seed: opts.Seed, Workers: opts.Workers},
-		PruneStep: opts.PruneStep,
-		Seed:      opts.Seed,
-	}
-	var mapm *rank.Model
-	if opts.SkipEIR {
-		m, err := rank.Fit(d.X, d.Y, d.Events, ropts)
-		if err != nil {
-			return nil, err
-		}
-		mapm = m
-		ana.EIRNumEvents = []int{len(d.Events)}
-		ana.EIRErrors = []float64{m.TestError}
-	} else {
-		res, err := rank.EIR(d.X, d.Y, d.Events, ropts)
-		if err != nil {
-			return nil, err
-		}
-		mapm = res.MAPM()
-		ana.EIRNumEvents, ana.EIRErrors = res.Curve()
-	}
-	ana.ModelError = mapm.TestError
-	ana.MAPMEvents = len(mapm.Events)
-	for _, ei := range mapm.Ranking {
-		ana.Importance = append(ana.Importance, EventScore{
-			Event: ei.Event, Abbrev: ei.Event, Importance: ei.Importance,
-		})
-	}
-
-	top := mapm.TopK(opts.TopK)
-	if len(top) >= 2 {
-		names := make([]string, len(top))
-		for i, ei := range top {
-			names[i] = ei.Event
-		}
-		subX, err := matrixColumns(d.X, d.Events, names)
-		if err != nil {
-			return nil, err
-		}
-		iModel, err := rank.Fit(subX, d.Y, names, rank.Options{
-			Params: sgbrt.Params{Trees: opts.Trees * 2, MaxDepth: 4, Seed: opts.Seed, Workers: opts.Workers},
-			Seed:   opts.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		pairs, err := interact.RankPairs(iModel, subX, names, interact.Options{Workers: opts.Workers})
-		if err != nil {
-			return nil, err
-		}
-		for _, ps := range pairs {
-			ana.Interactions = append(ana.Interactions, PairScore{
-				A: ps.A, B: ps.B, Importance: ps.Importance,
-			})
-		}
-	}
 	return ana, nil
+}
+
+// AnalyzeData runs AnalyzeDataContext with a background context.
+func AnalyzeData(d *DataSet, opts Options) (*Analysis, error) {
+	return AnalyzeDataContext(context.Background(), d, opts)
 }
 
 // LoadCSV reads a data set in the layout ExportCSV (and cmstore

@@ -23,7 +23,35 @@ var (
 	// ErrQuorum marks an analysis abandoned because fewer than MinRuns
 	// of the requested runs could be collected.
 	ErrQuorum = errors.New("counterminer: run quorum not met")
+	// ErrCanceled marks an analysis abandoned because its context was
+	// canceled or its deadline expired. The concrete error is a
+	// *CancelError naming the stage that observed the cancellation; it
+	// also matches context.Canceled / context.DeadlineExceeded via
+	// errors.Is, so callers can dispatch either way.
+	ErrCanceled = errors.New("counterminer: analysis canceled")
 )
+
+// CancelError reports an analysis abandoned at a stage boundary (or
+// inside a stage's interior loop) because the context was done. It
+// matches ErrCanceled under errors.Is and unwraps to the underlying
+// context error (context.Canceled or context.DeadlineExceeded).
+type CancelError struct {
+	// Stage names the pipeline stage — or, for experiment sweeps, the
+	// experiment — that observed the cancellation.
+	Stage string
+	// Err is the context's error.
+	Err error
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("counterminer: canceled during %s: %v", e.Stage, e.Err)
+}
+
+// Unwrap exposes the context error to errors.Is/As.
+func (e *CancelError) Unwrap() error { return e.Err }
+
+// Is matches ErrCanceled.
+func (e *CancelError) Is(target error) bool { return target == ErrCanceled }
 
 // RunError reports one run that failed after all retry attempts. It
 // matches ErrRunFailed under errors.Is and unwraps to the final

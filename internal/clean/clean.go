@@ -25,6 +25,7 @@
 package clean
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -248,12 +249,19 @@ type SetReport struct {
 // KNN imputation — are independent, so the events clean concurrently;
 // the aggregate report is assembled serially in event order.
 func Set(in *timeseries.Set, opts Options) (*timeseries.Set, SetReport, error) {
+	return SetCtx(context.Background(), in, opts)
+}
+
+// SetCtx is Set with cooperative cancellation: the per-event pool
+// checks the context between series, so a done context aborts within
+// one series repair and surfaces as ctx.Err().
+func SetCtx(ctx context.Context, in *timeseries.Set, opts Options) (*timeseries.Set, SetReport, error) {
 	events := in.Events()
 	type result struct {
 		values []float64
 		rep    Report
 	}
-	results, err := parallel.Map(len(events), opts.Workers, func(i int) (result, error) {
+	results, err := parallel.MapCtx(ctx, len(events), opts.Workers, func(i int) (result, error) {
 		s, err := in.Lookup(events[i])
 		if err != nil {
 			return result{}, fmt.Errorf("clean: %w", err)

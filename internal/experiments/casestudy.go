@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"counterminer/internal/parallel"
@@ -13,7 +14,7 @@ import (
 // The paper's shape: each benchmark has one or two parameter-event
 // pairs far stronger than the rest, and the dominant pair varies
 // across benchmarks.
-func Fig13(cfg Config) (*Table, error) {
+func Fig13(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.WithDefaults()
 	cat := sim.NewCatalogue()
 	cluster := spark.NewCluster(cat)
@@ -43,7 +44,7 @@ func Fig13(cfg Config) (*Table, error) {
 		dom   string
 	}
 	rows := make([]row, len(benches))
-	err := parallel.ForEach(len(benches), cfg.Workers, func(i int) error {
+	err := parallel.ForEachCtx(ctx, len(benches), cfg.Workers, func(i int) error {
 		scores, err := cluster.RankParamEventInteractions(benches[i], 10, cfg.Reps+1)
 		if err != nil {
 			return err
@@ -87,12 +88,18 @@ func Fig13(cfg Config) (*Table, error) {
 // ORO) versus tuning nwt (spark.network.timeout, coupled to the
 // unimportant I4U). Paper: 111.3% average execution-time variation for
 // bbs vs 29.4% for nwt.
-func Fig14(cfg Config) (*Table, error) {
+func Fig14(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.WithDefaults()
 	cluster := spark.NewCluster(sim.NewCatalogue())
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	bbs, err := cluster.SweepParam("sort", "bbs", cfg.Reps+1)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	nwt, err := cluster.SweepParam("sort", "nwt", cfg.Reps+1)
@@ -130,7 +137,7 @@ func Fig14(cfg Config) (*Table, error) {
 // A (event importance first) versus method B (direct parameter
 // ranking). Paper (pagerank): method B needs 6000 runs, method A 1580
 // (60 model-building + 1520 coupling sweep) — about a quarter.
-func Fig15(cfg Config) (*Table, error) {
+func Fig15(ctx context.Context, cfg Config) (*Table, error) {
 	cm := spark.PaperCostModel()
 	t := &Table{
 		ID:     "fig15",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"counterminer/internal/sim"
@@ -8,7 +9,7 @@ import (
 )
 
 // Table2 regenerates Table II: the benchmark inventory.
-func Table2(cfg Config) (*Table, error) {
+func Table2(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:     "tab2",
 		Title:  "Benchmarks (8 CloudSuite 3.0 + 8 HiBench/Spark 2.0)",
@@ -25,7 +26,7 @@ func Table2(cfg Config) (*Table, error) {
 
 // Table3 regenerates Table III: the event name/abbreviation catalogue
 // for every event appearing in the importance figures.
-func Table3(cfg Config) (*Table, error) {
+func Table3(ctx context.Context, cfg Config) (*Table, error) {
 	cat := sim.NewCatalogue()
 	t := &Table{
 		ID:     "tab3",
@@ -45,7 +46,7 @@ func Table3(cfg Config) (*Table, error) {
 
 // Table4 regenerates Table IV: Spark configuration parameter names and
 // abbreviations.
-func Table4(cfg Config) (*Table, error) {
+func Table4(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:     "tab4",
 		Title:  "Spark configuration parameters",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"counterminer/internal/collector"
@@ -14,7 +15,7 @@ import (
 // Gumbel, GEV) and count the families. The paper found 100 of 229
 // events Gaussian and 129 long-tail, with GEV the best fit for the
 // long tails.
-func Census(cfg Config) (*Table, error) {
+func Census(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.WithDefaults()
 	cat := sim.NewCatalogue()
 	col := collector.New(cat)
@@ -28,6 +29,9 @@ func Census(cfg Config) (*Table, error) {
 	// a couple of benchmarks; concatenate their values per event.
 	values := make(map[string][]float64, cat.Len())
 	for _, b := range benches {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		prof, err := sim.ProfileByName(b)
 		if err != nil {
 			return nil, err
@@ -50,6 +54,9 @@ func Census(cfg Config) (*Table, error) {
 	counts := map[string]int{}
 	agree, total := 0, 0
 	for _, ev := range cat.Events() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		xs := values[ev]
 		if len(xs) < 8 {
 			continue

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,7 +17,7 @@ import (
 //   - DataCaching + GraphAnalytics churns the ranking severely and
 //     surfaces six L2-cache events into the top ten, which neither
 //     benchmark shows alone.
-func Fig16(cfg Config) (*Table, error) {
+func Fig16(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.WithDefaults()
 	cases := [][2]string{
 		{"DataCaching", "DataCaching"},
@@ -44,7 +45,7 @@ func Fig16(cfg Config) (*Table, error) {
 	l2Counts := map[string]int{}
 	topEvents := map[string]string{}
 	for _, c := range cases {
-		a, err := p.AnalyzeColocated(c[0], c[1])
+		a, err := p.AnalyzeColocatedContext(ctx, c[0], c[1])
 		if err != nil {
 			return nil, err
 		}

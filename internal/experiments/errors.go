@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -15,7 +16,7 @@ import (
 // Fig1 regenerates Figure 1: the eq. (4) MLPX measurement error of
 // ICACHE.MISSES for every benchmark when 10 events share 4 counters.
 // Paper: min 8.8%, max 43.3%, average 28.3%.
-func Fig1(cfg Config) (*Table, error) {
+func Fig1(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.WithDefaults()
 	benches := cfg.benchmarks()
 	cat := sim.NewCatalogue()
@@ -25,13 +26,13 @@ func Fig1(cfg Config) (*Table, error) {
 		err    float64
 	}
 	results := make([]result, len(benches))
-	err := parallel.ForEach(len(benches), cfg.Workers, func(i int) error {
+	err := parallel.ForEachCtx(ctx, len(benches), cfg.Workers, func(i int) error {
 		prof, err := sim.ProfileByName(benches[i])
 		if err != nil {
 			return err
 		}
 		col := collector.New(cat)
-		raw, _, err := avgError(col, prof, 10, cfg)
+		raw, _, err := avgError(ctx, col, prof, 10, cfg)
 		if err != nil {
 			return err
 		}
@@ -69,7 +70,7 @@ func Fig1(cfg Config) (*Table, error) {
 // IDQ.DSB_UOPS and the missing values in ICACHE.MISSES of a wordcount
 // run measured with MLPX, including the cold-start region where the
 // missing values concentrate.
-func Fig2(cfg Config) (*Table, error) {
+func Fig2(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.WithDefaults()
 	cat := sim.NewCatalogue()
 	col := collector.New(cat)
@@ -136,24 +137,24 @@ func Fig2(cfg Config) (*Table, error) {
 // Fig3 regenerates Figure 3: raw MLPX error versus the number of
 // simultaneously measured events. Paper series (wordcount-class):
 // 10→37%, 16→35%, 20→41%, 24→55%, 28→50%, 32→44%, 36→54%.
-func Fig3(cfg Config) (*Table, error) {
+func Fig3(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.WithDefaults()
-	return errorVsEvents(cfg, "fig3",
+	return errorVsEvents(ctx, cfg, "fig3",
 		"Raw MLPX error vs number of simultaneously measured events", false)
 }
 
 // Fig7 regenerates Figure 7: error before and after cleaning versus
 // the number of multiplexed events. Paper cleaned series: 10→5.3%,
 // 16→17.1%, 20→6.8%, 24→23.6%, 28→29.0%, 32→13.4%, 36→29.4%.
-func Fig7(cfg Config) (*Table, error) {
+func Fig7(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.WithDefaults()
-	return errorVsEvents(cfg, "fig7",
+	return errorVsEvents(ctx, cfg, "fig7",
 		"MLPX error before (RAW) and after (CLN) data cleaning vs event count", true)
 }
 
 // errorVsEvents implements Fig. 3 and Fig. 7 over the canonical event
 // counts.
-func errorVsEvents(cfg Config, id, title string, withCleaned bool) (*Table, error) {
+func errorVsEvents(ctx context.Context, cfg Config, id, title string, withCleaned bool) (*Table, error) {
 	counts := []int{10, 16, 20, 24, 28, 32, 36}
 	cat := sim.NewCatalogue()
 	benches := cfg.benchmarks()
@@ -166,13 +167,13 @@ func errorVsEvents(cfg Config, id, title string, withCleaned bool) (*Table, erro
 	// average serially in benchmark order per count.
 	type cell struct{ raw, cleaned float64 }
 	col := collector.New(cat)
-	cells, err := parallel.Map(len(counts)*len(benches), cfg.Workers, func(k int) (cell, error) {
+	cells, err := parallel.MapCtx(ctx, len(counts)*len(benches), cfg.Workers, func(k int) (cell, error) {
 		ci, bi := k/len(benches), k%len(benches)
 		prof, err := sim.ProfileByName(benches[bi])
 		if err != nil {
 			return cell{}, err
 		}
-		r, c, err := avgError(col, prof, counts[ci], cfg)
+		r, c, err := avgError(ctx, col, prof, counts[ci], cfg)
 		if err != nil {
 			return cell{}, err
 		}
@@ -215,7 +216,7 @@ func errorVsEvents(cfg Config, id, title string, withCleaned bool) (*Table, erro
 // Table1 regenerates Table I: the percentage of event data within the
 // mean + n·std threshold for n ∈ {3, 4, 5}. The paper selects n = 5
 // because every benchmark then exceeds 99%.
-func Table1(cfg Config) (*Table, error) {
+func Table1(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.WithDefaults()
 	cat := sim.NewCatalogue()
 	benches := cfg.benchmarks()
@@ -227,7 +228,7 @@ func Table1(cfg Config) (*Table, error) {
 	}
 	rows := make([]row, len(benches))
 	ns := []float64{3, 4, 5}
-	err := parallel.ForEach(len(benches), cfg.Workers, func(i int) error {
+	err := parallel.ForEachCtx(ctx, len(benches), cfg.Workers, func(i int) error {
 		prof, err := sim.ProfileByName(benches[i])
 		if err != nil {
 			return err
@@ -292,7 +293,7 @@ func Table1(cfg Config) (*Table, error) {
 // Fig5 regenerates Figure 5: the cleaning outcome on the Fig. 2
 // example series — how many outliers were replaced and missing values
 // filled, and the error before/after for both events.
-func Fig5(cfg Config) (*Table, error) {
+func Fig5(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.WithDefaults()
 	cat := sim.NewCatalogue()
 	col := collector.New(cat)
@@ -309,7 +310,7 @@ func Fig5(cfg Config) (*Table, error) {
 	}
 	// Per-event DTW scoring is independent; run the events concurrently
 	// and collect rows in event order.
-	rows, err := parallel.Map(len(events), cfg.Workers, func(i int) ([]string, error) {
+	rows, err := parallel.MapCtx(ctx, len(events), cfg.Workers, func(i int) ([]string, error) {
 		ev := events[i]
 		o1, err := col.Collect(prof, 1, collector.OCOE, []string{ev})
 		if err != nil {
@@ -363,7 +364,7 @@ func Fig5(cfg Config) (*Table, error) {
 // Fig6 regenerates Figure 6: per-benchmark ICACHE.MISSES error before
 // and after cleaning at 10 multiplexed events. Paper: average falls
 // from 28.3% to 7.7%.
-func Fig6(cfg Config) (*Table, error) {
+func Fig6(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.WithDefaults()
 	benches := cfg.benchmarks()
 	cat := sim.NewCatalogue()
@@ -373,13 +374,13 @@ func Fig6(cfg Config) (*Table, error) {
 		raw, cleaned float64
 	}
 	results := make([]result, len(benches))
-	err := parallel.ForEach(len(benches), cfg.Workers, func(i int) error {
+	err := parallel.ForEachCtx(ctx, len(benches), cfg.Workers, func(i int) error {
 		prof, err := sim.ProfileByName(benches[i])
 		if err != nil {
 			return err
 		}
 		col := collector.New(cat)
-		raw, cleaned, err := avgError(col, prof, 10, cfg)
+		raw, cleaned, err := avgError(ctx, col, prof, 10, cfg)
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -193,9 +194,9 @@ func errorSample(col *collector.Collector, prof sim.Profile, nEvents, rep int) (
 // each dominated by its two DTW distance computations — run
 // concurrently; the averages are summed serially in rep order, so the
 // result matches the serial loop bit for bit.
-func avgError(col *collector.Collector, prof sim.Profile, nEvents int, cfg Config) (raw, cleaned float64, err error) {
+func avgError(ctx context.Context, col *collector.Collector, prof sim.Profile, nEvents int, cfg Config) (raw, cleaned float64, err error) {
 	type sample struct{ raw, cleaned float64 }
-	samples, err := parallel.Map(cfg.Reps, cfg.Workers, func(rep int) (sample, error) {
+	samples, err := parallel.MapCtx(ctx, cfg.Reps, cfg.Workers, func(rep int) (sample, error) {
 		r, c, err := errorSample(col, prof, nEvents, rep)
 		return sample{r, c}, err
 	})

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"runtime"
 	"strconv"
 	"strings"
@@ -66,7 +67,7 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestFig1Quick(t *testing.T) {
-	tab, err := Fig1(Quick())
+	tab, err := Fig1(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestFig1Quick(t *testing.T) {
 }
 
 func TestFig2Quick(t *testing.T) {
-	tab, err := Fig2(Quick())
+	tab, err := Fig2(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestFig2Quick(t *testing.T) {
 }
 
 func TestFig3AndFig7Quick(t *testing.T) {
-	f3, err := Fig3(Quick())
+	f3, err := Fig3(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestFig3AndFig7Quick(t *testing.T) {
 		t.Errorf("fig3 trend broken: 10 events %v%%, 36 events %v%%", e10, e36)
 	}
 
-	f7, err := Fig7(Quick())
+	f7, err := Fig7(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestFig3AndFig7Quick(t *testing.T) {
 }
 
 func TestTable1Quick(t *testing.T) {
-	tab, err := Table1(Quick())
+	tab, err := Table1(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestTable1Quick(t *testing.T) {
 }
 
 func TestFig5Quick(t *testing.T) {
-	tab, err := Fig5(Quick())
+	tab, err := Fig5(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestFig5Quick(t *testing.T) {
 }
 
 func TestFig6Quick(t *testing.T) {
-	tab, err := Fig6(Quick())
+	tab, err := Fig6(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestFig6Quick(t *testing.T) {
 }
 
 func TestFig15(t *testing.T) {
-	tab, err := Fig15(Quick())
+	tab, err := Fig15(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,21 +200,21 @@ func TestFig15(t *testing.T) {
 }
 
 func TestCatalogTables(t *testing.T) {
-	t2, err := Table2(Quick())
+	t2, err := Table2(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(t2.Rows) != 16 {
 		t.Errorf("tab2 rows = %d", len(t2.Rows))
 	}
-	t3, err := Table3(Quick())
+	t3, err := Table3(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(t3.Rows) < 40 {
 		t.Errorf("tab3 rows = %d", len(t3.Rows))
 	}
-	t4, err := Table4(Quick())
+	t4, err := Table4(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestCatalogTables(t *testing.T) {
 }
 
 func TestCensusQuick(t *testing.T) {
-	tab, err := Census(Quick())
+	tab, err := Census(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}

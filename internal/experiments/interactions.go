@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"counterminer/internal/sim"
@@ -8,8 +9,8 @@ import (
 
 // interactionTable renders Fig. 11 / Fig. 12: the ten strongest event
 // pair interactions per benchmark of a suite.
-func interactionTable(id, title string, suite sim.Suite, cfg Config) (*Table, error) {
-	analyses, err := analyzeSuite(suite, cfg)
+func interactionTable(ctx context.Context, id, title string, suite sim.Suite, cfg Config) (*Table, error) {
+	analyses, err := analyzeSuite(ctx, suite, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -59,9 +60,9 @@ func isBranchEvent(abbrev string) bool {
 
 // Fig11 regenerates Figure 11: top interaction pairs for the HiBench
 // benchmarks.
-func Fig11(cfg Config) (*Table, error) {
+func Fig11(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.WithDefaults()
-	return interactionTable("fig11",
+	return interactionTable(ctx, "fig11",
 		"Interaction rank of important event pairs, HiBench", sim.HiBench, cfg)
 }
 
@@ -69,9 +70,9 @@ func Fig11(cfg Config) (*Table, error) {
 // CloudSuite benchmarks. The paper's shape: dominant pairs of
 // multi-tier services (WebServing, 4 tiers, up to 64%) interact far
 // more strongly than single-tier ones (GraphAnalytics, 19%).
-func Fig12(cfg Config) (*Table, error) {
+func Fig12(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.WithDefaults()
-	t, err := interactionTable("fig12",
+	t, err := interactionTable(ctx, "fig12",
 		"Interaction rank of important event pairs, CloudSuite", sim.CloudSuite, cfg)
 	if err != nil {
 		return nil, err

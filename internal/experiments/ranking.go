@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -19,7 +20,7 @@ func cacheKey(benchmark string, cfg Config) string {
 
 // analyze runs (or recalls) the full CounterMiner pipeline on one
 // benchmark under the experiment configuration.
-func analyze(benchmark string, cfg Config) (*counterminer.Analysis, error) {
+func analyze(ctx context.Context, benchmark string, cfg Config) (*counterminer.Analysis, error) {
 	key := cacheKey(benchmark, cfg)
 	if v, ok := analysisCache.Load(key); ok {
 		return v.(*counterminer.Analysis), nil
@@ -36,7 +37,7 @@ func analyze(benchmark string, cfg Config) (*counterminer.Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	a, err := p.Analyze(benchmark)
+	a, err := p.AnalyzeContext(ctx, benchmark)
 	if err != nil {
 		return nil, err
 	}
@@ -45,7 +46,7 @@ func analyze(benchmark string, cfg Config) (*counterminer.Analysis, error) {
 }
 
 // analyzeSuite analyses every benchmark of a suite in parallel.
-func analyzeSuite(s sim.Suite, cfg Config) ([]*counterminer.Analysis, error) {
+func analyzeSuite(ctx context.Context, s sim.Suite, cfg Config) ([]*counterminer.Analysis, error) {
 	profs := sim.ProfilesBySuite(s)
 	// Respect a configured benchmark subset (Quick runs).
 	if cfg.Benchmarks != nil {
@@ -62,8 +63,8 @@ func analyzeSuite(s sim.Suite, cfg Config) ([]*counterminer.Analysis, error) {
 		profs = kept
 	}
 	out := make([]*counterminer.Analysis, len(profs))
-	err := parallel.ForEach(len(profs), cfg.Workers, func(i int) error {
-		a, err := analyze(profs[i].Name, cfg)
+	err := parallel.ForEachCtx(ctx, len(profs), cfg.Workers, func(i int) error {
+		a, err := analyze(ctx, profs[i].Name, cfg)
 		if err != nil {
 			return err
 		}
@@ -77,9 +78,9 @@ func analyzeSuite(s sim.Suite, cfg Config) ([]*counterminer.Analysis, error) {
 // number of model input events) averaged over the HiBench benchmarks.
 // Paper: 229 events → 14% error; minimum 6.3% near 150 events; 9.6% at
 // 99; back to 14% at 59.
-func Fig8(cfg Config) (*Table, error) {
+func Fig8(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.WithDefaults()
-	analyses, err := analyzeSuite(sim.HiBench, cfg)
+	analyses, err := analyzeSuite(ctx, sim.HiBench, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -126,8 +127,8 @@ func Fig8(cfg Config) (*Table, error) {
 
 // importanceTable renders Fig. 9 / Fig. 10: the ten most important
 // events per benchmark of a suite, read off the MAPM.
-func importanceTable(id, title string, suite sim.Suite, cfg Config) (*Table, error) {
-	analyses, err := analyzeSuite(suite, cfg)
+func importanceTable(ctx context.Context, id, title string, suite sim.Suite, cfg Config) (*Table, error) {
+	analyses, err := analyzeSuite(ctx, suite, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -165,18 +166,18 @@ func joinCells(cells []string) string {
 
 // Fig9 regenerates Figure 9: top-10 important events per HiBench
 // benchmark.
-func Fig9(cfg Config) (*Table, error) {
+func Fig9(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.WithDefaults()
-	return importanceTable("fig9",
+	return importanceTable(ctx, "fig9",
 		"Importance rank of the eight HiBench benchmarks (MAPM top 10)",
 		sim.HiBench, cfg)
 }
 
 // Fig10 regenerates Figure 10: top-10 important events per CloudSuite
 // benchmark.
-func Fig10(cfg Config) (*Table, error) {
+func Fig10(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.WithDefaults()
-	return importanceTable("fig10",
+	return importanceTable(ctx, "fig10",
 		"Importance rank of the eight CloudSuite benchmarks (MAPM top 10)",
 		sim.CloudSuite, cfg)
 }

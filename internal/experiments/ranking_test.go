@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -8,7 +9,7 @@ import (
 func TestFig8Quick(t *testing.T) {
 	cfg := Quick()
 	cfg.Benchmarks = []string{"wordcount", "sort"}
-	tab, err := Fig8(cfg)
+	tab, err := Fig8(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestFig8Quick(t *testing.T) {
 func TestFig8NoBenchmarksErrors(t *testing.T) {
 	cfg := Quick()
 	cfg.Benchmarks = []string{"DataCaching"} // CloudSuite only
-	if _, err := Fig8(cfg); err == nil {
+	if _, err := Fig8(context.Background(), cfg); err == nil {
 		t.Error("fig8 with no HiBench benchmarks should error")
 	}
 }
@@ -38,7 +39,7 @@ func TestFig8NoBenchmarksErrors(t *testing.T) {
 func TestFig9Quick(t *testing.T) {
 	cfg := Quick()
 	cfg.Benchmarks = []string{"wordcount"}
-	tab, err := Fig9(cfg)
+	tab, err := Fig9(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestFig9Quick(t *testing.T) {
 func TestFig10Quick(t *testing.T) {
 	cfg := Quick()
 	cfg.Benchmarks = []string{"DataCaching"}
-	tab, err := Fig10(cfg)
+	tab, err := Fig10(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestFig10Quick(t *testing.T) {
 func TestFig11Quick(t *testing.T) {
 	cfg := Quick()
 	cfg.Benchmarks = []string{"wordcount"}
-	tab, err := Fig11(cfg)
+	tab, err := Fig11(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestFig11Quick(t *testing.T) {
 func TestFig13Quick(t *testing.T) {
 	cfg := Quick()
 	cfg.Benchmarks = []string{"sort"}
-	tab, err := Fig13(cfg)
+	tab, err := Fig13(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestFig13Quick(t *testing.T) {
 }
 
 func TestFig14Quick(t *testing.T) {
-	tab, err := Fig14(Quick())
+	tab, err := Fig14(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestFig16Quick(t *testing.T) {
 	cfg.EventBudget = 0 // co-location needs the L2 events in the set
 	cfg.Trees = 25
 	cfg.Runs = 1
-	tab, err := Fig16(cfg)
+	tab, err := Fig16(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,12 +1,18 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+
+	counterminer "counterminer"
 )
 
-// Func is one experiment generator.
-type Func func(Config) (*Table, error)
+// Func is one experiment generator. Generators observe the context in
+// their sweeps (between benchmarks, reps, and grid cells), so a cancel
+// aborts within one unit of work.
+type Func func(ctx context.Context, cfg Config) (*Table, error)
 
 // registry maps experiment IDs to their generators, in the paper's
 // order.
@@ -57,11 +63,31 @@ func Lookup(id string) (Func, error) {
 	return f, nil
 }
 
-// Run executes one experiment by ID.
-func Run(id string, cfg Config) (*Table, error) {
+// RunCtx executes one experiment by ID under the given context. A
+// cancellation surfacing from the generator's sweeps is wrapped into a
+// *counterminer.CancelError naming the experiment, so it matches
+// counterminer.ErrCanceled via errors.Is.
+func RunCtx(ctx context.Context, id string, cfg Config) (*Table, error) {
 	f, err := Lookup(id)
 	if err != nil {
 		return nil, err
 	}
-	return f(cfg)
+	if err := ctx.Err(); err != nil {
+		return nil, &counterminer.CancelError{Stage: id, Err: err}
+	}
+	t, err := f(ctx, cfg)
+	if err != nil {
+		var ce *counterminer.CancelError
+		if !errors.As(err, &ce) &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return nil, &counterminer.CancelError{Stage: id, Err: err}
+		}
+		return nil, err
+	}
+	return t, nil
+}
+
+// Run executes one experiment by ID with a background context.
+func Run(id string, cfg Config) (*Table, error) {
+	return RunCtx(context.Background(), id, cfg)
 }

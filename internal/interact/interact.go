@@ -13,6 +13,7 @@
 package interact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -81,6 +82,13 @@ func (o Options) withDefaults() Options {
 // importance. X must have the model's column layout (one column per
 // m.Events entry).
 func RankPairs(m *rank.Model, X [][]float64, important []string, opts Options) ([]PairScore, error) {
+	return RankPairsCtx(context.Background(), m, X, important, opts)
+}
+
+// RankPairsCtx is RankPairs with cooperative cancellation: the pair
+// pool checks the context between pairs, so a done context aborts
+// within one pairwise fit and surfaces as ctx.Err().
+func RankPairsCtx(ctx context.Context, m *rank.Model, X [][]float64, important []string, opts Options) ([]PairScore, error) {
 	if m == nil || m.Ensemble == nil {
 		return nil, errors.New("interact: nil model")
 	}
@@ -157,7 +165,7 @@ func RankPairs(m *rank.Model, X [][]float64, important []string, opts Options) (
 		points[w] = append([]float64(nil), means...)
 	}
 	scores := make([]PairScore, len(pairs))
-	err := parallel.ForEachWorker(len(pairs), workers, func(w, k int) error {
+	err := parallel.ForEachWorkerCtx(ctx, len(pairs), workers, func(w, k int) error {
 		a, b := important[pairs[k].ai], important[pairs[k].bi]
 		ca, cb := colIdx[a], colIdx[b]
 		point := points[w]

@@ -9,6 +9,7 @@
 package rank
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -83,6 +84,13 @@ type Model struct {
 // ranks the events. X has one row per interval and one column per
 // event; y is the IPC series.
 func Fit(X [][]float64, y []float64, events []string, opts Options) (*Model, error) {
+	return FitCtx(context.Background(), X, y, events, opts)
+}
+
+// FitCtx is Fit with cooperative cancellation, inherited from the
+// underlying sgbrt.FitCtx: a done context aborts between boosting
+// stages and surfaces as ctx.Err().
+func FitCtx(ctx context.Context, X [][]float64, y []float64, events []string, opts Options) (*Model, error) {
 	if len(X) == 0 {
 		return nil, errors.New("rank: empty training set")
 	}
@@ -95,7 +103,7 @@ func Fit(X [][]float64, y []float64, events []string, opts Options) (*Model, err
 	if err != nil {
 		return nil, err
 	}
-	ens, err := sgbrt.Fit(trainX, trainY, opts.Params)
+	ens, err := sgbrt.FitCtx(ctx, trainX, trainY, opts.Params)
 	if err != nil {
 		return nil, err
 	}
@@ -180,6 +188,14 @@ func (r *EIRResult) Curve() ([]int, []float64) {
 // the PruneStep least-important events, refit, and repeat while at
 // least MinEvents remain. It returns every step plus the MAPM.
 func EIR(X [][]float64, y []float64, events []string, opts Options) (*EIRResult, error) {
+	return EIRCtx(context.Background(), X, y, events, opts)
+}
+
+// EIRCtx is EIR with cooperative cancellation: the refinement loop
+// checks the context between prune rounds (and each fit aborts between
+// boosting stages), so a done context surfaces as ctx.Err() within one
+// round of work.
+func EIRCtx(ctx context.Context, X [][]float64, y []float64, events []string, opts Options) (*EIRResult, error) {
 	opts = opts.withDefaults()
 	if len(events) == 0 {
 		return nil, errors.New("rank: EIR with no events")
@@ -192,11 +208,14 @@ func EIR(X [][]float64, y []float64, events []string, opts Options) (*EIRResult,
 
 	res := &EIRResult{}
 	for len(cur) >= opts.MinEvents {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		subX, err := columns(X, cur, colIdx)
 		if err != nil {
 			return nil, err
 		}
-		m, err := Fit(subX, y, cur, opts)
+		m, err := FitCtx(ctx, subX, y, cur, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package sgbrt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -72,6 +73,14 @@ type Ensemble struct {
 // the current residuals on a random row subsample and is added with
 // shrinkage.
 func Fit(X [][]float64, y []float64, params Params) (*Ensemble, error) {
+	return FitCtx(context.Background(), X, y, params)
+}
+
+// FitCtx is Fit with cooperative cancellation: the boosting loop checks
+// the context between stages (never mid-tree), so cancel latency is
+// bounded by one tree induction, and a done context surfaces as
+// ctx.Err() with no partial ensemble.
+func FitCtx(ctx context.Context, X [][]float64, y []float64, params Params) (*Ensemble, error) {
 	n := len(X)
 	if n == 0 {
 		return nil, errors.New("sgbrt: empty training set")
@@ -144,6 +153,9 @@ func Fit(X [][]float64, y []float64, params Params) (*Ensemble, error) {
 	}
 	mask := make([]bool, p)
 	for stage := 0; stage < params.Trees; stage++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if useColSample {
 			rng.Shuffle(p, func(a, b int) { colPerm[a], colPerm[b] = colPerm[b], colPerm[a] })
 			for i := range mask {

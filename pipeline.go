@@ -1,8 +1,10 @@
 package counterminer
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"counterminer/internal/clean"
@@ -74,7 +76,10 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the backoff (default 32 * BaseDelay).
 	MaxDelay time.Duration
-	// Sleep overrides time.Sleep; tests inject a recorder or no-op.
+	// Sleep overrides the backoff wait; tests inject a recorder or
+	// no-op. When nil the wait is a context-aware timer that aborts as
+	// soon as the analysis context is canceled; an injected Sleep runs
+	// to completion and the context is checked after it returns.
 	Sleep func(time.Duration)
 }
 
@@ -83,10 +88,11 @@ func (r RetryPolicy) withDefaults() RetryPolicy {
 		r.Attempts = 3
 	}
 	if r.MaxDelay <= 0 {
-		r.MaxDelay = 32 * r.BaseDelay
-	}
-	if r.Sleep == nil {
-		r.Sleep = time.Sleep
+		if r.BaseDelay > math.MaxInt64/32 {
+			r.MaxDelay = math.MaxInt64
+		} else {
+			r.MaxDelay = 32 * r.BaseDelay
+		}
 	}
 	return r
 }
@@ -98,15 +104,41 @@ func (r RetryPolicy) delay(k int) time.Duration {
 	}
 	d := r.BaseDelay
 	for i := 1; i < k; i++ {
-		d *= 2
 		if d >= r.MaxDelay {
 			return r.MaxDelay
 		}
+		// Doubling past the int64 midpoint would overflow to a negative
+		// duration; the true (unbounded) value already exceeds any
+		// representable cap, so the cap is the answer.
+		if d > math.MaxInt64/2 {
+			return r.MaxDelay
+		}
+		d *= 2
 	}
 	if d > r.MaxDelay {
 		d = r.MaxDelay
 	}
 	return d
+}
+
+// sleep waits d or until ctx is done, whichever comes first, and
+// returns ctx.Err() when the context is done — including when an
+// injected Sleep consumed the full wait first.
+func (r RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
+	if d > 0 {
+		if r.Sleep != nil {
+			r.Sleep(d)
+		} else {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+	}
+	return ctx.Err()
 }
 
 func (o Options) withDefaults() Options {
@@ -177,6 +209,11 @@ type Analysis struct {
 	// and failed runs, quarantined event columns, store write
 	// failures. Its zero value means the analysis ran entirely clean.
 	Degradation Degradation
+	// Stages records the wall time of every executed pipeline stage in
+	// execution order (see StageReport). Timings are observability
+	// metadata: unlike every other field they naturally differ between
+	// runs, so result-identity comparisons should ignore them.
+	Stages []StageTiming
 }
 
 // TopEvents returns the k most important events.
@@ -250,18 +287,33 @@ func (p *Pipeline) Catalogue() *sim.Catalogue { return p.cat }
 // Benchmarks lists the available workload names.
 func (p *Pipeline) Benchmarks() []string { return sim.AllBenchmarkNames() }
 
-// Analyze runs the full CounterMiner pipeline on one benchmark:
-// collect (MLPX) → clean → EIR → MAPM importance → interactions.
-func (p *Pipeline) Analyze(benchmark string) (*Analysis, error) {
+// AnalyzeContext runs the full CounterMiner pipeline on one benchmark
+// — the staged plan Collect (MLPX) → Validate → Clean → Rank (EIR →
+// MAPM) → Interact → Persist — under the given context. Cancellation
+// is observed at every stage boundary and inside the long interior
+// loops (retry backoff, SGBRT boosting, EIR pruning, pair ranking), so
+// an abort takes effect within one unit of work; the returned error
+// then matches ErrCanceled (and the underlying context error) via
+// errors.Is. An analysis whose stages all completed is returned even
+// if the context is canceled afterwards. This is the primary API;
+// Analyze is the context-free convenience wrapper.
+func (p *Pipeline) AnalyzeContext(ctx context.Context, benchmark string) (*Analysis, error) {
 	prof, err := sim.ProfileByName(benchmark)
 	if err != nil {
 		return nil, err
 	}
-	return p.analyzeProfile(prof)
+	return p.analyzeProfile(ctx, prof)
 }
 
-// AnalyzeColocated analyses two benchmarks sharing the cluster (§V-E).
-func (p *Pipeline) AnalyzeColocated(benchA, benchB string) (*Analysis, error) {
+// Analyze runs AnalyzeContext with a background context.
+func (p *Pipeline) Analyze(benchmark string) (*Analysis, error) {
+	return p.AnalyzeContext(context.Background(), benchmark)
+}
+
+// AnalyzeColocatedContext analyses two benchmarks sharing the cluster
+// (§V-E) under the given context, with AnalyzeContext's cancellation
+// contract.
+func (p *Pipeline) AnalyzeColocatedContext(ctx context.Context, benchA, benchB string) (*Analysis, error) {
 	a, err := sim.ProfileByName(benchA)
 	if err != nil {
 		return nil, err
@@ -270,10 +322,36 @@ func (p *Pipeline) AnalyzeColocated(benchA, benchB string) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.analyzeProfile(sim.Colocate(a, b))
+	return p.analyzeProfile(ctx, sim.Colocate(a, b))
 }
 
-func (p *Pipeline) analyzeProfile(prof sim.Profile) (*Analysis, error) {
+// AnalyzeColocated runs AnalyzeColocatedContext with a background
+// context.
+func (p *Pipeline) AnalyzeColocated(benchA, benchB string) (*Analysis, error) {
+	return p.AnalyzeColocatedContext(context.Background(), benchA, benchB)
+}
+
+// analysisRun carries one analysis through the stage plan: the options
+// and profile going in, the intermediate products handed from stage to
+// stage, and the Analysis being assembled.
+type analysisRun struct {
+	p      *Pipeline
+	prof   sim.Profile
+	events []string // requested events
+	ana    *Analysis
+	deg    *Degradation
+
+	runs []*collector.Run  // Collect: surviving runs
+	raw  []*timeseries.Set // Clean: each run's raw series, kept for Persist
+	kept []string          // Validate: events surviving quarantine
+	X    [][]float64       // Clean: training matrix over kept columns
+	y    []float64         // Clean: per-interval IPC targets
+	mapm *rank.Model       // Rank: the most accurate performance model
+}
+
+// analyzeProfile executes the stage plan over one (possibly
+// co-located) profile.
+func (p *Pipeline) analyzeProfile(ctx context.Context, prof sim.Profile) (*Analysis, error) {
 	events := p.opts.Events
 	if events == nil {
 		events = p.cat.Events()
@@ -282,45 +360,84 @@ func (p *Pipeline) analyzeProfile(prof sim.Profile) (*Analysis, error) {
 		return nil, errors.New("counterminer: need at least two events")
 	}
 
-	ana := &Analysis{Benchmark: prof.Name, Events: len(events)}
-	deg := &ana.Degradation
+	ar := &analysisRun{
+		p:      p,
+		prof:   prof,
+		events: events,
+		ana:    &Analysis{Benchmark: prof.Name, Events: len(events)},
+	}
+	ar.deg = &ar.ana.Degradation
+	sr := &stageRunner{ctx: ctx}
+	err := sr.run([]stage{
+		{StageCollect, ar.collect},
+		{StageValidate, ar.validate},
+		{StageClean, ar.clean},
+		{StageRank, ar.rank},
+		{StageInteract, ar.interact},
+		{StagePersist, ar.persist},
+	})
+	ar.ana.Stages = sr.timings
+	if err != nil {
+		return nil, err
+	}
+	return ar.ana, nil
+}
 
-	// ----- Collect, with a capped-backoff retry loop and a run quorum.
-	// Cluster-scale collection loses runs; the analysis degrades
-	// gracefully as long as MinRuns survive, and every loss is recorded
-	// in the Degradation report.
-	runs := make([]*collector.Run, 0, p.opts.Runs)
+// collect gathers the configured runs, each wrapped in the capped-
+// backoff retry loop, and enforces the run quorum. Cluster-scale
+// collection loses runs; the analysis degrades gracefully as long as
+// MinRuns survive, and every loss is recorded in the Degradation
+// report. A canceled context is not a lost run: it aborts the stage
+// without charging the quorum.
+func (ar *analysisRun) collect(ctx context.Context) error {
+	p, deg := ar.p, ar.deg
+	ar.runs = make([]*collector.Run, 0, p.opts.Runs)
 	for run := 1; run <= p.opts.Runs; run++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		runID := int(p.opts.Seed)*100 + run
 		deg.RunsAttempted++
-		r, attempts, err := p.collectWithRetry(prof, runID, events)
-		deg.Retries += attempts - 1
+		r, attempts, err := p.collectWithRetry(ctx, ar.prof, runID, ar.events)
+		if attempts > 1 {
+			deg.Retries += attempts - 1
+		}
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
 			deg.RunsFailed = append(deg.RunsFailed, RunFailure{
 				RunID: runID, Attempts: attempts, Reason: err.Error(),
 			})
 			continue
 		}
 		deg.RunsSucceeded++
-		runs = append(runs, r)
+		ar.runs = append(ar.runs, r)
 	}
-	if len(runs) < p.opts.MinRuns {
-		return nil, &QuorumError{
-			Benchmark: prof.Name,
-			Succeeded: len(runs),
+	if len(ar.runs) < p.opts.MinRuns {
+		return &QuorumError{
+			Benchmark: ar.prof.Name,
+			Succeeded: len(ar.runs),
 			Required:  p.opts.MinRuns,
 			Attempted: p.opts.Runs,
 			Failures:  append([]RunFailure(nil), deg.RunsFailed...),
 		}
 	}
+	return nil
+}
 
-	// ----- Validate: quarantine event columns no cleaner can repair
-	// (truncated or dropped intervals, NaN/Inf garbage, dead counters).
-	// A column quarantined in any run is excluded from all of them so
-	// the training matrices stay column-aligned across runs.
+// validate quarantines event columns no cleaner can repair (truncated
+// or dropped intervals, NaN/Inf garbage, dead counters). A column
+// quarantined in any run is excluded from all of them so the training
+// matrices stay column-aligned across runs.
+func (ar *analysisRun) validate(ctx context.Context) error {
+	deg := ar.deg
 	quarantined := make(map[string]bool)
-	for _, r := range runs {
-		for _, ev := range events {
+	for _, r := range ar.runs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, ev := range ar.events {
 			if quarantined[ev] {
 				continue
 			}
@@ -338,142 +455,179 @@ func (p *Pipeline) analyzeProfile(prof sim.Profile) (*Analysis, error) {
 			}
 		}
 	}
-	kept := events
+	ar.kept = ar.events
 	if len(quarantined) > 0 {
-		kept = make([]string, 0, len(events)-len(quarantined))
-		for _, ev := range events {
+		ar.kept = make([]string, 0, len(ar.events)-len(quarantined))
+		for _, ev := range ar.events {
 			if !quarantined[ev] {
-				kept = append(kept, ev)
+				ar.kept = append(ar.kept, ev)
 			}
 		}
 	}
-	if len(kept) < 2 {
-		return nil, &SeriesError{
-			Benchmark:   prof.Name,
-			Remaining:   len(kept),
+	if len(ar.kept) < 2 {
+		return &SeriesError{
+			Benchmark:   ar.prof.Name,
+			Remaining:   len(ar.kept),
 			Quarantined: append([]Quarantine(nil), deg.EventsQuarantined...),
 		}
 	}
+	return nil
+}
 
-	// ----- Clean, persist, and assemble the training matrix.
+// clean repairs every surviving run's series and assembles the
+// training matrix. Each run's raw series set is snapshotted first so
+// Persist can store the run exactly as collected (every event,
+// quarantined ones included).
+func (ar *analysisRun) clean(ctx context.Context) error {
+	p, ana := ar.p, ar.ana
 	copts := p.opts.CleanOptions
 	if copts.Workers == 0 {
 		copts.Workers = p.opts.Workers
 	}
-	var X [][]float64
-	var y []float64
-	for _, r := range runs {
-		cleaned, rep, err := clean.Set(subset(r.Series, kept), copts)
+	ar.raw = make([]*timeseries.Set, 0, len(ar.runs))
+	for _, r := range ar.runs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cleaned, rep, err := clean.SetCtx(ctx, subset(r.Series, ar.kept), copts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ana.OutliersReplaced += rep.TotalOutliers
 		ana.MissingFilled += rep.TotalMissing
-		if p.sink != nil {
-			// The raw run (every event, quarantined ones included) is
-			// what the store keeps; a failed write loses persistence
-			// only, never the analysis.
-			if err := p.persist(r); err != nil {
-				deg.StoreErrors = append(deg.StoreErrors, err.Error())
-			}
-		}
+		ar.raw = append(ar.raw, r.Series)
 		r.Series = cleaned
-		Xr, yr, err := r.TrainingMatrix(kept)
+		Xr, yr, err := r.TrainingMatrix(ar.kept)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		X = append(X, Xr...)
-		y = append(y, yr...)
+		ar.X = append(ar.X, Xr...)
+		ar.y = append(ar.y, yr...)
 	}
+	return nil
+}
 
-	// ----- Rank (EIR → MAPM).
+// rank fits the performance models (EIR → MAPM) and reads off the
+// importance ranking.
+func (ar *analysisRun) rank(ctx context.Context) error {
+	p, ana := ar.p, ar.ana
 	ropts := rank.Options{
 		Params:    sgbrt.Params{Trees: p.opts.Trees, MaxDepth: 4, Seed: p.opts.Seed, Workers: p.opts.Workers},
 		PruneStep: p.opts.PruneStep,
 		Seed:      p.opts.Seed,
 	}
-	var mapm *rank.Model
 	if p.opts.SkipEIR {
-		m, err := rank.Fit(X, y, kept, ropts)
+		m, err := rank.FitCtx(ctx, ar.X, ar.y, ar.kept, ropts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		mapm = m
-		ana.EIRNumEvents = []int{len(kept)}
+		ar.mapm = m
+		ana.EIRNumEvents = []int{len(ar.kept)}
 		ana.EIRErrors = []float64{m.TestError}
 	} else {
-		res, err := rank.EIR(X, y, kept, ropts)
+		res, err := rank.EIRCtx(ctx, ar.X, ar.y, ar.kept, ropts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		mapm = res.MAPM()
+		ar.mapm = res.MAPM()
 		ana.EIRNumEvents, ana.EIRErrors = res.Curve()
 	}
-	ana.ModelError = mapm.TestError
-	ana.MAPMEvents = len(mapm.Events)
-	for _, ei := range mapm.Ranking {
+	ana.ModelError = ar.mapm.TestError
+	ana.MAPMEvents = len(ar.mapm.Events)
+	for _, ei := range ar.mapm.Ranking {
 		ana.Importance = append(ana.Importance, EventScore{
 			Event:      ei.Event,
 			Abbrev:     p.abbrev(ei.Event),
 			Importance: ei.Importance,
 		})
 	}
+	return nil
+}
 
-	// ----- Interactions among the top events. Per §III-D the ranker
-	// runs after the important events are known: a dedicated model is
-	// fitted on just those events, which concentrates the ensemble's
-	// capacity on the pair structure instead of spreading it over
-	// hundreds of inputs.
-	top := mapm.TopK(p.opts.TopK)
-	if len(top) >= 2 {
-		names := make([]string, len(top))
-		for i, ei := range top {
-			names[i] = ei.Event
-		}
-		subX, err := matrixColumns(X, kept, names)
-		if err != nil {
-			return nil, err
-		}
-		iModel, err := rank.Fit(subX, y, names, rank.Options{
-			Params: sgbrt.Params{Trees: p.opts.Trees * 2, MaxDepth: 4, Seed: p.opts.Seed, Workers: p.opts.Workers},
-			Seed:   p.opts.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		pairs, err := interact.RankPairs(iModel, subX, names, interact.Options{Workers: p.opts.Workers})
-		if err != nil {
-			return nil, err
-		}
-		for _, ps := range pairs {
-			ana.Interactions = append(ana.Interactions, PairScore{
-				A:          p.abbrev(ps.A),
-				B:          p.abbrev(ps.B),
-				Importance: ps.Importance,
-			})
-		}
+// interact ranks the interactions among the top events. Per §III-D the
+// ranker runs after the important events are known: a dedicated model
+// is fitted on just those events, which concentrates the ensemble's
+// capacity on the pair structure instead of spreading it over hundreds
+// of inputs.
+func (ar *analysisRun) interact(ctx context.Context) error {
+	p, ana := ar.p, ar.ana
+	top := ar.mapm.TopK(p.opts.TopK)
+	if len(top) < 2 {
+		return nil
 	}
+	names := make([]string, len(top))
+	for i, ei := range top {
+		names[i] = ei.Event
+	}
+	subX, err := matrixColumns(ar.X, ar.kept, names)
+	if err != nil {
+		return err
+	}
+	iModel, err := rank.FitCtx(ctx, subX, ar.y, names, rank.Options{
+		Params: sgbrt.Params{Trees: p.opts.Trees * 2, MaxDepth: 4, Seed: p.opts.Seed, Workers: p.opts.Workers},
+		Seed:   p.opts.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	pairs, err := interact.RankPairsCtx(ctx, iModel, subX, names, interact.Options{Workers: p.opts.Workers})
+	if err != nil {
+		return err
+	}
+	for _, ps := range pairs {
+		ana.Interactions = append(ana.Interactions, PairScore{
+			A:          p.abbrev(ps.A),
+			B:          p.abbrev(ps.B),
+			Importance: ps.Importance,
+		})
+	}
+	return nil
+}
 
-	if p.sink != nil {
-		if err := p.sink.Flush(); err != nil {
+// persist writes every surviving run — its raw, as-collected series —
+// into the sink and flushes. A failed write loses persistence only,
+// never the analysis; a cancellation between writes aborts before the
+// flush, so the on-disk store is either the previous image or the
+// complete new one, never a partial tail.
+func (ar *analysisRun) persist(ctx context.Context) error {
+	p, deg := ar.p, ar.deg
+	if p.sink == nil {
+		return nil
+	}
+	for i, r := range ar.runs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := p.persistRun(r, ar.raw[i]); err != nil {
 			deg.StoreErrors = append(deg.StoreErrors, err.Error())
 		}
 	}
-	return ana, nil
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := p.sink.Flush(); err != nil {
+		deg.StoreErrors = append(deg.StoreErrors, err.Error())
+	}
+	return nil
 }
 
 // collectWithRetry wraps one run collection in the Options.Retry
 // policy: up to Attempts tries with capped exponential backoff. It
 // returns the run, the attempts spent, and a *RunError (matching
-// ErrRunFailed) once every attempt has failed.
-func (p *Pipeline) collectWithRetry(prof sim.Profile, runID int, events []string) (*collector.Run, int, error) {
+// ErrRunFailed) once every attempt has failed. A context canceled
+// before or between attempts — including mid-backoff — aborts the loop
+// with the context's error and is never counted or retried as a failed
+// attempt.
+func (p *Pipeline) collectWithRetry(ctx context.Context, prof sim.Profile, runID int, events []string) (*collector.Run, int, error) {
 	pol := p.opts.Retry
 	var lastErr error
 	for a := 1; a <= pol.Attempts; a++ {
 		if a > 1 {
-			if d := pol.delay(a - 1); d > 0 {
-				pol.Sleep(d)
+			if err := pol.sleep(ctx, pol.delay(a-1)); err != nil {
+				return nil, a - 1, err
 			}
+		} else if err := ctx.Err(); err != nil {
+			return nil, 0, err
 		}
 		r, err := p.source.Collect(prof, runID, collector.MLPX, events)
 		if err == nil {
@@ -510,8 +664,10 @@ func (p *Pipeline) abbrev(event string) string {
 	return event
 }
 
-// persist writes a collected run into the store.
-func (p *Pipeline) persist(r *collector.Run) error {
+// persistRun writes one collected run into the store, using the raw
+// as-collected series set (the run itself carries the cleaned subset
+// by the time Persist executes).
+func (p *Pipeline) persistRun(r *collector.Run, raw *timeseries.Set) error {
 	rec := store.Record{
 		Meta: store.RunMeta{
 			Benchmark: r.Benchmark,
@@ -520,10 +676,10 @@ func (p *Pipeline) persist(r *collector.Run) error {
 			Intervals: len(r.IPC),
 		},
 		IPC:    r.IPC,
-		Series: make(map[string][]float64, r.Series.Len()),
+		Series: make(map[string][]float64, raw.Len()),
 	}
-	for _, ev := range r.Series.Events() {
-		s, err := r.Series.Lookup(ev)
+	for _, ev := range raw.Events() {
+		s, err := raw.Lookup(ev)
 		if err != nil {
 			return err
 		}

@@ -15,8 +15,8 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
-echo "== chaos soak (seeded fault-injection sweep) =="
-go test -race -count=2 -run 'Chaos|Retry|Injection|Transient|Permanent|Corruption|Sink|KeyedRNG' \
+echo "== chaos soak (seeded fault-injection + cancellation sweep) =="
+go test -race -count=2 -run 'Chaos|Retry|Injection|Transient|Permanent|Corruption|Sink|KeyedRNG|Cancel' \
     . ./internal/fault/
 
 echo "== short benchmarks =="

@@ -1,0 +1,96 @@
+package counterminer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// The pipeline's stage plan, in execution order. A full analysis runs
+// Collect → Validate → Clean → Rank → Interact → Persist; the external
+// data path (AnalyzeData) runs Clean → Rank → Interact. Every stage
+// boundary is a cancellation checkpoint, and the long interior loops
+// (retry backoff, SGBRT boosting, EIR pruning, pair ranking) check the
+// context between units of work, so cancel latency is bounded by one
+// work item rather than one analysis.
+const (
+	StageCollect  = "Collect"
+	StageValidate = "Validate"
+	StageClean    = "Clean"
+	StageRank     = "Rank"
+	StageInteract = "Interact"
+	StagePersist  = "Persist"
+)
+
+// StageTiming records one pipeline stage's wall time. The Stages slice
+// of a completed Analysis lists every executed stage in order — the
+// seed of the observability layer, printed by cmd/counterminer.
+type StageTiming struct {
+	// Stage is the stage name (StageCollect, StageClean, ...).
+	Stage string
+	// Duration is the stage's wall time.
+	Duration time.Duration
+}
+
+// stage is one named step of a plan: a function that does the work
+// under the given context.
+type stage struct {
+	name string
+	fn   func(context.Context) error
+}
+
+// stageRunner executes a stage plan: it checks the context before
+// every stage, records per-stage wall time, and wraps any cancellation
+// surfacing from a stage's interior into a *CancelError naming the
+// stage. A plan that runs to completion ignores a cancellation that
+// fires after the last stage finishes — completed work is returned.
+type stageRunner struct {
+	ctx     context.Context
+	timings []StageTiming
+}
+
+// run executes every stage in order and returns the first error.
+func (sr *stageRunner) run(plan []stage) error {
+	for _, s := range plan {
+		if err := sr.ctx.Err(); err != nil {
+			return &CancelError{Stage: s.name, Err: err}
+		}
+		start := time.Now()
+		err := s.fn(sr.ctx)
+		sr.timings = append(sr.timings, StageTiming{Stage: s.name, Duration: time.Since(start)})
+		if err != nil {
+			return wrapStageErr(s.name, err)
+		}
+	}
+	return nil
+}
+
+// wrapStageErr converts a bare context error bubbling out of a stage's
+// interior loop into the typed *CancelError; everything else passes
+// through unchanged (including an already-wrapped *CancelError).
+func wrapStageErr(stageName string, err error) error {
+	var ce *CancelError
+	if errors.As(err, &ce) {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &CancelError{Stage: stageName, Err: err}
+	}
+	return err
+}
+
+// StageReport renders the per-stage wall times of a completed analysis
+// as a single line ("Collect 12ms · Clean 3ms · …"), empty when no
+// stages were recorded.
+func (a *Analysis) StageReport() string {
+	if len(a.Stages) == 0 {
+		return ""
+	}
+	parts := make([]string, len(a.Stages))
+	for i, s := range a.Stages {
+		parts[i] = fmt.Sprintf("%s %s", s.Stage, s.Duration.Round(10*time.Microsecond))
+	}
+	return strings.Join(parts, " · ")
+}
