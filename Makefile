@@ -1,8 +1,13 @@
 GO ?= go
+BENCH_COUNT ?= 3
 
-.PHONY: check vet build test race bench chaos
+.PHONY: check fmt vet build test race bench bench-json chaos
 
-check: vet build race bench chaos
+check: fmt vet build race bench chaos
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -17,12 +22,18 @@ race:
 	$(GO) test -race ./...
 
 # Seeded chaos soak: the fault-injection sweep (failed runs, corrupt
-# series, broken stores at 0%/5%/20%) plus the fault unit tests, run
-# twice under the race detector. Deterministic — a failure here is a
-# real regression, not flakiness.
+# series, broken stores at 0%/5%/20%), the fault unit tests, and the
+# serving layer's overload/shutdown/drain paths, run twice under the
+# race detector. Deterministic — a failure here is a real regression,
+# not flakiness.
 chaos:
-	$(GO) test -race -count=2 -run 'Chaos|Retry|Injection|Transient|Permanent|Corruption|Sink|KeyedRNG|Cancel' . ./internal/fault/
+	$(GO) test -race -count=2 -run 'Chaos|Retry|Injection|Transient|Permanent|Corruption|Sink|KeyedRNG|Cancel|Overload|Shutdown|Drain' . ./internal/fault/ ./internal/serve/
 
 # Short allocation-aware sweep over the hot-path micro-benchmarks.
 bench:
 	$(GO) test -run=^$$ -bench='Fit|BuildTreeOrdered|PredictAll|RankPairs|Distance' -benchtime=1x -benchmem ./internal/sgbrt/ ./internal/interact/ ./internal/dtw/
+
+# Same sweep, repeated BENCH_COUNT times and written to an
+# auto-numbered machine-readable BENCH_<n>.json report.
+bench-json:
+	./scripts/bench.sh $(BENCH_COUNT)

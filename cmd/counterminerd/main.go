@@ -1,0 +1,118 @@
+// Command counterminerd is the CounterMiner analysis service: a
+// long-running HTTP/JSON daemon that accepts analysis requests, runs
+// them through the AnalyzeContext pipeline behind an
+// admission-controlled job queue, deduplicates and caches results by
+// content address, and exposes a metrics surface.
+//
+// Usage:
+//
+//	counterminerd -addr 127.0.0.1:7070 -db runs.db
+//	curl -s localhost:7070/benchmarks
+//	curl -s -X POST localhost:7070/analyze -d '{"benchmark":"wordcount","skip_eir":true}'
+//	curl -s localhost:7070/metrics
+//
+// Endpoints:
+//
+//	POST /analyze     run (or reuse) one analysis; typed JSON errors,
+//	                  429 when the queue is full, 503 while draining
+//	GET  /benchmarks  the analyzable catalog + the store's read side
+//	GET  /metrics     counters, queue/cache gauges, per-stage latency
+//	GET  /healthz     liveness (503 once draining)
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: in-flight analyses
+// finish, queued ones are canceled through the pipeline's *CancelError
+// path, and the store is flushed atomically before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"counterminer/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main, factored for the end-to-end test: it serves until
+// SIGINT/SIGTERM and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("counterminerd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:7070", "listen address (host:port; port 0 picks an ephemeral port)")
+		workers    = fs.Int("workers", 2, "analyses executed concurrently")
+		queueDepth = fs.Int("queue", 8, "admitted jobs waiting beyond the executing ones (0 = admit only when a worker is idle)")
+		cacheSize  = fs.Int("cache", 64, "result-cache capacity in completed analyses (0 = no caching, singleflight only)")
+		budget     = fs.Duration("budget", 2*time.Minute, "per-request compute budget, applied from admission")
+		grace      = fs.Duration("grace", 15*time.Second, "shutdown grace for in-flight HTTP exchanges")
+		dbPath     = fs.String("db", "", "persist collected runs to this store path (also backs /benchmarks)")
+		anaWorkers = fs.Int("analysis-workers", 0, "per-analysis worker count (0 = GOMAXPROCS); never changes results")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch {
+	case *workers <= 0:
+		fmt.Fprintln(stderr, "counterminerd: -workers must be > 0")
+		return 2
+	case *queueDepth < 0:
+		fmt.Fprintln(stderr, "counterminerd: -queue must be >= 0")
+		return 2
+	case *cacheSize < 0:
+		fmt.Fprintln(stderr, "counterminerd: -cache must be >= 0")
+		return 2
+	case *budget <= 0 || *grace <= 0:
+		fmt.Fprintln(stderr, "counterminerd: -budget and -grace must be > 0")
+		return 2
+	case *anaWorkers < 0:
+		fmt.Fprintln(stderr, "counterminerd: -analysis-workers must be >= 0")
+		return 2
+	}
+	cfg := serve.Config{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheSize:       *cacheSize,
+		Budget:          *budget,
+		ShutdownGrace:   *grace,
+		StorePath:       *dbPath,
+		AnalysisWorkers: *anaWorkers,
+	}
+	// On the CLI, 0 means "none"; in serve.Config that is encoded as a
+	// negative (0 selects the default).
+	if *queueDepth == 0 {
+		cfg.QueueDepth = -1
+	}
+	if *cacheSize == 0 {
+		cfg.CacheSize = -1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "counterminerd:", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "counterminerd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "counterminerd: listening on %s\n", ln.Addr())
+	if err := srv.Serve(ctx, ln); err != nil {
+		fmt.Fprintln(stderr, "counterminerd:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "counterminerd: drained, store flushed, exiting")
+	return 0
+}

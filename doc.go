@@ -25,9 +25,19 @@
 // ground truth; see DESIGN.md for the substitution table. The pipeline
 // above the collector is simulation-agnostic.
 //
-// The entry point is the Pipeline type:
+// The entry point is the Pipeline type. The API is context-first:
+// every stage observes ctx within one unit of work, cancellation
+// surfaces as a typed *CancelError naming the stage, and completed
+// analyses carry per-stage wall times in Analysis.Stages:
 //
 //	p, err := counterminer.NewPipeline(counterminer.Options{})
-//	a, err := p.Analyze("wordcount")
+//	a, err := p.AnalyzeContext(ctx, "wordcount")
 //	for _, e := range a.TopEvents(10) { fmt.Println(e.Abbrev, e.Importance) }
+//
+// (The context-free Analyze and friends still work; they are plain
+// context.Background() wrappers.)
+//
+// For serving analyses over HTTP — with admission control, a
+// content-addressed result cache, and a metrics surface — see
+// internal/serve and the counterminerd command.
 package counterminer

@@ -1,0 +1,111 @@
+// HTTP API: start the counterminerd service in-process, then drive it
+// the way an external client would — plain net/http and encoding/json,
+// no client library required.
+//
+//	go run ./examples/httpapi
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"counterminer/internal/serve"
+)
+
+// analyzeRequest mirrors counterminerd's POST /analyze body. External
+// clients declare their own wire struct like this; only the fields you
+// set are sent, everything else takes the server's defaults.
+type analyzeRequest struct {
+	Benchmark string   `json:"benchmark"`
+	Events    []string `json:"events,omitempty"`
+	Runs      int      `json:"runs,omitempty"`
+	Trees     int      `json:"trees,omitempty"`
+	SkipEIR   bool     `json:"skip_eir,omitempty"`
+}
+
+func main() {
+	// Start the service on an ephemeral port. A deployment would run
+	// `counterminerd -addr :7070 -db runs.db` instead; everything below
+	// the listener is identical.
+	srv, err := serve.New(serve.Config{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// What can we analyse?
+	resp, err := http.Get(base + "/benchmarks")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var catalog struct {
+		Available []string `json:"available"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&catalog); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("service at %s offers %d benchmarks\n", base, len(catalog.Available))
+
+	// Run one analysis. The same request body twice demonstrates the
+	// content-addressed result cache: the repeat answers instantly.
+	body, _ := json.Marshal(analyzeRequest{
+		Benchmark: "wordcount",
+		Events:    []string{"ICACHE.*", "L2_RQSTS.*", "BR_INST_RETIRED.*"},
+		Runs:      2,
+		Trees:     40,
+		SkipEIR:   true,
+	})
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(base+"/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			var e serve.ErrorResponse
+			json.NewDecoder(resp.Body).Decode(&e)
+			resp.Body.Close()
+			log.Fatalf("analyze: %d %s: %s", resp.StatusCode, e.Error, e.Message)
+		}
+		var ar serve.AnalyzeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("analysis %d: cached=%v elapsed=%.0fms model error %.1f%%, top event %s\n",
+			i+1, ar.Cached, ar.ElapsedMs, ar.Analysis.ModelError,
+			ar.Analysis.TopEvents(1)[0].Event)
+	}
+
+	// The metrics surface shows the cache doing its job.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var snap serve.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("metrics: %d requests, %d executed, %d cache hits\n",
+		snap.Requests.Total, snap.Analyses.Completed, snap.Requests.CacheHits)
+
+	// Graceful shutdown: in-flight work drains, the store would flush.
+	cancel()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("service drained cleanly")
+}

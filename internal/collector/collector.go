@@ -85,6 +85,11 @@ func (c *Collector) PMU() sim.PMU { return c.pmu }
 // Catalogue returns the collector's event catalogue.
 func (c *Collector) Catalogue() *sim.Catalogue { return c.cat }
 
+// newGenerator builds a profile's trace generator. It is a package
+// variable so the memoization test can count how often the expensive
+// build actually happens.
+var newGenerator = sim.NewGenerator
+
 // generator returns (building if needed) the trace generator for a
 // profile.
 func (c *Collector) generator(p sim.Profile) (*sim.Generator, error) {
@@ -93,7 +98,7 @@ func (c *Collector) generator(p sim.Profile) (*sim.Generator, error) {
 	if g, ok := c.gens[p.Name]; ok {
 		return g, nil
 	}
-	g, err := sim.NewGenerator(p, c.cat)
+	g, err := newGenerator(p, c.cat)
 	if err != nil {
 		return nil, err
 	}

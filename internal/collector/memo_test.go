@@ -1,0 +1,77 @@
+package collector
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"counterminer/internal/sim"
+)
+
+// TestGeneratorMemoizedUnderConcurrency hammers the memoized generator
+// lookup from many goroutines and asserts the expensive trace-generator
+// build happens exactly once per profile, with every caller observing
+// the same instance. counterminerd shares one collector across all
+// requests precisely for this property; run under -race, the lock
+// discipline is part of the contract.
+func TestGeneratorMemoizedUnderConcurrency(t *testing.T) {
+	var builds atomic.Int64
+	orig := newGenerator
+	newGenerator = func(p sim.Profile, cat *sim.Catalogue) (*sim.Generator, error) {
+		builds.Add(1)
+		return orig(p, cat)
+	}
+	defer func() { newGenerator = orig }()
+
+	c := New(sim.NewCatalogue())
+	var profiles []sim.Profile
+	for _, name := range []string{"wordcount", "sort", "pagerank"} {
+		p, err := sim.ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+
+	const goroutines = 32
+	const lookups = 25
+	got := make([][]*sim.Generator, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < lookups; j++ {
+				g, err := c.generator(profiles[(i+j)%len(profiles)])
+				if err != nil {
+					t.Errorf("goroutine %d lookup %d: %v", i, j, err)
+					return
+				}
+				got[i] = append(got[i], g)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if n := builds.Load(); n != int64(len(profiles)) {
+		t.Errorf("generator built %d times for %d profiles across %d goroutines, want one build per profile",
+			n, len(profiles), goroutines)
+	}
+
+	// Every goroutine must have observed the one memoized instance.
+	canonical := make([]*sim.Generator, len(profiles))
+	for k, p := range profiles {
+		g, err := c.generator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canonical[k] = g
+	}
+	for i := range got {
+		for j, g := range got[i] {
+			if want := canonical[(i+j)%len(profiles)]; g != want {
+				t.Fatalf("goroutine %d lookup %d got a different generator instance", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+
+	counterminer "counterminer"
+)
+
+// Cache is the content-addressed result cache: completed Analysis
+// values keyed by the canonical request hash, held in an LRU, with
+// singleflight deduplication of in-flight keys so N concurrent
+// identical requests cost one pipeline execution.
+//
+// Cached *Analysis values are shared between callers and must be
+// treated as immutable; the HTTP layer only ever marshals them.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	inflight  map[string]*Call
+	evictions uint64
+}
+
+// entry is one LRU slot.
+type entry struct {
+	key string
+	ana *counterminer.Analysis
+}
+
+// Call is one in-flight computation. Followers wait on Done; after it
+// closes, Ana/Err hold the shared result.
+type Call struct {
+	// Done closes when the computation completes.
+	Done chan struct{}
+	// Ana and Err are the shared outcome, valid once Done is closed.
+	Ana *counterminer.Analysis
+	Err error
+}
+
+// NewCache returns a cache holding at most capacity completed
+// analyses. capacity 0 disables retention but keeps singleflight
+// deduplication of concurrent identical requests.
+func NewCache(capacity int) *Cache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*Call),
+	}
+}
+
+// Acquire resolves a key to one of three outcomes:
+//
+//   - cache hit: ana != nil — return it to the client;
+//   - follower: call != nil, leader == false — an identical request is
+//     already executing; wait on call.Done and share its result;
+//   - leader: call != nil, leader == true — the caller must execute
+//     the analysis and publish it with Complete (always, also on
+//     error, or followers wait forever).
+func (c *Cache) Acquire(key string) (ana *counterminer.Analysis, call *Call, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry).ana, nil, false
+	}
+	if cl, ok := c.inflight[key]; ok {
+		return nil, cl, false
+	}
+	cl := &Call{Done: make(chan struct{})}
+	c.inflight[key] = cl
+	return nil, cl, true
+}
+
+// Complete publishes a leader's outcome: the result is stored in the
+// call, successful analyses enter the LRU (failures and cancellations
+// are never cached — a retry should re-run, not replay the error), the
+// in-flight slot is released, and every follower is woken.
+func (c *Cache) Complete(key string, call *Call, ana *counterminer.Analysis, err error) {
+	call.Ana, call.Err = ana, err
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil && ana != nil && c.capacity > 0 {
+		if el, ok := c.items[key]; ok {
+			el.Value.(*entry).ana = ana
+			c.ll.MoveToFront(el)
+		} else {
+			c.items[key] = c.ll.PushFront(&entry{key: key, ana: ana})
+			if c.ll.Len() > c.capacity {
+				oldest := c.ll.Back()
+				c.ll.Remove(oldest)
+				delete(c.items, oldest.Value.(*entry).key)
+				c.evictions++
+			}
+		}
+	}
+	c.mu.Unlock()
+	close(call.Done)
+}
+
+// Len reports the number of cached analyses.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Capacity reports the LRU capacity.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Evictions reports how many entries the LRU has displaced.
+func (c *Cache) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// Key canonicalizes one analysis request into its content address: a
+// hash over the benchmark identity (including co-location) and every
+// Options field that can change the result. Options is defaulted
+// first, so a zero field and an explicit default collide (they analyse
+// identically). Fields that provably cannot change the result —
+// Workers (results are bit-identical at every worker count), retry
+// policy, fault seams, StorePath — stay out of the address, so
+// operational re-tuning never invalidates the cache.
+func Key(benchmark, colocate string, events []string, opts counterminer.Options) string {
+	opts = opts.WithDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "bench=%q&coloc=%q", benchmark, colocate)
+	fmt.Fprintf(&b, "&events=%q", strings.Join(events, "\x00"))
+	fmt.Fprintf(&b, "&runs=%d&trees=%d&prune=%d&topk=%d&skipeir=%t&seed=%d&minruns=%d",
+		opts.Runs, opts.Trees, opts.PruneStep, opts.TopK, opts.SkipEIR, opts.Seed, opts.MinRuns)
+	// clean.Options minus its Workers knob (worker counts never change
+	// results anywhere in the engine).
+	fmt.Fprintf(&b, "&clean=%g/%d/%t/%t",
+		opts.CleanOptions.N, opts.CleanOptions.K,
+		opts.CleanOptions.SkipOutliers, opts.CleanOptions.SkipMissing)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	counterminer "counterminer"
+)
+
+// Metrics is counterminerd's observability surface: request and cache
+// counters, queue gauges, analysis outcomes, and one latency histogram
+// per pipeline stage, fed from Analysis.Stages. Everything is exported
+// as one JSON document by GET /metrics, so any scraper that speaks
+// JSON can consume it without a client library.
+type Metrics struct {
+	start time.Time
+
+	mu sync.Mutex
+	// request-path counters
+	requests         uint64
+	badRequests      uint64
+	rejectedFull     uint64
+	rejectedDraining uint64
+	cacheHits        uint64
+	cacheMisses      uint64
+	shared           uint64
+	// analysis outcomes
+	completed uint64
+	failed    uint64
+	canceled  uint64
+	degraded  uint64
+	// degradation detail, summed over completed analyses
+	retries     uint64
+	runsFailed  uint64
+	quarantined uint64
+	storeErrors uint64
+	// per-stage latency histograms, pre-registered over the full stage
+	// plan so the surface is complete before the first analysis.
+	stageOrder []string
+	stages     map[string]*Histogram
+}
+
+// NewMetrics returns a metrics registry with one histogram per
+// pipeline stage (in plan order, from counterminer.StageNames).
+func NewMetrics() *Metrics {
+	m := &Metrics{
+		start:      time.Now(),
+		stageOrder: counterminer.StageNames(),
+		stages:     make(map[string]*Histogram),
+	}
+	for _, s := range m.stageOrder {
+		m.stages[s] = NewHistogram()
+	}
+	return m
+}
+
+// IncRequest counts one /analyze request (before admission).
+func (m *Metrics) IncRequest() { m.inc(&m.requests) }
+
+// IncBadRequest counts one request rejected as malformed.
+func (m *Metrics) IncBadRequest() { m.inc(&m.badRequests) }
+
+// IncRejected counts one admission rejection by cause.
+func (m *Metrics) IncRejected(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if errors.Is(err, ErrDraining) {
+		m.rejectedDraining++
+	} else {
+		m.rejectedFull++
+	}
+}
+
+// IncCacheHit / IncCacheMiss / IncShared count result-cache outcomes:
+// a hit served from the LRU, a miss that became a pipeline execution,
+// and a request that attached to an identical in-flight execution.
+func (m *Metrics) IncCacheHit()  { m.inc(&m.cacheHits) }
+func (m *Metrics) IncCacheMiss() { m.inc(&m.cacheMisses) }
+func (m *Metrics) IncShared()    { m.inc(&m.shared) }
+
+func (m *Metrics) inc(c *uint64) {
+	m.mu.Lock()
+	*c++
+	m.mu.Unlock()
+}
+
+// ObserveAnalysis records one finished pipeline execution: outcome
+// counters, per-stage latency, and degradation accounting.
+func (m *Metrics) ObserveAnalysis(ana *counterminer.Analysis, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		if errors.Is(err, counterminer.ErrCanceled) {
+			m.canceled++
+		} else {
+			m.failed++
+		}
+		return
+	}
+	m.completed++
+	d := &ana.Degradation
+	if d.Degraded() {
+		m.degraded++
+	}
+	m.retries += uint64(d.Retries)
+	m.runsFailed += uint64(len(d.RunsFailed))
+	m.quarantined += uint64(len(d.EventsQuarantined))
+	m.storeErrors += uint64(len(d.StoreErrors))
+	for _, st := range ana.Stages {
+		h, ok := m.stages[st.Stage]
+		if !ok {
+			h = NewHistogram()
+			m.stages[st.Stage] = h
+			m.stageOrder = append(m.stageOrder, st.Stage)
+		}
+		h.Observe(st.Duration)
+	}
+}
+
+// Snapshot is the JSON document /metrics serves.
+type Snapshot struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Requests      RequestCounters  `json:"requests"`
+	Queue         QueueGauges      `json:"queue"`
+	Cache         CacheGauges      `json:"cache"`
+	Analyses      AnalysisCounters `json:"analyses"`
+	StageLatency  []StageHistogram `json:"stage_latency"`
+}
+
+// RequestCounters groups the request-path counters.
+type RequestCounters struct {
+	Total              uint64 `json:"total"`
+	BadRequests        uint64 `json:"bad_requests"`
+	RejectedQueueFull  uint64 `json:"rejected_queue_full"`
+	RejectedDraining   uint64 `json:"rejected_draining"`
+	CacheHits          uint64 `json:"cache_hits"`
+	CacheMisses        uint64 `json:"cache_misses"`
+	SingleflightShared uint64 `json:"singleflight_shared"`
+}
+
+// QueueGauges groups the queue's live state.
+type QueueGauges struct {
+	Depth    int `json:"depth"`
+	Capacity int `json:"capacity"`
+	Active   int `json:"active"`
+	Executed int `json:"executed"`
+}
+
+// CacheGauges groups the result cache's live state.
+type CacheGauges struct {
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// AnalysisCounters groups pipeline-execution outcomes and the summed
+// degradation accounting.
+type AnalysisCounters struct {
+	Completed         uint64 `json:"completed"`
+	Failed            uint64 `json:"failed"`
+	Canceled          uint64 `json:"canceled"`
+	Degraded          uint64 `json:"degraded"`
+	Retries           uint64 `json:"retries"`
+	RunsFailed        uint64 `json:"runs_failed"`
+	EventsQuarantined uint64 `json:"events_quarantined"`
+	StoreErrors       uint64 `json:"store_errors"`
+}
+
+// StageHistogram is one stage's latency distribution.
+type StageHistogram struct {
+	Stage   string        `json:"stage"`
+	Count   uint64        `json:"count"`
+	SumMs   float64       `json:"sum_ms"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// BucketCount is one cumulative histogram bucket: how many
+// observations were <= LeMs milliseconds (LeMs < 0 encodes +Inf).
+type BucketCount struct {
+	LeMs  float64 `json:"le_ms"`
+	Count uint64  `json:"count"`
+}
+
+// SnapshotFrom assembles the full metrics document from the registry
+// plus the queue and cache gauges.
+func (m *Metrics) SnapshotFrom(q *Queue, c *Cache) Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests: RequestCounters{
+			Total:              m.requests,
+			BadRequests:        m.badRequests,
+			RejectedQueueFull:  m.rejectedFull,
+			RejectedDraining:   m.rejectedDraining,
+			CacheHits:          m.cacheHits,
+			CacheMisses:        m.cacheMisses,
+			SingleflightShared: m.shared,
+		},
+		Analyses: AnalysisCounters{
+			Completed:         m.completed,
+			Failed:            m.failed,
+			Canceled:          m.canceled,
+			Degraded:          m.degraded,
+			Retries:           m.retries,
+			RunsFailed:        m.runsFailed,
+			EventsQuarantined: m.quarantined,
+			StoreErrors:       m.storeErrors,
+		},
+	}
+	if q != nil {
+		snap.Queue = QueueGauges{
+			Depth: q.Depth(), Capacity: q.Capacity(),
+			Active: q.Active(), Executed: q.Executed(),
+		}
+	}
+	if c != nil {
+		snap.Cache = CacheGauges{
+			Entries: c.Len(), Capacity: c.Capacity(), Evictions: c.Evictions(),
+		}
+	}
+	for _, name := range m.stageOrder {
+		snap.StageLatency = append(snap.StageLatency, m.stages[name].snapshot(name))
+	}
+	return snap
+}
+
+// histogramBounds are the latency bucket upper bounds. Stage times
+// span sub-millisecond validation to multi-second model fits, so the
+// bounds are roughly logarithmic.
+var histogramBounds = []time.Duration{
+	time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
+	time.Second, 2500 * time.Millisecond, 5 * time.Second, 10 * time.Second,
+}
+
+// Histogram is a fixed-bound latency histogram. It is not
+// self-locking; the owning Metrics registry serializes access.
+type Histogram struct {
+	counts []uint64 // one per bound, plus overflow at the end
+	count  uint64
+	sum    time.Duration
+}
+
+// NewHistogram returns an empty histogram over histogramBounds.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, len(histogramBounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	i := 0
+	for i < len(histogramBounds) && d > histogramBounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += d
+}
+
+// snapshot renders the histogram with cumulative bucket counts
+// (Prometheus-style: each bucket counts observations <= its bound; the
+// final bucket, LeMs = -1 meaning +Inf, equals Count).
+func (h *Histogram) snapshot(stage string) StageHistogram {
+	out := StageHistogram{
+		Stage: stage,
+		Count: h.count,
+		SumMs: float64(h.sum) / float64(time.Millisecond),
+	}
+	cum := uint64(0)
+	for i, b := range histogramBounds {
+		cum += h.counts[i]
+		out.Buckets = append(out.Buckets, BucketCount{
+			LeMs:  float64(b) / float64(time.Millisecond),
+			Count: cum,
+		})
+	}
+	out.Buckets = append(out.Buckets, BucketCount{LeMs: -1, Count: h.count})
+	return out
+}

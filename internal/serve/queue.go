@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"counterminer/internal/parallel"
+)
+
+// Admission-control sentinels. The HTTP layer maps them to typed JSON
+// rejections: ErrQueueFull → 429 (back off and retry), ErrDraining →
+// 503 (the server is shutting down; retry against another instance).
+var (
+	// ErrQueueFull reports a job rejected because the bounded queue is
+	// at capacity. Rejecting at admission is what keeps overload
+	// graceful: the server sheds work instead of buffering unboundedly.
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrDraining reports a job rejected because the queue is shutting
+	// down and no longer admits work.
+	ErrDraining = errors.New("serve: draining, not accepting new jobs")
+)
+
+// Queue is the admission-controlled job queue in front of the analysis
+// pipeline: a bounded buffer feeding a fixed worker pool (run on
+// internal/parallel, the same pool primitive as the analysis engine
+// itself). Every admitted job gets its own deadline derived from the
+// server's per-request budget, so one slow analysis can never hold a
+// worker forever.
+//
+// Shutdown is graceful and split by state: Drain lets jobs that are
+// already executing finish, while jobs still waiting in the buffer get
+// their contexts canceled — they then travel the pipeline's ordinary
+// *CancelError path and their waiters see a typed cancellation, not a
+// hang.
+type Queue struct {
+	jobs   chan *queuedJob
+	budget time.Duration
+	done   chan struct{}
+
+	mu       sync.Mutex
+	draining bool
+	pending  map[*queuedJob]struct{}
+
+	active   atomic.Int64
+	executed atomic.Int64
+}
+
+// queuedJob is one admitted unit of work with its budget context.
+type queuedJob struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	run    func(context.Context)
+}
+
+// NewQueue starts a queue with the given worker pool size, buffer
+// depth (jobs waiting beyond the ones executing; 0 means a job is only
+// admitted when a worker is idle), and per-job budget (<= 0 means no
+// deadline).
+func NewQueue(workers, depth int, budget time.Duration) *Queue {
+	if workers <= 0 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	q := &Queue{
+		jobs:    make(chan *queuedJob, depth),
+		budget:  budget,
+		done:    make(chan struct{}),
+		pending: make(map[*queuedJob]struct{}),
+	}
+	go func() {
+		defer close(q.done)
+		// One "item" per worker, each running the pull loop until the
+		// jobs channel closes: the analysis engine's pool primitive
+		// doubles as the server's resident worker pool.
+		parallel.ForEachWorker(workers, workers, func(_, _ int) error {
+			q.loop()
+			return nil
+		})
+	}()
+	return q
+}
+
+// loop is one worker: pull, claim (so Drain no longer cancels the
+// job), execute under the job's budget context, release the timer.
+func (q *Queue) loop() {
+	for j := range q.jobs {
+		q.mu.Lock()
+		delete(q.pending, j)
+		q.mu.Unlock()
+		q.active.Add(1)
+		j.run(j.ctx)
+		j.cancel()
+		q.active.Add(-1)
+		q.executed.Add(1)
+	}
+}
+
+// Submit admits run into the queue, or rejects it with ErrQueueFull /
+// ErrDraining without blocking. An admitted job runs exactly once on
+// some worker, under a context carrying the per-job budget deadline —
+// canceled early only if the queue drains before the job starts.
+func (q *Queue) Submit(run func(context.Context)) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining {
+		return ErrDraining
+	}
+	var (
+		ctx    context.Context
+		cancel context.CancelFunc
+	)
+	if q.budget > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), q.budget)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	j := &queuedJob{ctx: ctx, cancel: cancel, run: run}
+	select {
+	case q.jobs <- j:
+		q.pending[j] = struct{}{}
+		return nil
+	default:
+		cancel()
+		return ErrQueueFull
+	}
+}
+
+// Drain shuts the queue down gracefully: new submissions are rejected
+// with ErrDraining, jobs already executing run to completion, and jobs
+// still waiting in the buffer have their contexts canceled (they still
+// execute, but observe cancellation immediately and return through the
+// pipeline's *CancelError path). Drain blocks until every worker has
+// exited; it is idempotent.
+func (q *Queue) Drain() {
+	q.mu.Lock()
+	if q.draining {
+		q.mu.Unlock()
+		<-q.done
+		return
+	}
+	q.draining = true
+	for j := range q.pending {
+		j.cancel()
+	}
+	q.mu.Unlock()
+	close(q.jobs)
+	<-q.done
+}
+
+// Depth reports how many admitted jobs are waiting for a worker.
+func (q *Queue) Depth() int { return len(q.jobs) }
+
+// Capacity reports the buffer depth the queue admits beyond the
+// executing jobs.
+func (q *Queue) Capacity() int { return cap(q.jobs) }
+
+// Active reports how many jobs are executing right now.
+func (q *Queue) Active() int { return int(q.active.Load()) }
+
+// Executed reports how many jobs have finished executing (successfully
+// or not) since the queue started.
+func (q *Queue) Executed() int { return int(q.executed.Load()) }

@@ -1,0 +1,512 @@
+// Package serve is counterminerd: CounterMiner's long-running analysis
+// service. It puts a network front door on the AnalyzeContext pipeline
+// with four cooperating parts:
+//
+//   - an admission-controlled job queue (Queue): a bounded buffer plus
+//     a fixed worker pool built on internal/parallel, per-job deadlines
+//     derived from the server's request budget, and typed 429/503
+//     rejections when full — overload sheds load instead of buffering
+//     itself to death;
+//   - a content-addressed result cache (Cache): requests are
+//     canonicalized and hashed (benchmark identity + every
+//     result-relevant Options field), completed analyses live in an
+//     LRU, and singleflight deduplication makes N concurrent identical
+//     requests cost one pipeline execution;
+//   - a metrics surface: GET /healthz, GET /metrics (JSON counters,
+//     queue/cache gauges, and per-stage latency histograms fed from
+//     Analysis.Stages), and GET /benchmarks (the catalog, backed by
+//     the store's read side);
+//   - lifecycle integration: Serve(ctx, ln) drains gracefully when the
+//     context is canceled — in-flight analyses finish, queued ones are
+//     canceled through the pipeline's *CancelError path, and the store
+//     is flushed atomically before the listener closes.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	counterminer "counterminer"
+	"counterminer/internal/collector"
+	"counterminer/internal/fault"
+	"counterminer/internal/sim"
+	"counterminer/internal/store"
+)
+
+// Config sizes the service. The zero value of every field selects a
+// sensible default (see withDefaults).
+type Config struct {
+	// Workers is how many analyses execute concurrently (default 2).
+	Workers int
+	// QueueDepth is how many admitted jobs may wait beyond the
+	// executing ones before requests are rejected with 429 (default 8).
+	// Negative admits a job only when a worker is idle.
+	QueueDepth int
+	// CacheSize is the result cache's LRU capacity in completed
+	// analyses (default 64). Negative keeps singleflight deduplication
+	// but retains nothing.
+	CacheSize int
+	// Budget is the per-request compute deadline, applied from
+	// admission (queue wait included) so a request can never hold a
+	// worker longer than the operator allows (default 2m).
+	Budget time.Duration
+	// ShutdownGrace bounds how long Serve waits for in-flight HTTP
+	// exchanges after the queue has drained (default 15s).
+	ShutdownGrace time.Duration
+	// StorePath, when non-empty, persists every collected run to the
+	// two-level store at that path and backs the /benchmarks catalog.
+	StorePath string
+	// AnalysisWorkers is Options.Workers for each pipeline execution
+	// (default 0 = GOMAXPROCS). It never changes results, only speed.
+	AnalysisWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	switch {
+	case c.QueueDepth == 0:
+		c.QueueDepth = 8
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
+	}
+	switch {
+	case c.CacheSize == 0:
+		c.CacheSize = 64
+	case c.CacheSize < 0:
+		c.CacheSize = 0
+	}
+	if c.Budget <= 0 {
+		c.Budget = 2 * time.Minute
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 15 * time.Second
+	}
+	return c
+}
+
+// Server is the counterminerd service: one shared collector (so
+// per-profile trace generators are built once and memoized across
+// requests), one shared store handle, and the queue/cache/metrics trio
+// in front of the pipeline.
+type Server struct {
+	cfg      Config
+	cat      *sim.Catalogue
+	source   fault.RunSource
+	db       *store.DB
+	queue    *Queue
+	cache    *Cache
+	metrics  *Metrics
+	draining atomic.Bool
+
+	// analyze executes one resolved request; tests substitute it to
+	// make concurrency scenarios deterministic.
+	analyze func(ctx context.Context, spec jobSpec) (*counterminer.Analysis, error)
+}
+
+// jobSpec is one fully resolved analysis request: benchmark identity,
+// the resolved event list (nil = full catalogue), and the
+// result-relevant options (already carrying AnalysisWorkers).
+type jobSpec struct {
+	benchmark, colocate string
+	events              []string
+	opts                counterminer.Options
+}
+
+// New builds a server from cfg. Opening a damaged store is not fatal
+// (damaged records are skipped and reported by /benchmarks); only an
+// unreadable path is.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	cat := sim.NewCatalogue()
+	s := &Server{
+		cfg:     cfg,
+		cat:     cat,
+		source:  collector.New(cat),
+		queue:   NewQueue(cfg.Workers, cfg.QueueDepth, cfg.Budget),
+		cache:   NewCache(cfg.CacheSize),
+		metrics: NewMetrics(),
+	}
+	if cfg.StorePath != "" {
+		db, err := store.Open(cfg.StorePath)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.db = db
+	}
+	s.analyze = s.runPipeline
+	return s, nil
+}
+
+// Metrics exposes the server's metrics registry (for embedding and
+// tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the service's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("/analyze", s.handleAnalyze)
+	return mux
+}
+
+// Serve runs the HTTP service on ln until ctx is canceled, then shuts
+// down gracefully: the queue drains (executing analyses finish, queued
+// ones are canceled through the *CancelError path), in-flight HTTP
+// exchanges get ShutdownGrace to complete, and the store is flushed
+// atomically. A clean shutdown returns nil.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	var serveErr error
+	select {
+	case serveErr = <-errc:
+		// The listener died on its own; still drain the queue and
+		// flush before reporting.
+		s.draining.Store(true)
+		s.queue.Drain()
+	case <-ctx.Done():
+		s.draining.Store(true)
+		s.queue.Drain()
+		shctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+		defer cancel()
+		if err := hs.Shutdown(shctx); err != nil {
+			serveErr = err
+		}
+		<-errc // always http.ErrServerClosed after Shutdown
+	}
+	if s.db != nil {
+		if err := s.db.Flush(); err != nil && serveErr == nil {
+			serveErr = err
+		}
+	}
+	if errors.Is(serveErr, http.ErrServerClosed) {
+		serveErr = nil
+	}
+	return serveErr
+}
+
+// ErrorResponse is the typed JSON error body every non-200 response
+// carries.
+type ErrorResponse struct {
+	// Error is the machine-readable code ("queue_full", "draining",
+	// "bad_request", "unknown_benchmark", "canceled",
+	// "budget_exceeded", "quorum_not_met", "series_invalid",
+	// "internal").
+	Error string `json:"error"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+	// RetryAfterSeconds hints when a rejected request is worth
+	// retrying (only set for overload rejections).
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// AnalyzeRequest is POST /analyze's body. Zero-valued option fields
+// select the pipeline defaults, exactly like counterminer.Options.
+type AnalyzeRequest struct {
+	// Benchmark is the workload to analyse (required; see
+	// /benchmarks).
+	Benchmark string `json:"benchmark"`
+	// Colocate optionally names a second benchmark to share the
+	// cluster with (§V-E).
+	Colocate string `json:"colocate,omitempty"`
+	// Events are event patterns (full names, Table III abbreviations,
+	// or globs); empty analyses the full catalogue.
+	Events []string `json:"events,omitempty"`
+	Runs   int      `json:"runs,omitempty"`
+	Trees  int      `json:"trees,omitempty"`
+	// PruneStep is the EIR pruning step.
+	PruneStep int `json:"prune_step,omitempty"`
+	// TopK bounds the reported events and the interaction ranker's
+	// input.
+	TopK int `json:"top_k,omitempty"`
+	// SkipEIR fits a single model instead of the refinement loop.
+	SkipEIR bool  `json:"skip_eir,omitempty"`
+	Seed    int64 `json:"seed,omitempty"`
+	// MinRuns is the collection quorum (0 = all runs must succeed).
+	MinRuns int `json:"min_runs,omitempty"`
+}
+
+// AnalyzeResponse is POST /analyze's 200 body.
+type AnalyzeResponse struct {
+	// Key is the request's canonical content address (cache key).
+	Key string `json:"key"`
+	// Cached reports a result served straight from the LRU; Shared
+	// reports one computed once and shared with concurrent identical
+	// requests via singleflight.
+	Cached bool `json:"cached"`
+	Shared bool `json:"shared,omitempty"`
+	// ElapsedMs is this request's wall time inside the server.
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// Analysis is the full mined result.
+	Analysis *counterminer.Analysis `json:"analysis"`
+}
+
+// BenchmarksResponse is GET /benchmarks's body: the analyzable
+// catalog, plus — when the server persists runs — the store's read
+// side.
+type BenchmarksResponse struct {
+	// Available lists every benchmark /analyze accepts.
+	Available []string `json:"available"`
+	// Stored summarises the benchmarks with persisted runs.
+	Stored []store.BenchmarkSummary `json:"stored,omitempty"`
+	// Store summarises the whole store file.
+	Store *store.Stats `json:"store,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.metrics.SnapshotFrom(s.queue, s.cache))
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	resp := BenchmarksResponse{Available: sim.AllBenchmarkNames()}
+	if s.db != nil {
+		resp.Stored = s.db.Benchmarks()
+		stats := s.db.Summarize()
+		resp.Store = &stats
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	var req AnalyzeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.IncBadRequest()
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error())
+		return
+	}
+	spec, herr := s.resolve(req)
+	if herr != nil {
+		s.metrics.IncBadRequest()
+		writeError(w, herr.status, herr.code, herr.msg)
+		return
+	}
+
+	start := time.Now()
+	cacheKey := Key(spec.benchmark, spec.colocate, spec.events, spec.opts)
+	ana, call, leader := s.cache.Acquire(cacheKey)
+	if ana != nil {
+		s.metrics.IncCacheHit()
+		writeJSON(w, http.StatusOK, AnalyzeResponse{
+			Key: cacheKey, Cached: true,
+			ElapsedMs: msSince(start), Analysis: ana,
+		})
+		return
+	}
+	if leader {
+		s.metrics.IncCacheMiss()
+		err := s.queue.Submit(func(ctx context.Context) {
+			a, aerr := s.analyze(ctx, spec)
+			s.metrics.ObserveAnalysis(a, aerr)
+			s.cache.Complete(cacheKey, call, a, aerr)
+		})
+		if err != nil {
+			// Admission failed; wake any followers with the same
+			// typed rejection (never cached).
+			s.metrics.IncRejected(err)
+			s.cache.Complete(cacheKey, call, nil, err)
+		}
+	} else {
+		s.metrics.IncShared()
+	}
+
+	select {
+	case <-call.Done:
+	case <-r.Context().Done():
+		// The client is gone; the execution continues for the other
+		// waiters and the cache.
+		return
+	}
+	if call.Err != nil {
+		status, code := errorStatus(call.Err)
+		writeError(w, status, code, call.Err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, AnalyzeResponse{
+		Key: cacheKey, Shared: !leader,
+		ElapsedMs: msSince(start), Analysis: call.Ana,
+	})
+}
+
+// httpError carries a handler-layer validation failure.
+type httpError struct {
+	status int
+	code   string
+	msg    string
+}
+
+// resolve validates an AnalyzeRequest into a jobSpec: the benchmarks
+// must exist, event patterns must resolve to at least two events, and
+// the option fields are carried over with the server's analysis worker
+// count attached.
+func (s *Server) resolve(req AnalyzeRequest) (jobSpec, *httpError) {
+	if req.Benchmark == "" {
+		return jobSpec{}, &httpError{http.StatusBadRequest, "bad_request", "benchmark is required (see GET /benchmarks)"}
+	}
+	for _, name := range []string{req.Benchmark, req.Colocate} {
+		if name == "" {
+			continue
+		}
+		if _, err := sim.ProfileByName(name); err != nil {
+			return jobSpec{}, &httpError{
+				http.StatusNotFound, "unknown_benchmark",
+				fmt.Sprintf("unknown benchmark %q; candidates: %s", name, strings.Join(candidates(name), ", ")),
+			}
+		}
+	}
+	if req.Runs < 0 || req.Trees < 0 || req.PruneStep < 0 || req.TopK < 0 || req.MinRuns < 0 {
+		return jobSpec{}, &httpError{http.StatusBadRequest, "bad_request", "runs, trees, prune_step, top_k, and min_runs must be >= 0"}
+	}
+	if req.Runs > 0 && req.MinRuns > req.Runs {
+		return jobSpec{}, &httpError{http.StatusBadRequest, "bad_request", "min_runs cannot exceed runs"}
+	}
+	var events []string
+	if len(req.Events) > 0 {
+		sel, err := s.cat.Select(req.Events)
+		if err != nil {
+			return jobSpec{}, &httpError{http.StatusBadRequest, "bad_request", err.Error()}
+		}
+		if len(sel) < 2 {
+			return jobSpec{}, &httpError{http.StatusBadRequest, "bad_request", fmt.Sprintf("event patterns resolve to %d event(s); an analysis needs at least two", len(sel))}
+		}
+		events = sel
+	}
+	return jobSpec{
+		benchmark: req.Benchmark,
+		colocate:  req.Colocate,
+		events:    events,
+		opts: counterminer.Options{
+			Runs:      req.Runs,
+			Trees:     req.Trees,
+			PruneStep: req.PruneStep,
+			TopK:      req.TopK,
+			SkipEIR:   req.SkipEIR,
+			Seed:      req.Seed,
+			MinRuns:   req.MinRuns,
+			Workers:   s.cfg.AnalysisWorkers,
+		},
+	}, nil
+}
+
+// runPipeline is the production analyze function: one pipeline per
+// job, sharing the server's collector (memoized trace generators) and
+// store handle.
+func (s *Server) runPipeline(ctx context.Context, spec jobSpec) (*counterminer.Analysis, error) {
+	opts := spec.opts
+	opts.Events = spec.events
+	opts.Source = s.source
+	if s.db != nil {
+		opts.Sink = s.db
+	}
+	p, err := counterminer.NewPipeline(opts)
+	if err != nil {
+		return nil, err
+	}
+	if spec.colocate != "" {
+		return p.AnalyzeColocatedContext(ctx, spec.benchmark, spec.colocate)
+	}
+	return p.AnalyzeContext(ctx, spec.benchmark)
+}
+
+// candidates lists benchmarks whose name contains the given string
+// (case-insensitive), falling back to the full catalog.
+func candidates(name string) []string {
+	all := sim.AllBenchmarkNames()
+	low := strings.ToLower(name)
+	var out []string
+	for _, b := range all {
+		if strings.Contains(strings.ToLower(b), low) {
+			out = append(out, b)
+		}
+	}
+	if len(out) == 0 {
+		return all
+	}
+	return out
+}
+
+// errorStatus maps an analysis or admission error onto the typed
+// HTTP rejection the client sees.
+func errorStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, "queue_full"
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "budget_exceeded"
+	case errors.Is(err, counterminer.ErrCanceled):
+		return http.StatusServiceUnavailable, "canceled"
+	case errors.Is(err, counterminer.ErrQuorum):
+		return http.StatusBadGateway, "quorum_not_met"
+	case errors.Is(err, counterminer.ErrSeriesInvalid):
+		return http.StatusBadGateway, "series_invalid"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	resp := ErrorResponse{Error: code, Message: msg}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		resp.RetryAfterSeconds = 1
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, resp)
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}

@@ -1,0 +1,50 @@
+package store
+
+import "sort"
+
+// BenchmarkSummary is the read-side catalog entry for one benchmark:
+// everything a browsing client (cmstore, counterminerd's /benchmarks
+// endpoint) wants to show without touching the second-level series.
+type BenchmarkSummary struct {
+	// Benchmark is the program name.
+	Benchmark string `json:"benchmark"`
+	// Runs is how many stored runs the benchmark has.
+	Runs int `json:"runs"`
+	// Intervals is the total stored run length across those runs.
+	Intervals int `json:"intervals"`
+	// Events is the number of distinct events measured across runs.
+	Events int `json:"events"`
+	// ByMode counts the benchmark's runs per sampling mode.
+	ByMode map[string]int `json:"by_mode"`
+}
+
+// Benchmarks returns one summary per stored benchmark, sorted by name.
+// It reads only the first-level table, so it stays cheap however large
+// the stored series grow.
+func (db *DB) Benchmarks() []BenchmarkSummary {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	byName := make(map[string]*BenchmarkSummary)
+	events := make(map[string]map[string]bool)
+	for _, m := range db.firstLevel {
+		s, ok := byName[m.Benchmark]
+		if !ok {
+			s = &BenchmarkSummary{Benchmark: m.Benchmark, ByMode: make(map[string]int)}
+			byName[m.Benchmark] = s
+			events[m.Benchmark] = make(map[string]bool)
+		}
+		s.Runs++
+		s.Intervals += m.Intervals
+		s.ByMode[m.Mode]++
+		for _, ev := range m.Events {
+			events[m.Benchmark][ev] = true
+		}
+	}
+	out := make([]BenchmarkSummary, 0, len(byName))
+	for name, s := range byName {
+		s.Events = len(events[name])
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Benchmark < out[j].Benchmark })
+	return out
+}

@@ -1,0 +1,69 @@
+package store
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func catalogRecord(benchmark string, runID int, mode string, events []string, n int) Record {
+	series := make(map[string][]float64, len(events))
+	for _, ev := range events {
+		series[ev] = make([]float64, n)
+	}
+	return Record{
+		Meta: RunMeta{
+			Benchmark: benchmark,
+			RunID:     runID,
+			Mode:      mode,
+			Events:    events,
+			Intervals: n,
+		},
+		IPC:    make([]float64, n),
+		Series: series,
+	}
+}
+
+func TestBenchmarksCatalog(t *testing.T) {
+	db, err := Open(filepath.Join(t.TempDir(), "catalog.db"))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if got := db.Benchmarks(); len(got) != 0 {
+		t.Fatalf("empty store: Benchmarks() = %v, want none", got)
+	}
+
+	recs := []Record{
+		catalogRecord("sort", 1, "MLPX", []string{"A", "B", "C"}, 10),
+		catalogRecord("sort", 2, "MLPX", []string{"B", "C", "D"}, 15),
+		catalogRecord("sort", 3, "OCOE", []string{"A"}, 5),
+		catalogRecord("bayes", 1, "OCOE", []string{"A", "B"}, 7),
+	}
+	for _, rec := range recs {
+		if err := db.Put(rec); err != nil {
+			t.Fatalf("Put(%s/%d): %v", rec.Meta.Benchmark, rec.Meta.RunID, err)
+		}
+	}
+
+	got := db.Benchmarks()
+	want := []BenchmarkSummary{
+		{Benchmark: "bayes", Runs: 1, Intervals: 7, Events: 2, ByMode: map[string]int{"OCOE": 1}},
+		{Benchmark: "sort", Runs: 3, Intervals: 30, Events: 4, ByMode: map[string]int{"MLPX": 2, "OCOE": 1}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Benchmarks() = %+v, want %+v", got, want)
+	}
+
+	// The catalog reflects the first-level table after a round-trip
+	// through the on-disk format too.
+	if err := db.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	re, err := Open(db.path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got := re.Benchmarks(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Benchmarks() after reopen = %+v, want %+v", got, want)
+	}
+}

@@ -147,7 +147,7 @@ func TestOpenLegacyV1(t *testing.T) {
 			"terasort/3/MLPX":  invalid,
 		},
 		SecondLevel: map[string]map[string][]float64{
-			good.SeriesTable: {"A.EVENT": {1, 2, 3}, ipcColumn: {0.5, 0.6, 0.7}},
+			good.SeriesTable:         {"A.EVENT": {1, 2, 3}, ipcColumn: {0.5, 0.6, 0.7}},
 			"series/terasort/3/MLPX": {"A.EVENT": {9}},
 		},
 	}

@@ -141,6 +141,12 @@ func (r RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
 	return ctx.Err()
 }
 
+// WithDefaults returns a copy of o with every unset field resolved to
+// the value NewPipeline would resolve it to. Serving layers use it to
+// canonicalize requests before hashing them for the result cache: two
+// option sets that resolve identically analyse identically.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
+
 func (o Options) withDefaults() Options {
 	if o.Runs <= 0 {
 		o.Runs = 3

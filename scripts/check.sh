@@ -1,10 +1,18 @@
 #!/bin/sh
-# Full pre-commit gate: vet, build, race-enabled tests, and a short
-# allocation-aware pass over the hot-path micro-benchmarks. Equivalent
-# to `make check` for environments without make.
+# Full pre-commit gate: formatting, vet, build, race-enabled tests, and
+# a short allocation-aware pass over the hot-path micro-benchmarks.
+# Equivalent to `make check` for environments without make.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go vet =="
 go vet ./...
@@ -15,9 +23,10 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
-echo "== chaos soak (seeded fault-injection + cancellation sweep) =="
-go test -race -count=2 -run 'Chaos|Retry|Injection|Transient|Permanent|Corruption|Sink|KeyedRNG|Cancel' \
-    . ./internal/fault/
+echo "== chaos soak (seeded fault-injection + cancellation + overload sweep) =="
+go test -race -count=2 \
+    -run 'Chaos|Retry|Injection|Transient|Permanent|Corruption|Sink|KeyedRNG|Cancel|Overload|Shutdown|Drain' \
+    . ./internal/fault/ ./internal/serve/
 
 echo "== short benchmarks =="
 go test -run='^$' -bench='Fit|BuildTreeOrdered|PredictAll|RankPairs|Distance' \

@@ -24,6 +24,15 @@ const (
 	StagePersist  = "Persist"
 )
 
+// StageNames returns the full analysis stage plan in execution order.
+// Observability layers (e.g. internal/serve's per-stage latency
+// histograms) use it to pre-register one series per stage, so the
+// metrics surface shows the whole plan in order before any analysis
+// has run. The slice is freshly allocated on every call.
+func StageNames() []string {
+	return []string{StageCollect, StageValidate, StageClean, StageRank, StageInteract, StagePersist}
+}
+
 // StageTiming records one pipeline stage's wall time. The Stages slice
 // of a completed Analysis lists every executed stage in order — the
 // seed of the observability layer, printed by cmd/counterminer.
