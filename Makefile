@@ -22,16 +22,17 @@ race:
 	$(GO) test -race ./...
 
 # Seeded chaos soak: the fault-injection sweep (failed runs, corrupt
-# series, broken stores at 0%/5%/20%), the fault unit tests, and the
-# serving layer's overload/shutdown/drain paths, run twice under the
-# race detector. Deterministic — a failure here is a real regression,
-# not flakiness.
+# series, broken stores at 0%/5%/20%), the fault unit tests, the
+# serving layer's overload/shutdown/drain paths, and the batch
+# scheduler/coalescer (per-job error isolation under injected faults),
+# run twice under the race detector. Deterministic — a failure here is
+# a real regression, not flakiness.
 chaos:
-	$(GO) test -race -count=2 -run 'Chaos|Retry|Injection|Transient|Permanent|Corruption|Sink|KeyedRNG|Cancel|Overload|Shutdown|Drain' . ./internal/fault/ ./internal/serve/
+	$(GO) test -race -count=2 -run 'Chaos|Retry|Injection|Transient|Permanent|Corruption|Sink|KeyedRNG|Cancel|Overload|Shutdown|Drain|Batch|Schedule|Coalesce' . ./internal/fault/ ./internal/serve/ ./internal/batch/
 
 # Short allocation-aware sweep over the hot-path micro-benchmarks.
 bench:
-	$(GO) test -run=^$$ -bench='Fit|BuildTreeOrdered|PredictAll|RankPairs|Distance' -benchtime=1x -benchmem ./internal/sgbrt/ ./internal/interact/ ./internal/dtw/
+	$(GO) test -run=^$$ -bench='Fit|BuildTreeOrdered|PredictAll|RankPairs|Distance|BatchSchedule' -benchtime=1x -benchmem ./internal/sgbrt/ ./internal/interact/ ./internal/dtw/ ./internal/batch/
 
 # Same sweep, repeated BENCH_COUNT times and written to an
 # auto-numbered machine-readable BENCH_<n>.json report.

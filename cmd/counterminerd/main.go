@@ -13,11 +13,15 @@
 //
 // Endpoints:
 //
-//	POST /analyze     run (or reuse) one analysis; typed JSON errors,
-//	                  429 when the queue is full, 503 while draining
-//	GET  /benchmarks  the analyzable catalog + the store's read side
-//	GET  /metrics     counters, queue/cache gauges, per-stage latency
-//	GET  /healthz     liveness (503 once draining)
+//	POST /analyze        run (or reuse) one analysis; typed JSON errors,
+//	                     429 when the queue is full, 503 while draining
+//	POST /analyze/batch  a whole sweep in one round-trip: duplicates
+//	                     collapse, jobs group by benchmark, one typed
+//	                     result per job in request order
+//	GET  /benchmarks     the analyzable catalog + the store's read side
+//	GET  /metrics        counters, queue/cache/batch gauges, per-stage
+//	                     latency
+//	GET  /healthz        liveness (503 once draining)
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: in-flight analyses
 // finish, queued ones are canceled through the pipeline's *CancelError
@@ -56,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		grace      = fs.Duration("grace", 15*time.Second, "shutdown grace for in-flight HTTP exchanges")
 		dbPath     = fs.String("db", "", "persist collected runs to this store path (also backs /benchmarks)")
 		anaWorkers = fs.Int("analysis-workers", 0, "per-analysis worker count (0 = GOMAXPROCS); never changes results")
+		batchMax   = fs.Int("batch-max", 64, "max jobs one /analyze/batch request (or one coalescing window) may carry")
+		coalesce   = fs.Duration("coalesce-window", 0, "merge single /analyze submissions arriving within this window into one scheduled batch (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -76,6 +82,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *anaWorkers < 0:
 		fmt.Fprintln(stderr, "counterminerd: -analysis-workers must be >= 0")
 		return 2
+	case *batchMax <= 0:
+		fmt.Fprintln(stderr, "counterminerd: -batch-max must be > 0")
+		return 2
+	case *coalesce < 0:
+		fmt.Fprintln(stderr, "counterminerd: -coalesce-window must be >= 0")
+		return 2
 	}
 	cfg := serve.Config{
 		Workers:         *workers,
@@ -85,6 +97,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ShutdownGrace:   *grace,
 		StorePath:       *dbPath,
 		AnalysisWorkers: *anaWorkers,
+		BatchMax:        *batchMax,
+		CoalesceWindow:  *coalesce,
 	}
 	// On the CLI, 0 means "none"; in serve.Config that is encoded as a
 	// negative (0 selects the default).

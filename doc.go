@@ -38,6 +38,17 @@
 // context.Background() wrappers.)
 //
 // For serving analyses over HTTP — with admission control, a
-// content-addressed result cache, and a metrics surface — see
-// internal/serve and the counterminerd command.
+// content-addressed result cache, batch scheduling, and a metrics
+// surface — see internal/serve and the counterminerd command. The
+// typed Go client for that service is pkg/client; a whole benchmark
+// sweep goes in one round-trip through the batch endpoint, which
+// dedups exact duplicates and groups the rest for cache reuse:
+//
+//	c := client.New("http://127.0.0.1:7070")
+//	batch, err := c.AnalyzeBatch(ctx, []client.AnalyzeRequest{
+//		{Benchmark: "wordcount"}, {Benchmark: "sort"}, {Benchmark: "wordcount"},
+//	})
+//	for _, job := range batch.Jobs { // request order, one entry per job
+//		if job.Error != nil { /* typed per-job error */ }
+//	}
 package counterminer

@@ -1,32 +1,19 @@
 // HTTP API: start the counterminerd service in-process, then drive it
-// the way an external client would — plain net/http and encoding/json,
-// no client library required.
+// through pkg/client, the typed Go client — one analysis, a whole
+// benchmark sweep through the batch endpoint, and the metrics surface.
 //
 //	go run ./examples/httpapi
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"log"
 	"net"
-	"net/http"
 
 	"counterminer/internal/serve"
+	"counterminer/pkg/client"
 )
-
-// analyzeRequest mirrors counterminerd's POST /analyze body. External
-// clients declare their own wire struct like this; only the fields you
-// set are sent, everything else takes the server's defaults.
-type analyzeRequest struct {
-	Benchmark string   `json:"benchmark"`
-	Events    []string `json:"events,omitempty"`
-	Runs      int      `json:"runs,omitempty"`
-	Trees     int      `json:"trees,omitempty"`
-	SkipEIR   bool     `json:"skip_eir,omitempty"`
-}
 
 func main() {
 	// Start the service on an ephemeral port. A deployment would run
@@ -43,64 +30,73 @@ func main() {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ctx, ln) }()
-	base := "http://" + ln.Addr().String()
+
+	// The typed client handles JSON, typed errors, and Retry-After-aware
+	// retry on 429/503 — no hand-rolled wire structs.
+	c := client.New("http://" + ln.Addr().String())
 
 	// What can we analyse?
-	resp, err := http.Get(base + "/benchmarks")
+	catalog, err := c.Benchmarks(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var catalog struct {
-		Available []string `json:"available"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&catalog); err != nil {
-		log.Fatal(err)
-	}
-	resp.Body.Close()
-	fmt.Printf("service at %s offers %d benchmarks\n", base, len(catalog.Available))
+	fmt.Printf("service at %s offers %d benchmarks\n", ln.Addr(), len(catalog.Available))
 
-	// Run one analysis. The same request body twice demonstrates the
+	// Run one analysis. The same request twice demonstrates the
 	// content-addressed result cache: the repeat answers instantly.
-	body, _ := json.Marshal(analyzeRequest{
+	req := client.AnalyzeRequest{
 		Benchmark: "wordcount",
 		Events:    []string{"ICACHE.*", "L2_RQSTS.*", "BR_INST_RETIRED.*"},
 		Runs:      2,
 		Trees:     40,
 		SkipEIR:   true,
-	})
+	}
 	for i := 0; i < 2; i++ {
-		resp, err := http.Post(base+"/analyze", "application/json", bytes.NewReader(body))
+		ar, err := c.Analyze(ctx, req)
 		if err != nil {
-			log.Fatal(err)
+			log.Fatal(err) // a *client.APIError carries status + typed code
 		}
-		if resp.StatusCode != http.StatusOK {
-			var e serve.ErrorResponse
-			json.NewDecoder(resp.Body).Decode(&e)
-			resp.Body.Close()
-			log.Fatalf("analyze: %d %s: %s", resp.StatusCode, e.Error, e.Message)
-		}
-		var ar serve.AnalyzeResponse
-		if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
-			log.Fatal(err)
-		}
-		resp.Body.Close()
 		fmt.Printf("analysis %d: cached=%v elapsed=%.0fms model error %.1f%%, top event %s\n",
 			i+1, ar.Cached, ar.ElapsedMs, ar.Analysis.ModelError,
 			ar.Analysis.TopEvents(1)[0].Event)
 	}
 
-	// The metrics surface shows the cache doing its job.
-	resp, err = http.Get(base + "/metrics")
+	// A whole sweep in one round-trip: the batch endpoint dedups exact
+	// duplicates (the wordcount job repeats the cached request above),
+	// groups the rest by benchmark for collector reuse, and a bad job
+	// comes back as a typed per-job error without failing the batch.
+	jobs := []client.AnalyzeRequest{
+		req, // cache hit
+		{Benchmark: "sort", Runs: 2, Trees: 40, SkipEIR: true, Events: req.Events},
+		req,                            // exact duplicate -> deduped
+		{Benchmark: "not-a-benchmark"}, // typed per-job error
+		{Benchmark: "pagerank", Runs: 2, Trees: 40, SkipEIR: true, Events: req.Events},
+	}
+	batch, err := c.AnalyzeBatch(ctx, jobs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var snap serve.Snapshot
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+	fmt.Printf("batch: %d jobs -> %d executed, %d cache hits, %d deduped, %d errors (schedule %v)\n",
+		batch.Stats.Submitted, batch.Stats.Executed, batch.Stats.CacheHits,
+		batch.Stats.Deduped, batch.Stats.Errors, batch.Stats.ScheduleOrder)
+	for _, jr := range batch.Jobs { // request order, one entry per job
+		switch {
+		case jr.Error != nil:
+			fmt.Printf("  job %d: %s (%s)\n", jr.Index, jr.Error.Error, jr.Error.Message)
+		default:
+			fmt.Printf("  job %d: %s model error %.1f%% cached=%v deduped=%v\n",
+				jr.Index, jr.Analysis.Benchmark, jr.Analysis.ModelError, jr.Cached, jr.Deduped)
+		}
+	}
+
+	// The metrics surface shows the batch machinery doing its job.
+	snap, err := c.Metrics(ctx)
+	if err != nil {
 		log.Fatal(err)
 	}
-	resp.Body.Close()
-	fmt.Printf("metrics: %d requests, %d executed, %d cache hits\n",
-		snap.Requests.Total, snap.Analyses.Completed, snap.Requests.CacheHits)
+	fmt.Printf("metrics: %d requests, %d analyses executed, %d batch jobs (%d deduped, %d cache hits)\n",
+		snap.Requests.Total, snap.Analyses.Completed,
+		snap.Batch.Jobs, snap.Batch.Deduped, snap.Batch.CacheHits)
 
 	// Graceful shutdown: in-flight work drains, the store would flush.
 	cancel()

@@ -1,0 +1,130 @@
+// Package batch is counterminerd's batch scheduler: it turns a list of
+// analysis jobs into a deterministic, cache-aware execution plan.
+//
+// CounterMiner's workload is inherently batched — the paper evaluates
+// whole benchmark sweeps, not one-off requests — so the scheduler's job
+// is to make a sweep cheap to absorb:
+//
+//   - exact duplicates (same content-addressed cache key) within the
+//     batch collapse to one execution; followers alias the leader;
+//   - the remaining distinct jobs are grouped by benchmark identity, so
+//     consecutive jobs reuse the collector's memoized trace generator
+//     and land on a warm result cache;
+//   - groups dispatch largest-first (the widest reuse front runs
+//     earliest), ties broken by first appearance in the batch, and jobs
+//     within a group keep submission order — the whole plan is a pure
+//     function of the batch, bit-identical at every worker count.
+//
+// The package also provides Coalescer, the admission-side twin: a time
+// window that merges single submissions arriving close together into
+// one batch, so interactive traffic gets the same grouping benefits as
+// an explicit sweep.
+package batch
+
+// Item is one batch member as the scheduler sees it: its position in
+// the submitted batch, its content-addressed cache key, and its
+// grouping key (benchmark identity — the unit of collector
+// memoization).
+type Item struct {
+	// Index is the job's position in the submitted batch.
+	Index int
+	// Key is the job's content address (the result-cache key); equal
+	// keys are exact duplicates.
+	Key string
+	// Group is the job's grouping key. Jobs sharing a group reuse the
+	// same memoized trace generator, so the scheduler keeps them
+	// adjacent.
+	Group string
+}
+
+// Plan is the deterministic execution plan for one batch.
+type Plan struct {
+	// Order lists the distinct (leader) jobs' indexes in dispatch
+	// order: grouped by Item.Group, largest group first (ties by first
+	// appearance), submission order within a group.
+	Order []int
+	// Leader maps every scheduled job's index to the index of the
+	// distinct job that executes on its behalf. Leaders map to
+	// themselves; exact duplicates map to the first job with their key.
+	Leader map[int]int
+	// Groups is the number of distinct grouping keys in the batch.
+	Groups int
+	// Deduped is how many jobs were exact duplicates of an earlier one.
+	Deduped int
+}
+
+// Schedule computes the execution plan for items. It is a pure
+// function: the same batch always yields the same plan, independent of
+// worker counts or timing — the determinism the serving layer's
+// schedule-order tests pin down.
+func Schedule(items []Item) Plan {
+	plan := Plan{Leader: make(map[int]int, len(items))}
+	if len(items) == 0 {
+		return plan
+	}
+
+	// Pass 1: dedup by key. The first occurrence of a key leads; later
+	// occurrences alias it.
+	leaderByKey := make(map[string]int, len(items))
+	var leaders []Item
+	for _, it := range items {
+		if lead, ok := leaderByKey[it.Key]; ok {
+			plan.Leader[it.Index] = lead
+			plan.Deduped++
+			continue
+		}
+		leaderByKey[it.Key] = it.Index
+		plan.Leader[it.Index] = it.Index
+		leaders = append(leaders, it)
+	}
+
+	// Pass 2: group leaders by grouping key, remembering each group's
+	// first appearance so ordering stays a function of the batch alone.
+	byGroup := make(map[string]*group)
+	var groups []*group
+	for _, it := range leaders {
+		g, ok := byGroup[it.Group]
+		if !ok {
+			g = &group{first: it.Index}
+			byGroup[it.Group] = g
+			groups = append(groups, g)
+		}
+		g.jobs = append(g.jobs, it.Index)
+	}
+	plan.Groups = len(groups)
+
+	// Pass 3: order groups largest-first so the widest reuse front
+	// (most jobs sharing one memoized generator) starts earliest; ties
+	// break by first appearance. Within a group, submission order.
+	// Insertion sort keeps the tie-break stable without a comparator
+	// detour; batches are bounded by the server's -batch-max.
+	for i := 1; i < len(groups); i++ {
+		g := groups[i]
+		j := i - 1
+		for j >= 0 && g.before(groups[j]) {
+			groups[j+1] = groups[j]
+			j--
+		}
+		groups[j+1] = g
+	}
+	plan.Order = make([]int, 0, len(leaders))
+	for _, g := range groups {
+		plan.Order = append(plan.Order, g.jobs...)
+	}
+	return plan
+}
+
+// group is one benchmark-identity bucket of distinct jobs.
+type group struct {
+	first int // batch position of the group's first leader
+	jobs  []int
+}
+
+// before orders group g ahead of h: more jobs first, then earlier
+// first appearance.
+func (g *group) before(h *group) bool {
+	if len(g.jobs) != len(h.jobs) {
+		return len(g.jobs) > len(h.jobs)
+	}
+	return g.first < h.first
+}

@@ -1,0 +1,118 @@
+package batch
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// items builds a batch where each spec is "key/group".
+func items(specs ...string) []Item {
+	out := make([]Item, len(specs))
+	for i, s := range specs {
+		key, group, _ := strings.Cut(s, "/")
+		out[i] = Item{Index: i, Key: key, Group: group}
+	}
+	return out
+}
+
+func TestScheduleEmpty(t *testing.T) {
+	plan := Schedule(nil)
+	if len(plan.Order) != 0 || plan.Groups != 0 || plan.Deduped != 0 {
+		t.Fatalf("empty plan = %+v", plan)
+	}
+}
+
+func TestScheduleDedupExactDuplicates(t *testing.T) {
+	// Keys a,b,a,c,a: two duplicates of a alias index 0.
+	plan := Schedule(items("a/x", "b/x", "a/x", "c/y", "a/x"))
+	if plan.Deduped != 2 {
+		t.Errorf("deduped = %d, want 2", plan.Deduped)
+	}
+	if got := len(plan.Order); got != 3 {
+		t.Errorf("distinct jobs = %d, want 3", got)
+	}
+	for _, dup := range []int{2, 4} {
+		if plan.Leader[dup] != 0 {
+			t.Errorf("leader[%d] = %d, want 0", dup, plan.Leader[dup])
+		}
+	}
+	for _, lead := range []int{0, 1, 3} {
+		if plan.Leader[lead] != lead {
+			t.Errorf("leader[%d] = %d, want itself", lead, plan.Leader[lead])
+		}
+	}
+}
+
+func TestScheduleGroupsByBenchmarkLargestFirst(t *testing.T) {
+	// Group y appears later but has three jobs to x's two: y dispatches
+	// first, each group in submission order.
+	plan := Schedule(items("a/x", "b/y", "c/y", "d/x", "e/y"))
+	want := []int{1, 2, 4, 0, 3}
+	if !reflect.DeepEqual(plan.Order, want) {
+		t.Errorf("order = %v, want %v", plan.Order, want)
+	}
+	if plan.Groups != 2 {
+		t.Errorf("groups = %d, want 2", plan.Groups)
+	}
+}
+
+func TestScheduleGroupTieBreaksByFirstAppearance(t *testing.T) {
+	plan := Schedule(items("a/x", "b/y", "c/y", "d/x"))
+	// Equal sizes: x appeared first, so x dispatches first.
+	want := []int{0, 3, 1, 2}
+	if !reflect.DeepEqual(plan.Order, want) {
+		t.Errorf("order = %v, want %v", plan.Order, want)
+	}
+}
+
+// TestScheduleDeterministic pins the plan as a pure function of the
+// batch: many repetitions over a duplicate-heavy batch yield one
+// bit-identical plan.
+func TestScheduleDeterministic(t *testing.T) {
+	var batch []Item
+	for i := 0; i < 64; i++ {
+		batch = append(batch, Item{
+			Index: i,
+			Key:   fmt.Sprintf("k%d", i%17),
+			Group: fmt.Sprintf("g%d", i%5),
+		})
+	}
+	first := Schedule(batch)
+	for rep := 0; rep < 50; rep++ {
+		if got := Schedule(batch); !reflect.DeepEqual(got, first) {
+			t.Fatalf("rep %d: plan diverged:\n got %+v\nwant %+v", rep, got, first)
+		}
+	}
+	if first.Deduped != 64-17 {
+		t.Errorf("deduped = %d, want %d", first.Deduped, 64-17)
+	}
+	if len(first.Order) != 17 || first.Groups != 5 {
+		t.Errorf("order/groups = %d/%d, want 17/5", len(first.Order), first.Groups)
+	}
+}
+
+// TestScheduleOrderIsGroupContiguous checks the invariant the collector
+// memoization relies on: each group's jobs are contiguous in the
+// dispatch order.
+func TestScheduleOrderIsGroupContiguous(t *testing.T) {
+	batch := []Item{}
+	for i := 0; i < 40; i++ {
+		batch = append(batch, Item{Index: i, Key: fmt.Sprintf("k%d", i), Group: fmt.Sprintf("g%d", i%7)})
+	}
+	plan := Schedule(batch)
+	groupOf := func(idx int) string { return batch[idx].Group }
+	seen := map[string]bool{}
+	last := ""
+	for _, idx := range plan.Order {
+		g := groupOf(idx)
+		if g != last {
+			if seen[g] {
+				t.Fatalf("group %q re-entered in order %v", g, plan.Order)
+			}
+			seen[g] = true
+			last = g
+		}
+	}
+}

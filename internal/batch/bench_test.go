@@ -1,0 +1,31 @@
+package batch
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkBatchSchedule measures planning a duplicate-heavy sweep:
+// 512 jobs over 8 benchmarks where two thirds of the jobs are exact
+// duplicates — the shape a scraper replaying a benchmark sweep
+// produces. Wired into scripts/bench.sh so BENCH_<n>.json captures
+// batch numbers alongside the analysis-engine hot paths.
+func BenchmarkBatchSchedule(b *testing.B) {
+	const jobs = 512
+	batch := make([]Item, jobs)
+	for i := range batch {
+		batch[i] = Item{
+			Index: i,
+			Key:   fmt.Sprintf("key-%d", i%(jobs/3)),
+			Group: fmt.Sprintf("bench-%d", i%8),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan := Schedule(batch)
+		if len(plan.Order) == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package batch
+
+import (
+	"sync"
+	"time"
+)
+
+// Coalescer merges items submitted close together in time into one
+// batch. The first Add into an empty buffer arms a timer; when the
+// window elapses — or the buffer reaches max first — the accumulated
+// items flush as one slice to the flush callback. counterminerd uses it
+// to give interactive single-job traffic the batch scheduler's grouping
+// benefits: jobs arriving within the window are scheduled together.
+//
+// Flush callbacks run outside the coalescer's lock — on the timer
+// goroutine, or on the Add/Flush/Close caller's goroutine when those
+// trigger the flush.
+type Coalescer[T any] struct {
+	window time.Duration
+	max    int // <= 0 means unbounded
+	flush  func([]T)
+
+	mu      sync.Mutex
+	pending []T
+	timer   *time.Timer
+	gen     uint64 // increments per flush; stale timers detect themselves
+	closed  bool
+}
+
+// NewCoalescer returns a coalescer flushing at most max items (<= 0 for
+// unbounded) after at most window per batch.
+func NewCoalescer[T any](window time.Duration, max int, flush func([]T)) *Coalescer[T] {
+	return &Coalescer[T]{window: window, max: max, flush: flush}
+}
+
+// Add submits one item. The item flushes with its batch when the window
+// expires or the buffer fills. After Close, items pass straight through
+// as singleton batches so racing submissions are never dropped.
+func (c *Coalescer[T]) Add(item T) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.flush([]T{item})
+		return
+	}
+	c.pending = append(c.pending, item)
+	if len(c.pending) == 1 {
+		gen := c.gen
+		c.timer = time.AfterFunc(c.window, func() { c.flushGen(gen) })
+	}
+	if c.max > 0 && len(c.pending) >= c.max {
+		c.flushLocked() // unlocks
+		return
+	}
+	c.mu.Unlock()
+}
+
+// Flush immediately flushes whatever is pending, without waiting for
+// the window.
+func (c *Coalescer[T]) Flush() {
+	c.mu.Lock()
+	c.flushLocked()
+}
+
+// Close flushes the pending batch and puts the coalescer into
+// pass-through mode: subsequent Adds flush immediately as singletons.
+// The serving layer closes the coalescer before draining its queue, so
+// coalesced jobs reach admission (and the drain's cancellation path)
+// instead of dangling.
+func (c *Coalescer[T]) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.flushLocked()
+}
+
+// Pending reports how many items are waiting for the window to close.
+func (c *Coalescer[T]) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// flushGen is the timer path: it flushes only if no other flush has
+// happened since the timer was armed.
+func (c *Coalescer[T]) flushGen(gen uint64) {
+	c.mu.Lock()
+	if c.gen != gen {
+		c.mu.Unlock()
+		return
+	}
+	c.flushLocked()
+}
+
+// flushLocked hands the pending batch to the callback. It is called
+// with c.mu held and releases it before invoking the callback.
+func (c *Coalescer[T]) flushLocked() {
+	items := c.pending
+	c.pending = nil
+	c.gen++
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	c.mu.Unlock()
+	if len(items) > 0 {
+		c.flush(items)
+	}
+}

@@ -1,0 +1,110 @@
+package batch
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recorder collects flushed batches thread-safely.
+type recorder struct {
+	mu      sync.Mutex
+	batches [][]int
+}
+
+func (r *recorder) flush(items []int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.batches = append(r.batches, append([]int(nil), items...))
+}
+
+func (r *recorder) snapshot() [][]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([][]int(nil), r.batches...)
+}
+
+func TestCoalescerFlushesAtMax(t *testing.T) {
+	var rec recorder
+	c := NewCoalescer[int](time.Hour, 3, rec.flush)
+	for i := 1; i <= 7; i++ {
+		c.Add(i)
+	}
+	got := rec.snapshot()
+	want := [][]int{{1, 2, 3}, {4, 5, 6}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("batches = %v, want %v", got, want)
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", c.Pending())
+	}
+	c.Flush()
+	if got := rec.snapshot(); !reflect.DeepEqual(got[len(got)-1], []int{7}) {
+		t.Fatalf("manual flush batch = %v, want [7]", got[len(got)-1])
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending after flush = %d, want 0", c.Pending())
+	}
+}
+
+func TestCoalescerFlushesOnWindow(t *testing.T) {
+	var rec recorder
+	c := NewCoalescer[int](5*time.Millisecond, 0, rec.flush)
+	c.Add(1)
+	c.Add(2)
+	deadline := time.Now().Add(10 * time.Second)
+	for len(rec.snapshot()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("window flush never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := rec.snapshot(); !reflect.DeepEqual(got, [][]int{{1, 2}}) {
+		t.Fatalf("batches = %v, want [[1 2]]", got)
+	}
+}
+
+func TestCoalescerCloseFlushesAndPassesThrough(t *testing.T) {
+	var rec recorder
+	c := NewCoalescer[int](time.Hour, 0, rec.flush)
+	c.Add(1)
+	c.Add(2)
+	c.Close()
+	if got := rec.snapshot(); !reflect.DeepEqual(got, [][]int{{1, 2}}) {
+		t.Fatalf("close batches = %v, want [[1 2]]", got)
+	}
+	// After Close, items must not be dropped: they pass straight
+	// through as singleton batches.
+	c.Add(3)
+	if got := rec.snapshot(); !reflect.DeepEqual(got, [][]int{{1, 2}, {3}}) {
+		t.Fatalf("post-close batches = %v, want [[1 2] [3]]", got)
+	}
+}
+
+func TestCoalescerStaleTimerDoesNotDoubleFlush(t *testing.T) {
+	var rec recorder
+	c := NewCoalescer[int](10*time.Millisecond, 2, rec.flush)
+	// The max-triggered flush fires first; the armed window timer for
+	// the same generation must then do nothing (the next batch has its
+	// own timer).
+	c.Add(1)
+	c.Add(2) // flushes at max
+	c.Add(3)
+	time.Sleep(50 * time.Millisecond)
+	got := rec.snapshot()
+	want := [][]int{{1, 2}, {3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("batches = %v, want %v", got, want)
+	}
+}
+
+func TestCoalescerEmptyFlushIsNoop(t *testing.T) {
+	var rec recorder
+	c := NewCoalescer[int](time.Hour, 0, rec.flush)
+	c.Flush()
+	c.Close()
+	if got := rec.snapshot(); len(got) != 0 {
+		t.Fatalf("empty coalescer flushed %v", got)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"counterminer/internal/mlpx"
 	"counterminer/internal/sim"
@@ -67,6 +68,14 @@ type Collector struct {
 
 	mu   sync.Mutex
 	gens map[string]*sim.Generator
+
+	// Memoization accounting: builds counts expensive generator
+	// constructions, memoHits counts lookups served from the memo.
+	// counterminerd's batch scheduler groups jobs by benchmark exactly
+	// to grow the hit count, and /metrics exposes both so the grouping
+	// can be judged.
+	builds   atomic.Uint64
+	memoHits atomic.Uint64
 }
 
 // New returns a collector over the given catalogue using the default
@@ -96,14 +105,23 @@ func (c *Collector) generator(p sim.Profile) (*sim.Generator, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if g, ok := c.gens[p.Name]; ok {
+		c.memoHits.Add(1)
 		return g, nil
 	}
 	g, err := newGenerator(p, c.cat)
 	if err != nil {
 		return nil, err
 	}
+	c.builds.Add(1)
 	c.gens[p.Name] = g
 	return g, nil
+}
+
+// MemoStats reports the generator memoization counters: how many
+// expensive generator builds happened (at most one per profile) and
+// how many lookups the memo absorbed.
+func (c *Collector) MemoStats() (builds, hits uint64) {
+	return c.builds.Load(), c.memoHits.Load()
 }
 
 // Collect performs one benchmark run and samples the given events in

@@ -58,6 +58,18 @@ func TestGeneratorMemoizedUnderConcurrency(t *testing.T) {
 			n, len(profiles), goroutines)
 	}
 
+	// The collector's own accounting must agree: every lookup beyond
+	// the first per profile was a memo hit. These counters feed
+	// counterminerd's /metrics, where the batch scheduler's grouping is
+	// judged by them.
+	gotBuilds, gotHits := c.MemoStats()
+	if gotBuilds != uint64(len(profiles)) {
+		t.Errorf("MemoStats builds = %d, want %d", gotBuilds, len(profiles))
+	}
+	if want := uint64(goroutines*lookups - len(profiles)); gotHits != want {
+		t.Errorf("MemoStats hits = %d, want %d", gotHits, want)
+	}
+
 	// Every goroutine must have observed the one memoized instance.
 	canonical := make([]*sim.Generator, len(profiles))
 	for k, p := range profiles {

@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"counterminer/internal/batch"
+)
+
+// pendingJob is one admitted-but-not-yet-dispatched analysis: the
+// cache leadership (key + call) acquired by the HTTP handler, the
+// resolved spec, and the deadline carved from the server budget at
+// arrival. Both the coalescing window and the batch endpoint dispatch
+// these.
+type pendingJob struct {
+	key      string
+	call     *Call
+	spec     jobSpec
+	deadline time.Time
+}
+
+// groupKey is the scheduler's grouping key: the benchmark identity
+// (including co-location), the unit of collector memoization. Jobs
+// sharing it are dispatched adjacently so the expensive trace
+// generator is built once and then hit in the memo.
+func (j jobSpec) groupKey() string { return j.benchmark + "\x00" + j.colocate }
+
+// startJob submits one leader job to the admission queue under its
+// deadline. Admission failures complete the call with the typed
+// rejection so every waiter (single request, batch entry, or
+// singleflight follower) observes it instead of hanging.
+func (s *Server) startJob(pj pendingJob) {
+	err := s.queue.SubmitDeadline(pj.deadline, func(ctx context.Context) {
+		a, aerr := s.analyze(ctx, pj.spec)
+		s.metrics.ObserveAnalysis(a, aerr)
+		s.cache.Complete(pj.key, pj.call, a, aerr)
+	})
+	if err != nil {
+		s.metrics.IncRejected(err)
+		s.cache.Complete(pj.key, pj.call, nil, err)
+	}
+}
+
+// dispatchCoalesced is the coalescer's flush callback: the single
+// /analyze submissions that arrived within the window are scheduled as
+// one batch — grouped by benchmark identity — and dispatched in plan
+// order. Keys are unique here (identical concurrent requests share one
+// singleflight leader before ever reaching the coalescer), so the plan
+// covers every job; the leader-map walk below is a safety net for that
+// invariant, not a code path.
+func (s *Server) dispatchCoalesced(jobs []pendingJob) {
+	s.metrics.ObserveCoalesce(len(jobs))
+	if len(jobs) == 1 {
+		s.startJob(jobs[0])
+		return
+	}
+	items := make([]batch.Item, len(jobs))
+	for i, j := range jobs {
+		items[i] = batch.Item{Index: i, Key: j.key, Group: j.spec.groupKey()}
+	}
+	plan := batch.Schedule(items)
+	for _, idx := range plan.Order {
+		s.startJob(jobs[idx])
+	}
+	for i := range jobs {
+		if plan.Leader[i] != i {
+			s.startJob(jobs[i])
+		}
+	}
+}
+
+// handleAnalyzeBatch is POST /analyze/batch: a whole sweep in one
+// round-trip. Jobs are resolved individually (a bad job is a typed
+// per-job error, never a batch failure), exact duplicates collapse
+// onto one execution, the remainder is grouped by benchmark identity
+// and dispatched through the admission queue under one batch-level
+// deadline carved from the server budget, and results return as a
+// per-job array in request order with the schedule's accounting in the
+// envelope.
+func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.IncBadRequest()
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error())
+		return
+	}
+	if len(req.Jobs) == 0 {
+		s.metrics.IncBadRequest()
+		writeError(w, http.StatusBadRequest, "bad_request", "batch needs at least one job")
+		return
+	}
+	if len(req.Jobs) > s.cfg.BatchMax {
+		s.metrics.IncBadRequest()
+		writeError(w, http.StatusBadRequest, "batch_too_large",
+			fmt.Sprintf("batch carries %d jobs, limit is %d (-batch-max)", len(req.Jobs), s.cfg.BatchMax))
+		return
+	}
+	if s.draining.Load() {
+		s.metrics.IncBatchRejected()
+		writeError(w, http.StatusServiceUnavailable, "draining", ErrDraining.Error())
+		return
+	}
+
+	start := time.Now()
+
+	// Resolve every job independently; invalid ones become typed
+	// per-job errors and stay out of the schedule.
+	type jobState struct {
+		spec jobSpec
+		key  string
+		call *Call
+	}
+	results := make([]BatchJobResult, len(req.Jobs))
+	states := make([]*jobState, len(req.Jobs))
+	items := make([]batch.Item, 0, len(req.Jobs))
+	for i, jr := range req.Jobs {
+		results[i].Index = i
+		spec, herr := s.resolve(jr)
+		if herr != nil {
+			results[i].Error = &ErrorResponse{Error: herr.code, Message: herr.msg}
+			continue
+		}
+		key := Key(spec.benchmark, spec.colocate, spec.events, spec.opts)
+		states[i] = &jobState{spec: spec, key: key}
+		results[i].Key = key
+		items = append(items, batch.Item{Index: i, Key: key, Group: spec.groupKey()})
+	}
+
+	plan := batch.Schedule(items)
+	stats := BatchStats{
+		Submitted:     len(req.Jobs),
+		Deduped:       plan.Deduped,
+		Groups:        plan.Groups,
+		ScheduleOrder: append([]int{}, plan.Order...),
+	}
+
+	// Dispatch leaders in plan order under one batch-level deadline:
+	// the whole sweep can hold the workers no longer than a single
+	// request could.
+	deadline := time.Now().Add(s.cfg.Budget)
+	for _, idx := range plan.Order {
+		st := states[idx]
+		ana, call, leader := s.cache.Acquire(st.key)
+		if ana != nil {
+			results[idx].Cached = true
+			results[idx].Analysis = ana
+			stats.CacheHits++
+			continue
+		}
+		st.call = call
+		if !leader {
+			// An identical request (or another batch) is already
+			// executing this key; share its call.
+			continue
+		}
+		err := s.queue.SubmitDeadline(deadline, func(ctx context.Context) {
+			a, aerr := s.analyze(ctx, st.spec)
+			s.metrics.ObserveAnalysis(a, aerr)
+			s.cache.Complete(st.key, st.call, a, aerr)
+		})
+		if err != nil {
+			s.cache.Complete(st.key, st.call, nil, err)
+		} else {
+			stats.Executed++
+		}
+	}
+
+	// Wait for every in-flight job. A disconnected client abandons the
+	// wait; executions continue for the cache and other waiters.
+	for _, idx := range plan.Order {
+		st := states[idx]
+		if st.call == nil {
+			continue // served from the LRU
+		}
+		select {
+		case <-st.call.Done:
+		case <-r.Context().Done():
+			return
+		}
+		if st.call.Err != nil {
+			results[idx].Error = jobError(st.call.Err)
+		} else {
+			results[idx].Analysis = st.call.Ana
+		}
+	}
+
+	// Exact duplicates share their leader's outcome.
+	for i, st := range states {
+		if st == nil {
+			continue
+		}
+		lead := plan.Leader[i]
+		if lead == i {
+			continue
+		}
+		results[i].Deduped = true
+		results[i].Cached = results[lead].Cached
+		results[i].Error = results[lead].Error
+		results[i].Analysis = results[lead].Analysis
+	}
+	for i := range results {
+		if results[i].Error != nil {
+			stats.Errors++
+		}
+	}
+
+	// Whole-batch overload mirrors the single-job rejection: when
+	// every scheduled job died at admission, the batch answers 429/503
+	// with Retry-After instead of a per-job result array.
+	if code, all := uniformAdmissionFailure(results, plan.Order); all {
+		s.metrics.IncBatchRejected()
+		status := http.StatusTooManyRequests
+		if code == "draining" {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, code,
+			fmt.Sprintf("all %d scheduled jobs rejected at admission", len(plan.Order)))
+		return
+	}
+
+	s.metrics.ObserveBatch(stats)
+	writeJSON(w, http.StatusOK, BatchResponse{
+		Jobs:      results,
+		Stats:     stats,
+		ElapsedMs: msSince(start),
+	})
+}
+
+// jobError maps an analysis or admission error onto the typed per-job
+// entry, carrying the same retry hint a single-job rejection would.
+func jobError(err error) *ErrorResponse {
+	status, code := errorStatus(err)
+	er := &ErrorResponse{Error: code, Message: err.Error()}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		er.RetryAfterSeconds = 1
+	}
+	return er
+}
+
+// uniformAdmissionFailure reports whether every scheduled job failed
+// with the same admission rejection ("queue_full" or "draining"), and
+// which one.
+func uniformAdmissionFailure(results []BatchJobResult, order []int) (string, bool) {
+	if len(order) == 0 {
+		return "", false
+	}
+	code := ""
+	for _, idx := range order {
+		er := results[idx].Error
+		if er == nil || (er.Error != "queue_full" && er.Error != "draining") {
+			return "", false
+		}
+		if code == "" {
+			code = er.Error
+		} else if code != er.Error {
+			return "", false
+		}
+	}
+	return code, true
+}

@@ -1,0 +1,520 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	counterminer "counterminer"
+	"counterminer/internal/fault"
+)
+
+func postBatch(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/analyze/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /analyze/batch: %v", err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// batchBody marshals a BatchRequest from job literals.
+func batchBody(t *testing.T, jobs ...AnalyzeRequest) string {
+	t.Helper()
+	b, err := json.Marshal(BatchRequest{Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestBatchDedupGroupingAndPerJobErrors is the acceptance scenario at
+// the serve layer: 8 jobs with 3 exact duplicates and one invalid job
+// perform 4 distinct analyses (≤ 5), return 8 per-job results in
+// request order, and the invalid job's typed error leaves the other 7
+// intact.
+func TestBatchDedupGroupingAndPerJobErrors(t *testing.T) {
+	s, g := newGatedServer(t, Config{Workers: 2, QueueDepth: 8, CacheSize: 8})
+	close(g.release) // no gating; just count executions
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.queue.Drain()
+
+	wc1 := AnalyzeRequest{Benchmark: "wordcount", SkipEIR: true, Seed: 1}
+	sort1 := AnalyzeRequest{Benchmark: "sort", SkipEIR: true, Seed: 1}
+	pr1 := AnalyzeRequest{Benchmark: "pagerank", SkipEIR: true, Seed: 1}
+	wc2 := AnalyzeRequest{Benchmark: "wordcount", SkipEIR: true, Seed: 2}
+	bad := AnalyzeRequest{Benchmark: "no-such-benchmark"}
+	body := batchBody(t, wc1, sort1, wc1, pr1, sort1, bad, wc2, wc1)
+
+	resp, b := postBatch(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, b)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(b, &br); err != nil {
+		t.Fatalf("decode batch response: %v", err)
+	}
+
+	if len(br.Jobs) != 8 {
+		t.Fatalf("job results = %d, want 8", len(br.Jobs))
+	}
+	for i, jr := range br.Jobs {
+		if jr.Index != i {
+			t.Errorf("result %d carries index %d; results must keep request order", i, jr.Index)
+		}
+	}
+	// The invalid job fails typed; the other seven succeed.
+	if br.Jobs[5].Error == nil || br.Jobs[5].Error.Error != "unknown_benchmark" {
+		t.Errorf("invalid job error = %+v, want unknown_benchmark", br.Jobs[5].Error)
+	}
+	for _, i := range []int{0, 1, 2, 3, 4, 6, 7} {
+		if br.Jobs[i].Error != nil {
+			t.Errorf("job %d failed: %+v (one bad job must not fail the batch)", i, br.Jobs[i].Error)
+		}
+		if br.Jobs[i].Analysis == nil {
+			t.Errorf("job %d has no analysis", i)
+		}
+	}
+	// Exact duplicates alias their leaders.
+	for _, i := range []int{2, 4, 7} {
+		if !br.Jobs[i].Deduped {
+			t.Errorf("job %d not marked deduped", i)
+		}
+	}
+	if br.Jobs[2].Analysis.Benchmark != "wordcount" || br.Jobs[4].Analysis.Benchmark != "sort" {
+		t.Errorf("deduped jobs carry wrong analyses")
+	}
+
+	// At most 5 distinct analyses — here exactly 4 (the invalid job
+	// never schedules).
+	if got := g.count.Load(); got != 4 {
+		t.Errorf("pipeline executions = %d, want 4", got)
+	}
+	want := BatchStats{
+		Submitted: 8, Deduped: 3, CacheHits: 0, Executed: 4, Errors: 1, Groups: 3,
+		// wordcount's group has two distinct jobs, so it dispatches
+		// first; sort and pagerank tie at one job each and follow in
+		// first-appearance order.
+		ScheduleOrder: []int{0, 6, 1, 3},
+	}
+	if !reflect.DeepEqual(br.Stats, want) {
+		t.Errorf("stats = %+v, want %+v", br.Stats, want)
+	}
+
+	// The accounting is visible on /metrics.
+	snap := s.snapshot()
+	if snap.Batch.Batches != 1 || snap.Batch.Jobs != 8 || snap.Batch.Deduped != 3 ||
+		snap.Batch.Executed != 4 || snap.Batch.JobErrors != 1 {
+		t.Errorf("batch metrics = %+v", snap.Batch)
+	}
+
+	// The identical batch again is served from the cache: still 4
+	// executions, 4 batch-level cache hits.
+	resp, b = postBatch(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status = %d: %s", resp.StatusCode, b)
+	}
+	var br2 BatchResponse
+	if err := json.Unmarshal(b, &br2); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.count.Load(); got != 4 {
+		t.Errorf("executions after repeat = %d, want 4 (cache)", got)
+	}
+	if br2.Stats.CacheHits != 4 {
+		t.Errorf("repeat cache hits = %d, want 4", br2.Stats.CacheHits)
+	}
+	for _, i := range []int{0, 1, 2, 3, 4, 6, 7} {
+		if br2.Jobs[i].Analysis == nil {
+			t.Errorf("repeat job %d has no analysis", i)
+		}
+	}
+	if snap := s.snapshot(); snap.Batch.CacheHits != 4 {
+		t.Errorf("batch cache-hit metric = %d, want 4", snap.Batch.CacheHits)
+	}
+}
+
+// TestBatchDeterministicAcrossWorkers pins the scheduler's contract:
+// the same batch yields a bit-identical schedule order and per-job
+// results at every worker count (1, 2, 8), for both the queue's and
+// the analysis engine's parallelism.
+func TestBatchDeterministicAcrossWorkers(t *testing.T) {
+	wc := func(seed int64) AnalyzeRequest {
+		return AnalyzeRequest{
+			Benchmark: "wordcount", Runs: 1, Trees: 4, SkipEIR: true, TopK: 3, Seed: seed,
+			Events: []string{"ICACHE.*", "L2_RQSTS.*", "BR_INST_RETIRED.*"},
+		}
+	}
+	srt := func(seed int64) AnalyzeRequest {
+		return AnalyzeRequest{
+			Benchmark: "sort", Runs: 1, Trees: 4, SkipEIR: true, TopK: 3, Seed: seed,
+			Events: []string{"ICACHE.*", "L2_RQSTS.*", "BR_INST_RETIRED.*"},
+		}
+	}
+	body := batchBody(t,
+		wc(1), srt(1), wc(2), wc(1), // one duplicate
+		AnalyzeRequest{Benchmark: "nope"}, // one typed per-job error
+		srt(2),
+	)
+
+	var first *BatchResponse
+	for _, workers := range []int{1, 2, 8} {
+		s, err := New(Config{Workers: workers, QueueDepth: 8, CacheSize: 8, AnalysisWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		resp, b := postBatch(t, ts.URL, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("workers=%d: status %d: %s", workers, resp.StatusCode, b)
+		}
+		var br BatchResponse
+		if err := json.Unmarshal(b, &br); err != nil {
+			t.Fatalf("workers=%d: decode: %v", workers, err)
+		}
+		s.queue.Drain()
+		ts.Close()
+
+		// Scrub observability metadata that naturally differs between
+		// runs; everything else must be bit-identical.
+		br.ElapsedMs = 0
+		for i := range br.Jobs {
+			if br.Jobs[i].Analysis != nil {
+				br.Jobs[i].Analysis.Stages = nil
+			}
+		}
+		if first == nil {
+			first = &br
+			continue
+		}
+		if !reflect.DeepEqual(br.Stats, first.Stats) {
+			t.Errorf("workers=%d: stats diverged:\n got %+v\nwant %+v", workers, br.Stats, first.Stats)
+		}
+		if !reflect.DeepEqual(br.Jobs, first.Jobs) {
+			t.Errorf("workers=%d: per-job results diverged from workers=1", workers)
+		}
+	}
+}
+
+// TestBatchChaosPerJobErrorIsolation injects deterministic collection
+// faults into one benchmark and proves the failure stays inside its
+// jobs: the poisoned benchmark's jobs return typed per-job errors, the
+// healthy benchmark's jobs complete, and the outcome replays
+// identically on a second identical batch of a fresh server.
+func TestBatchChaosPerJobErrorIsolation(t *testing.T) {
+	build := func() (*Server, *httptest.Server) {
+		s, err := New(Config{Workers: 2, QueueDepth: 8, CacheSize: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Wrap the production pipeline: "sort" collects through a
+		// fault source whose every run fails permanently; other
+		// benchmarks run clean.
+		real := s.analyze
+		s.analyze = func(ctx context.Context, spec jobSpec) (*counterminer.Analysis, error) {
+			if spec.benchmark != "sort" {
+				return real(ctx, spec)
+			}
+			opts := spec.opts
+			opts.Events = spec.events
+			opts.Source = fault.NewSource(s.coll, fault.Config{Seed: 7, RunFailRate: 1})
+			p, err := counterminer.NewPipeline(opts)
+			if err != nil {
+				return nil, err
+			}
+			return p.AnalyzeContext(ctx, spec.benchmark)
+		}
+		return s, httptest.NewServer(s.Handler())
+	}
+
+	events := []string{"ICACHE.*", "L2_RQSTS.*", "BR_INST_RETIRED.*"}
+	body := batchBody(t,
+		AnalyzeRequest{Benchmark: "wordcount", Runs: 1, Trees: 4, SkipEIR: true, Seed: 1, Events: events},
+		AnalyzeRequest{Benchmark: "sort", Runs: 2, Trees: 4, SkipEIR: true, Seed: 1, Events: events},
+		AnalyzeRequest{Benchmark: "wordcount", Runs: 1, Trees: 4, SkipEIR: true, Seed: 2, Events: events},
+		AnalyzeRequest{Benchmark: "sort", Runs: 2, Trees: 4, SkipEIR: true, Seed: 1, Events: events}, // dup of the failing job
+	)
+
+	var outcomes []string
+	for round := 0; round < 2; round++ {
+		s, ts := build()
+		resp, b := postBatch(t, ts.URL, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: status %d: %s", round, resp.StatusCode, b)
+		}
+		var br BatchResponse
+		if err := json.Unmarshal(b, &br); err != nil {
+			t.Fatal(err)
+		}
+		ts.Close()
+		s.queue.Drain()
+
+		for _, i := range []int{0, 2} {
+			if br.Jobs[i].Error != nil || br.Jobs[i].Analysis == nil {
+				t.Errorf("round %d: healthy job %d poisoned: %+v", round, i, br.Jobs[i].Error)
+			}
+		}
+		for _, i := range []int{1, 3} {
+			if br.Jobs[i].Error == nil {
+				t.Fatalf("round %d: fault-injected job %d did not fail", round, i)
+			}
+			if br.Jobs[i].Analysis != nil {
+				t.Errorf("round %d: failed job %d carries an analysis", round, i)
+			}
+		}
+		if !br.Jobs[3].Deduped {
+			t.Errorf("round %d: duplicate of failing job not deduped", round)
+		}
+		// Failures are never cached: the duplicate shares its leader's
+		// error within the batch, but the key stays re-runnable.
+		if _, _, leader := s.cache.Acquire(br.Jobs[1].Key); !leader {
+			t.Errorf("round %d: failed key cached; a retry must re-lead", round)
+		}
+		outcomes = append(outcomes, fmt.Sprintf("%s|%s", br.Jobs[1].Error.Error, br.Jobs[3].Error.Error))
+	}
+	if outcomes[0] != outcomes[1] {
+		t.Errorf("fault outcomes diverged across identical rounds: %q vs %q", outcomes[0], outcomes[1])
+	}
+	if code := strings.Split(outcomes[0], "|")[0]; code != "quorum_not_met" {
+		t.Errorf("fault-injected error code = %q, want quorum_not_met", code)
+	}
+}
+
+// TestBatchOverloadCarriesRetryAfter: when every scheduled job dies at
+// admission, the batch answers a single typed 429 with Retry-After —
+// exactly like a single-job rejection.
+func TestBatchOverloadCarriesRetryAfter(t *testing.T) {
+	// One worker, zero buffer: anything beyond the executing job is
+	// rejected at admission.
+	s, g := newGatedServer(t, Config{Workers: 1, QueueDepth: -1, CacheSize: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.queue.Drain()
+	defer close(g.release)
+
+	// Occupy the only worker.
+	go func() {
+		resp, err := http.Post(ts.URL+"/analyze", "application/json",
+			strings.NewReader(`{"benchmark":"wordcount"}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-g.entered
+
+	resp, b := postBatch(t, ts.URL, batchBody(t,
+		AnalyzeRequest{Benchmark: "sort", Seed: 10},
+		AnalyzeRequest{Benchmark: "pagerank", Seed: 11},
+	))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (body %s)", resp.StatusCode, b)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("batch 429 without Retry-After header")
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(b, &er); err != nil {
+		t.Fatalf("429 body not JSON: %v (%s)", err, b)
+	}
+	if er.Error != "queue_full" || er.RetryAfterSeconds < 1 {
+		t.Errorf("429 body = %+v, want queue_full with retry hint", er)
+	}
+	if snap := s.snapshot(); snap.Batch.Rejected != 1 {
+		t.Errorf("batch rejected metric = %d, want 1", snap.Batch.Rejected)
+	}
+}
+
+// TestBatchDrainingRejected503: a draining server rejects whole
+// batches with a typed 503 + Retry-After before scheduling anything.
+func TestBatchDrainingRejected503(t *testing.T) {
+	s, g := newGatedServer(t, Config{Workers: 1, QueueDepth: 2, CacheSize: 8})
+	close(g.release)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.queue.Drain()
+
+	s.draining.Store(true)
+	resp, b := postBatch(t, ts.URL, batchBody(t, AnalyzeRequest{Benchmark: "wordcount"}))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (body %s)", resp.StatusCode, b)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("batch 503 without Retry-After header")
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(b, &er); err != nil || er.Error != "draining" {
+		t.Errorf("503 body = %s, want draining", b)
+	}
+}
+
+// TestBatchValidation exercises the batch endpoint's request-shape
+// rejections.
+func TestBatchValidation(t *testing.T) {
+	s, g := newGatedServer(t, Config{Workers: 1, QueueDepth: 2, CacheSize: 8, BatchMax: 3})
+	close(g.release)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.queue.Drain()
+
+	cases := []struct {
+		body   string
+		status int
+		code   string
+	}{
+		{`{not json`, http.StatusBadRequest, "bad_request"},
+		{`{}`, http.StatusBadRequest, "bad_request"},
+		{`{"jobs":[]}`, http.StatusBadRequest, "bad_request"},
+		{batchBody(t,
+			AnalyzeRequest{Benchmark: "wordcount", Seed: 1},
+			AnalyzeRequest{Benchmark: "wordcount", Seed: 2},
+			AnalyzeRequest{Benchmark: "wordcount", Seed: 3},
+			AnalyzeRequest{Benchmark: "wordcount", Seed: 4},
+		), http.StatusBadRequest, "batch_too_large"},
+		{`{"jobs":[{"benchmark":"wordcount"}],"bogus":1}`, http.StatusBadRequest, "bad_request"},
+	}
+	for _, tc := range cases {
+		resp, body := postBatch(t, ts.URL, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %d, want %d", tc.body, resp.StatusCode, tc.status)
+			continue
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error != tc.code {
+			t.Errorf("%s: body = %s, want code %s", tc.body, body, tc.code)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/analyze/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /analyze/batch = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestBatchMetricsPreRegistered: the whole batch/coalesce/collector
+// surface is present (zeroed) in /metrics before the first batch
+// arrives.
+func TestBatchMetricsPreRegistered(t *testing.T) {
+	s, err := New(Config{CoalesceWindow: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.queue.Drain()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var batchKeys map[string]any
+	if err := json.Unmarshal(raw["batch"], &batchKeys); err != nil {
+		t.Fatalf("metrics lack a batch object: %v", err)
+	}
+	for _, k := range []string{
+		"batches", "rejected", "jobs", "deduped", "cache_hits", "executed",
+		"job_errors", "coalesce_flushes", "coalesced_jobs", "coalesce_pending",
+	} {
+		if _, ok := batchKeys[k]; !ok {
+			t.Errorf("batch metrics missing pre-registered key %q", k)
+		}
+	}
+	var collKeys map[string]any
+	if err := json.Unmarshal(raw["collector"], &collKeys); err != nil {
+		t.Fatalf("metrics lack a collector object: %v", err)
+	}
+	for _, k := range []string{"generator_builds", "memo_hits"} {
+		if _, ok := collKeys[k]; !ok {
+			t.Errorf("collector metrics missing pre-registered key %q", k)
+		}
+	}
+}
+
+// TestBatchCoalesceWindowMergesSingles: with a coalescing window
+// configured, single /analyze submissions wait in the window, dispatch
+// together as one scheduled batch, and both complete.
+func TestBatchCoalesceWindowMergesSingles(t *testing.T) {
+	s, g := newGatedServer(t, Config{Workers: 2, QueueDepth: 8, CacheSize: 8, CoalesceWindow: time.Hour})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.queue.Drain()
+
+	type res struct {
+		status int
+		ar     AnalyzeResponse
+	}
+	results := make(chan res, 2)
+	for _, bench := range []string{"wordcount", "sort"} {
+		go func(bench string) {
+			resp, b := postAnalyze(t, ts.URL, fmt.Sprintf(`{"benchmark":%q}`, bench))
+			var ar AnalyzeResponse
+			json.Unmarshal(b, &ar)
+			results <- res{resp.StatusCode, ar}
+		}(bench)
+	}
+	waitFor(t, "two jobs pending in the window", func() bool { return s.coalescer.Pending() == 2 })
+	if got := g.count.Load(); got != 0 {
+		t.Fatalf("executions before the window closed = %d, want 0", got)
+	}
+	if snap := s.snapshot(); snap.Batch.CoalescePending != 2 {
+		t.Errorf("coalesce_pending gauge = %d, want 2", snap.Batch.CoalescePending)
+	}
+
+	s.coalescer.Flush()
+	close(g.release)
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.status != http.StatusOK || r.ar.Analysis == nil {
+			t.Errorf("coalesced request %d: status %d, analysis %v", i, r.status, r.ar.Analysis)
+		}
+	}
+	snap := s.snapshot()
+	if snap.Batch.CoalesceFlushes != 1 || snap.Batch.CoalescedJobs != 2 {
+		t.Errorf("coalesce metrics = %+v, want 1 flush of 2 jobs", snap.Batch)
+	}
+	if got := g.count.Load(); got != 2 {
+		t.Errorf("executions after flush = %d, want 2", got)
+	}
+}
+
+// TestBatchSubmitDeadline pins SubmitDeadline: the job context expires
+// at the explicit deadline, the batch-level budget the scheduler
+// carves once per batch.
+func TestBatchSubmitDeadline(t *testing.T) {
+	q := NewQueue(1, 0, 0)
+	errc := make(chan error, 1)
+	waitFor(t, "deadline job admitted", func() bool {
+		err := q.SubmitDeadline(time.Now().Add(20*time.Millisecond), func(ctx context.Context) {
+			<-ctx.Done()
+			errc <- ctx.Err()
+		})
+		return err == nil
+	})
+	if err := <-errc; !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline ctx error = %v, want DeadlineExceeded", err)
+	}
+	q.Drain()
+}

@@ -6,13 +6,17 @@ import (
 	"time"
 
 	counterminer "counterminer"
+	"counterminer/internal/collector"
 )
 
-// Metrics is counterminerd's observability surface: request and cache
-// counters, queue gauges, analysis outcomes, and one latency histogram
-// per pipeline stage, fed from Analysis.Stages. Everything is exported
-// as one JSON document by GET /metrics, so any scraper that speaks
-// JSON can consume it without a client library.
+// Metrics is counterminerd's observability surface: request, cache,
+// and batch counters, queue gauges, analysis outcomes, and one latency
+// histogram per pipeline stage, fed from Analysis.Stages. Everything is
+// exported as one JSON document by GET /metrics (the client.Snapshot
+// wire type), so any scraper that speaks JSON can consume it without a
+// client library. The whole surface — batch and coalesce counters
+// included — is pre-registered: every field is present (zeroed) before
+// the first request arrives.
 type Metrics struct {
 	start time.Time
 
@@ -25,6 +29,16 @@ type Metrics struct {
 	cacheHits        uint64
 	cacheMisses      uint64
 	shared           uint64
+	// batch-path counters
+	batches        uint64
+	batchRejected  uint64
+	batchJobs      uint64
+	batchDeduped   uint64
+	batchCacheHits uint64
+	batchExecuted  uint64
+	batchJobErrors uint64
+	coalesceFlush  uint64
+	coalescedJobs  uint64
 	// analysis outcomes
 	completed uint64
 	failed    uint64
@@ -79,6 +93,32 @@ func (m *Metrics) IncCacheHit()  { m.inc(&m.cacheHits) }
 func (m *Metrics) IncCacheMiss() { m.inc(&m.cacheMisses) }
 func (m *Metrics) IncShared()    { m.inc(&m.shared) }
 
+// ObserveBatch folds one scheduled batch's accounting into the
+// batch counters.
+func (m *Metrics) ObserveBatch(st BatchStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batches++
+	m.batchJobs += uint64(st.Submitted)
+	m.batchDeduped += uint64(st.Deduped)
+	m.batchCacheHits += uint64(st.CacheHits)
+	m.batchExecuted += uint64(st.Executed)
+	m.batchJobErrors += uint64(st.Errors)
+}
+
+// IncBatchRejected counts one whole-batch overload rejection (429 or
+// 503).
+func (m *Metrics) IncBatchRejected() { m.inc(&m.batchRejected) }
+
+// ObserveCoalesce counts one coalescing-window flush merging n single
+// submissions.
+func (m *Metrics) ObserveCoalesce(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.coalesceFlush++
+	m.coalescedJobs += uint64(n)
+}
+
 func (m *Metrics) inc(c *uint64) {
 	m.mu.Lock()
 	*c++
@@ -118,73 +158,18 @@ func (m *Metrics) ObserveAnalysis(ana *counterminer.Analysis, err error) {
 	}
 }
 
-// Snapshot is the JSON document /metrics serves.
-type Snapshot struct {
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	Requests      RequestCounters  `json:"requests"`
-	Queue         QueueGauges      `json:"queue"`
-	Cache         CacheGauges      `json:"cache"`
-	Analyses      AnalysisCounters `json:"analyses"`
-	StageLatency  []StageHistogram `json:"stage_latency"`
-}
-
-// RequestCounters groups the request-path counters.
-type RequestCounters struct {
-	Total              uint64 `json:"total"`
-	BadRequests        uint64 `json:"bad_requests"`
-	RejectedQueueFull  uint64 `json:"rejected_queue_full"`
-	RejectedDraining   uint64 `json:"rejected_draining"`
-	CacheHits          uint64 `json:"cache_hits"`
-	CacheMisses        uint64 `json:"cache_misses"`
-	SingleflightShared uint64 `json:"singleflight_shared"`
-}
-
-// QueueGauges groups the queue's live state.
-type QueueGauges struct {
-	Depth    int `json:"depth"`
-	Capacity int `json:"capacity"`
-	Active   int `json:"active"`
-	Executed int `json:"executed"`
-}
-
-// CacheGauges groups the result cache's live state.
-type CacheGauges struct {
-	Entries   int    `json:"entries"`
-	Capacity  int    `json:"capacity"`
-	Evictions uint64 `json:"evictions"`
-}
-
-// AnalysisCounters groups pipeline-execution outcomes and the summed
-// degradation accounting.
-type AnalysisCounters struct {
-	Completed         uint64 `json:"completed"`
-	Failed            uint64 `json:"failed"`
-	Canceled          uint64 `json:"canceled"`
-	Degraded          uint64 `json:"degraded"`
-	Retries           uint64 `json:"retries"`
-	RunsFailed        uint64 `json:"runs_failed"`
-	EventsQuarantined uint64 `json:"events_quarantined"`
-	StoreErrors       uint64 `json:"store_errors"`
-}
-
-// StageHistogram is one stage's latency distribution.
-type StageHistogram struct {
-	Stage   string        `json:"stage"`
-	Count   uint64        `json:"count"`
-	SumMs   float64       `json:"sum_ms"`
-	Buckets []BucketCount `json:"buckets"`
-}
-
-// BucketCount is one cumulative histogram bucket: how many
-// observations were <= LeMs milliseconds (LeMs < 0 encodes +Inf).
-type BucketCount struct {
-	LeMs  float64 `json:"le_ms"`
-	Count uint64  `json:"count"`
+// gauges bundles the live-state sources SnapshotFrom reads alongside
+// the counters; any field may be nil.
+type gauges struct {
+	queue     *Queue
+	cache     *Cache
+	coll      *collector.Collector
+	coalescer interface{ Pending() int }
 }
 
 // SnapshotFrom assembles the full metrics document from the registry
-// plus the queue and cache gauges.
-func (m *Metrics) SnapshotFrom(q *Queue, c *Cache) Snapshot {
+// plus the queue, cache, coalescer, and collector gauges.
+func (m *Metrics) SnapshotFrom(g gauges) Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	snap := Snapshot{
@@ -198,6 +183,17 @@ func (m *Metrics) SnapshotFrom(q *Queue, c *Cache) Snapshot {
 			CacheMisses:        m.cacheMisses,
 			SingleflightShared: m.shared,
 		},
+		Batch: BatchCounters{
+			Batches:         m.batches,
+			Rejected:        m.batchRejected,
+			Jobs:            m.batchJobs,
+			Deduped:         m.batchDeduped,
+			CacheHits:       m.batchCacheHits,
+			Executed:        m.batchExecuted,
+			JobErrors:       m.batchJobErrors,
+			CoalesceFlushes: m.coalesceFlush,
+			CoalescedJobs:   m.coalescedJobs,
+		},
 		Analyses: AnalysisCounters{
 			Completed:         m.completed,
 			Failed:            m.failed,
@@ -209,16 +205,23 @@ func (m *Metrics) SnapshotFrom(q *Queue, c *Cache) Snapshot {
 			StoreErrors:       m.storeErrors,
 		},
 	}
-	if q != nil {
+	if g.queue != nil {
 		snap.Queue = QueueGauges{
-			Depth: q.Depth(), Capacity: q.Capacity(),
-			Active: q.Active(), Executed: q.Executed(),
+			Depth: g.queue.Depth(), Capacity: g.queue.Capacity(),
+			Active: g.queue.Active(), Executed: g.queue.Executed(),
 		}
 	}
-	if c != nil {
+	if g.cache != nil {
 		snap.Cache = CacheGauges{
-			Entries: c.Len(), Capacity: c.Capacity(), Evictions: c.Evictions(),
+			Entries: g.cache.Len(), Capacity: g.cache.Capacity(), Evictions: g.cache.Evictions(),
 		}
+	}
+	if g.coll != nil {
+		builds, hits := g.coll.MemoStats()
+		snap.Collector = CollectorCounters{Builds: builds, MemoHits: hits}
+	}
+	if g.coalescer != nil {
+		snap.Batch.CoalescePending = g.coalescer.Pending()
 	}
 	for _, name := range m.stageOrder {
 		snap.StageLatency = append(snap.StageLatency, m.stages[name].snapshot(name))

@@ -105,6 +105,19 @@ func (q *Queue) loop() {
 // some worker, under a context carrying the per-job budget deadline —
 // canceled early only if the queue drains before the job starts.
 func (q *Queue) Submit(run func(context.Context)) error {
+	var deadline time.Time
+	if q.budget > 0 {
+		deadline = time.Now().Add(q.budget)
+	}
+	return q.SubmitDeadline(deadline, run)
+}
+
+// SubmitDeadline is Submit under an explicit deadline (zero means
+// none) instead of one carved per job from the server budget. The
+// batch scheduler uses it to run every job of a batch under one
+// batch-level deadline, so a sweep's total hold on the workers is
+// bounded exactly like a single request's.
+func (q *Queue) SubmitDeadline(deadline time.Time, run func(context.Context)) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.draining {
@@ -114,8 +127,8 @@ func (q *Queue) Submit(run func(context.Context)) error {
 		ctx    context.Context
 		cancel context.CancelFunc
 	)
-	if q.budget > 0 {
-		ctx, cancel = context.WithTimeout(context.Background(), q.budget)
+	if !deadline.IsZero() {
+		ctx, cancel = context.WithDeadline(context.Background(), deadline)
 	} else {
 		ctx, cancel = context.WithCancel(context.Background())
 	}

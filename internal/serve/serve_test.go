@@ -240,7 +240,7 @@ func TestMetricsStageHistograms(t *testing.T) {
 	}
 	m.ObserveAnalysis(ana, nil)
 	m.ObserveAnalysis(nil, &counterminer.CancelError{Stage: "Rank", Err: context.Canceled})
-	snap := m.SnapshotFrom(nil, nil)
+	snap := m.SnapshotFrom(gauges{})
 	if snap.Analyses.Completed != 1 || snap.Analyses.Canceled != 1 {
 		t.Fatalf("analyses = %+v", snap.Analyses)
 	}
@@ -343,7 +343,7 @@ func TestServerSingleflightConcurrentRequests(t *testing.T) {
 	// other has attached to the same in-flight call, then release.
 	<-g.entered
 	waitFor(t, "singleflight follower", func() bool {
-		snap := s.metrics.SnapshotFrom(s.queue, s.cache)
+		snap := s.snapshot()
 		return snap.Requests.SingleflightShared == 1
 	})
 	close(g.release)
@@ -382,7 +382,7 @@ func TestServerSingleflightConcurrentRequests(t *testing.T) {
 	if got := g.count.Load(); got != 1 {
 		t.Fatalf("executions after cache hit = %d, want 1", got)
 	}
-	snap := s.metrics.SnapshotFrom(s.queue, s.cache)
+	snap := s.snapshot()
 	if snap.Requests.CacheHits != 1 || snap.Requests.CacheMisses != 1 || snap.Requests.SingleflightShared != 1 {
 		t.Errorf("metrics = %+v", snap.Requests)
 	}
@@ -424,7 +424,7 @@ func TestServerOverloadTypedRejection(t *testing.T) {
 	if er.Error != "queue_full" || er.RetryAfterSeconds <= 0 {
 		t.Errorf("429 body = %+v, want code queue_full with retry hint", er)
 	}
-	snap := s.metrics.SnapshotFrom(s.queue, s.cache)
+	snap := s.snapshot()
 	if snap.Requests.RejectedQueueFull != 1 {
 		t.Errorf("rejected_queue_full = %d, want 1", snap.Requests.RejectedQueueFull)
 	}
@@ -648,7 +648,7 @@ func TestServerEndToEndRealPipeline(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || !ar2.Cached {
 		t.Fatalf("repeat response = %d %+v, want cached", resp.StatusCode, ar2)
 	}
-	snap := s.metrics.SnapshotFrom(s.queue, s.cache)
+	snap := s.snapshot()
 	if snap.Analyses.Completed != 1 || snap.Requests.CacheHits != 1 {
 		t.Errorf("metrics after repeat = %+v / %+v", snap.Analyses, snap.Requests)
 	}

@@ -34,10 +34,12 @@ import (
 	"time"
 
 	counterminer "counterminer"
+	"counterminer/internal/batch"
 	"counterminer/internal/collector"
 	"counterminer/internal/fault"
 	"counterminer/internal/sim"
 	"counterminer/internal/store"
+	"counterminer/pkg/client"
 )
 
 // Config sizes the service. The zero value of every field selects a
@@ -66,6 +68,15 @@ type Config struct {
 	// AnalysisWorkers is Options.Workers for each pipeline execution
 	// (default 0 = GOMAXPROCS). It never changes results, only speed.
 	AnalysisWorkers int
+	// BatchMax caps the jobs one /analyze/batch request may carry
+	// (default 64). It also caps a coalescing-window batch.
+	BatchMax int
+	// CoalesceWindow, when positive, merges single /analyze
+	// submissions arriving within the window into one scheduled batch,
+	// so interactive traffic gets the batch scheduler's grouping
+	// benefits. Zero disables coalescing (submissions dispatch
+	// immediately).
+	CoalesceWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +101,15 @@ func (c Config) withDefaults() Config {
 	if c.ShutdownGrace <= 0 {
 		c.ShutdownGrace = 15 * time.Second
 	}
+	switch {
+	case c.BatchMax == 0:
+		c.BatchMax = 64
+	case c.BatchMax < 0:
+		c.BatchMax = 1
+	}
+	if c.CoalesceWindow < 0 {
+		c.CoalesceWindow = 0
+	}
 	return c
 }
 
@@ -100,12 +120,17 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	cat      *sim.Catalogue
+	coll     *collector.Collector
 	source   fault.RunSource
 	db       *store.DB
 	queue    *Queue
 	cache    *Cache
 	metrics  *Metrics
 	draining atomic.Bool
+
+	// coalescer, when non-nil, merges single /analyze submissions
+	// arriving within CoalesceWindow into one scheduled batch.
+	coalescer *batch.Coalescer[pendingJob]
 
 	// analyze executes one resolved request; tests substitute it to
 	// make concurrency scenarios deterministic.
@@ -127,13 +152,18 @@ type jobSpec struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	cat := sim.NewCatalogue()
+	coll := collector.New(cat)
 	s := &Server{
 		cfg:     cfg,
 		cat:     cat,
-		source:  collector.New(cat),
+		coll:    coll,
+		source:  coll,
 		queue:   NewQueue(cfg.Workers, cfg.QueueDepth, cfg.Budget),
 		cache:   NewCache(cfg.CacheSize),
 		metrics: NewMetrics(),
+	}
+	if cfg.CoalesceWindow > 0 {
+		s.coalescer = batch.NewCoalescer[pendingJob](cfg.CoalesceWindow, cfg.BatchMax, s.dispatchCoalesced)
 	}
 	if cfg.StorePath != "" {
 		db, err := store.Open(cfg.StorePath)
@@ -157,6 +187,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/analyze/batch", s.handleAnalyzeBatch)
 	return mux
 }
 
@@ -175,11 +206,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case serveErr = <-errc:
 		// The listener died on its own; still drain the queue and
 		// flush before reporting.
-		s.draining.Store(true)
-		s.queue.Drain()
+		s.drainWork()
 	case <-ctx.Done():
-		s.draining.Store(true)
-		s.queue.Drain()
+		s.drainWork()
 		shctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
 		defer cancel()
 		if err := hs.Shutdown(shctx); err != nil {
@@ -198,72 +227,17 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	return serveErr
 }
 
-// ErrorResponse is the typed JSON error body every non-200 response
-// carries.
-type ErrorResponse struct {
-	// Error is the machine-readable code ("queue_full", "draining",
-	// "bad_request", "unknown_benchmark", "canceled",
-	// "budget_exceeded", "quorum_not_met", "series_invalid",
-	// "internal").
-	Error string `json:"error"`
-	// Message is the human-readable detail.
-	Message string `json:"message"`
-	// RetryAfterSeconds hints when a rejected request is worth
-	// retrying (only set for overload rejections).
-	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
-}
-
-// AnalyzeRequest is POST /analyze's body. Zero-valued option fields
-// select the pipeline defaults, exactly like counterminer.Options.
-type AnalyzeRequest struct {
-	// Benchmark is the workload to analyse (required; see
-	// /benchmarks).
-	Benchmark string `json:"benchmark"`
-	// Colocate optionally names a second benchmark to share the
-	// cluster with (§V-E).
-	Colocate string `json:"colocate,omitempty"`
-	// Events are event patterns (full names, Table III abbreviations,
-	// or globs); empty analyses the full catalogue.
-	Events []string `json:"events,omitempty"`
-	Runs   int      `json:"runs,omitempty"`
-	Trees  int      `json:"trees,omitempty"`
-	// PruneStep is the EIR pruning step.
-	PruneStep int `json:"prune_step,omitempty"`
-	// TopK bounds the reported events and the interaction ranker's
-	// input.
-	TopK int `json:"top_k,omitempty"`
-	// SkipEIR fits a single model instead of the refinement loop.
-	SkipEIR bool  `json:"skip_eir,omitempty"`
-	Seed    int64 `json:"seed,omitempty"`
-	// MinRuns is the collection quorum (0 = all runs must succeed).
-	MinRuns int `json:"min_runs,omitempty"`
-}
-
-// AnalyzeResponse is POST /analyze's 200 body.
-type AnalyzeResponse struct {
-	// Key is the request's canonical content address (cache key).
-	Key string `json:"key"`
-	// Cached reports a result served straight from the LRU; Shared
-	// reports one computed once and shared with concurrent identical
-	// requests via singleflight.
-	Cached bool `json:"cached"`
-	Shared bool `json:"shared,omitempty"`
-	// ElapsedMs is this request's wall time inside the server.
-	ElapsedMs float64 `json:"elapsed_ms"`
-	// Analysis is the full mined result.
-	Analysis *counterminer.Analysis `json:"analysis"`
-}
-
-// BenchmarksResponse is GET /benchmarks's body: the analyzable
-// catalog, plus — when the server persists runs — the store's read
-// side.
-type BenchmarksResponse struct {
-	// Available lists every benchmark /analyze accepts.
-	Available []string `json:"available"`
-	// Stored summarises the benchmarks with persisted runs.
-	Stored []store.BenchmarkSummary `json:"stored,omitempty"`
-	// Store summarises the whole store file.
-	Store *store.Stats `json:"store,omitempty"`
+// drainWork begins shutdown of the job plane: the coalescer flushes
+// its pending window into the queue first (so coalesced jobs reach
+// admission and travel the ordinary drain path instead of dangling),
+// then the queue drains — executing jobs finish, queued ones are
+// canceled through the pipeline's *CancelError path.
+func (s *Server) drainWork() {
+	s.draining.Store(true)
+	if s.coalescer != nil {
+		s.coalescer.Close()
+	}
+	s.queue.Drain()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -288,7 +262,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.metrics.SnapshotFrom(s.queue, s.cache))
+	writeJSON(w, http.StatusOK, s.snapshot())
+}
+
+// snapshot assembles the full metrics document from the server's live
+// parts.
+func (s *Server) snapshot() Snapshot {
+	g := gauges{queue: s.queue, cache: s.cache, coll: s.coll}
+	if s.coalescer != nil {
+		g.coalescer = s.coalescer
+	}
+	return s.metrics.SnapshotFrom(g)
 }
 
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
@@ -298,9 +282,23 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := BenchmarksResponse{Available: sim.AllBenchmarkNames()}
 	if s.db != nil {
-		resp.Stored = s.db.Benchmarks()
+		for _, b := range s.db.Benchmarks() {
+			resp.Stored = append(resp.Stored, client.BenchmarkSummary{
+				Benchmark: b.Benchmark,
+				Runs:      b.Runs,
+				Intervals: b.Intervals,
+				Events:    b.Events,
+				ByMode:    b.ByMode,
+			})
+		}
 		stats := s.db.Summarize()
-		resp.Store = &stats
+		resp.Store = &client.StoreStats{
+			Runs:           stats.Runs,
+			Benchmarks:     stats.Benchmarks,
+			Samples:        stats.Samples,
+			SkippedRecords: stats.SkippedRecords,
+			ByMode:         stats.ByMode,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -339,16 +337,16 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	if leader {
 		s.metrics.IncCacheMiss()
-		err := s.queue.Submit(func(ctx context.Context) {
-			a, aerr := s.analyze(ctx, spec)
-			s.metrics.ObserveAnalysis(a, aerr)
-			s.cache.Complete(cacheKey, call, a, aerr)
-		})
-		if err != nil {
-			// Admission failed; wake any followers with the same
-			// typed rejection (never cached).
-			s.metrics.IncRejected(err)
-			s.cache.Complete(cacheKey, call, nil, err)
+		// The deadline is carved from the server budget at arrival, so
+		// queue wait — and, when coalescing, window wait — counts
+		// against it. Admission failures inside startJob complete the
+		// call with the typed rejection (never cached), waking any
+		// followers.
+		pj := pendingJob{key: cacheKey, call: call, spec: spec, deadline: time.Now().Add(s.cfg.Budget)}
+		if s.coalescer != nil {
+			s.coalescer.Add(pj)
+		} else {
+			s.startJob(pj)
 		}
 	} else {
 		s.metrics.IncShared()

@@ -1,0 +1,46 @@
+package serve
+
+import "counterminer/pkg/client"
+
+// The HTTP wire types are owned by pkg/client so external tools can
+// consume them without importing internal packages; the serving layer
+// aliases them to stay the single source of the behavior they
+// describe.
+type (
+	// ErrorResponse is the typed JSON error body every non-200
+	// response carries.
+	ErrorResponse = client.ErrorResponse
+	// AnalyzeRequest is POST /analyze's body and one batch job.
+	AnalyzeRequest = client.AnalyzeRequest
+	// AnalyzeResponse is POST /analyze's 200 body.
+	AnalyzeResponse = client.AnalyzeResponse
+	// BatchRequest is POST /analyze/batch's body.
+	BatchRequest = client.BatchRequest
+	// BatchJobResult is one job's outcome inside a BatchResponse.
+	BatchJobResult = client.BatchJobResult
+	// BatchStats is the batch-level accounting in the response
+	// envelope.
+	BatchStats = client.BatchStats
+	// BatchResponse is POST /analyze/batch's 200 body.
+	BatchResponse = client.BatchResponse
+	// BenchmarksResponse is GET /benchmarks's body.
+	BenchmarksResponse = client.BenchmarksResponse
+	// Snapshot is the JSON document GET /metrics serves.
+	Snapshot = client.Snapshot
+	// RequestCounters groups the request-path counters.
+	RequestCounters = client.RequestCounters
+	// QueueGauges groups the queue's live state.
+	QueueGauges = client.QueueGauges
+	// CacheGauges groups the result cache's live state.
+	CacheGauges = client.CacheGauges
+	// BatchCounters groups the batch subsystem's counters and gauges.
+	BatchCounters = client.BatchCounters
+	// CollectorCounters reports generator memoization reuse.
+	CollectorCounters = client.CollectorCounters
+	// AnalysisCounters groups pipeline-execution outcomes.
+	AnalysisCounters = client.AnalysisCounters
+	// StageHistogram is one stage's latency distribution.
+	StageHistogram = client.StageHistogram
+	// BucketCount is one cumulative histogram bucket.
+	BucketCount = client.BucketCount
+)

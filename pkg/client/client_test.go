@@ -1,0 +1,156 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	counterminer "counterminer"
+)
+
+// TestRetryAfterAwareRetry pins the overload contract: a 429 with
+// Retry-After is waited out and retried, and the recorded waits honor
+// the server's hint.
+func TestRetryAfterAwareRetry(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n <= 2 {
+			w.Header().Set("Retry-After", "3")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(ErrorResponse{Error: "queue_full", Message: "full", RetryAfterSeconds: 3})
+			return
+		}
+		json.NewEncoder(w).Encode(AnalyzeResponse{
+			Key:      "k",
+			Analysis: &counterminer.Analysis{Benchmark: "wordcount"},
+		})
+	}))
+	defer ts.Close()
+
+	var waits []time.Duration
+	c := New(ts.URL, WithMaxRetries(2))
+	c.sleep = func(_ context.Context, d time.Duration) error {
+		waits = append(waits, d)
+		return nil
+	}
+	res, err := c.Analyze(context.Background(), AnalyzeRequest{Benchmark: "wordcount"})
+	if err != nil {
+		t.Fatalf("Analyze after retries: %v", err)
+	}
+	if res.Analysis == nil || res.Analysis.Benchmark != "wordcount" {
+		t.Fatalf("response = %+v", res)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server calls = %d, want 3 (two rejections + success)", calls.Load())
+	}
+	if len(waits) != 2 || waits[0] != 3*time.Second || waits[1] != 3*time.Second {
+		t.Errorf("waits = %v, want two 3s waits from Retry-After", waits)
+	}
+}
+
+func TestRetriesExhaustedReturnTypedError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(ErrorResponse{Error: "draining", Message: "shutting down", RetryAfterSeconds: 1})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithMaxRetries(1))
+	c.sleep = func(context.Context, time.Duration) error { return nil }
+	_, err := c.Analyze(context.Background(), AnalyzeRequest{Benchmark: "wordcount"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error = %v, want *APIError", err)
+	}
+	if apiErr.StatusCode != http.StatusServiceUnavailable || apiErr.Code != "draining" || !apiErr.Temporary() {
+		t.Errorf("apiErr = %+v", apiErr)
+	}
+}
+
+func TestPermanentErrorsAreNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(ErrorResponse{Error: "unknown_benchmark", Message: "no such benchmark"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithMaxRetries(5))
+	_, err := c.Analyze(context.Background(), AnalyzeRequest{Benchmark: "nope"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error = %v, want *APIError", err)
+	}
+	if apiErr.Code != "unknown_benchmark" || apiErr.Temporary() {
+		t.Errorf("apiErr = %+v", apiErr)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("server calls = %d, want 1 (no retry on 404)", calls.Load())
+	}
+}
+
+func TestAnalyzeBatchRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/analyze/batch" {
+			t.Errorf("path = %q", r.URL.Path)
+		}
+		var br BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&br); err != nil || len(br.Jobs) != 2 {
+			t.Errorf("batch body: %v (%d jobs)", err, len(br.Jobs))
+		}
+		json.NewEncoder(w).Encode(BatchResponse{
+			Jobs: []BatchJobResult{
+				{Index: 0, Key: "a", Analysis: &counterminer.Analysis{Benchmark: "wordcount"}},
+				{Index: 1, Error: &ErrorResponse{Error: "unknown_benchmark", Message: "nope"}},
+			},
+			Stats: BatchStats{Submitted: 2, Errors: 1, Groups: 1, ScheduleOrder: []int{0}},
+		})
+	}))
+	defer ts.Close()
+
+	res, err := New(ts.URL).AnalyzeBatch(context.Background(), []AnalyzeRequest{
+		{Benchmark: "wordcount"}, {Benchmark: "nope"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 2 || res.Jobs[0].Analysis == nil || res.Jobs[1].Error == nil {
+		t.Fatalf("batch response = %+v", res)
+	}
+	if res.Stats.Submitted != 2 || len(res.Stats.ScheduleOrder) != 1 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+}
+
+func TestHealthDecodesDraining503(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(Health{Status: "draining", UptimeSeconds: 1})
+	}))
+	defer ts.Close()
+
+	h, err := New(ts.URL).Health(context.Background())
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if h.Status != "draining" {
+		t.Errorf("status = %q, want draining", h.Status)
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sleepCtx(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sleepCtx on canceled ctx = %v", err)
+	}
+}

@@ -1,0 +1,257 @@
+package client
+
+import (
+	counterminer "counterminer"
+)
+
+// ErrorResponse is the typed JSON error body every non-200 response
+// carries.
+type ErrorResponse struct {
+	// Error is the machine-readable code ("queue_full", "draining",
+	// "bad_request", "batch_too_large", "unknown_benchmark",
+	// "canceled", "budget_exceeded", "quorum_not_met",
+	// "series_invalid", "internal").
+	Error string `json:"error"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+	// RetryAfterSeconds hints when a rejected request is worth
+	// retrying (only set for overload rejections).
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// AnalyzeRequest is POST /analyze's body, and one job of POST
+// /analyze/batch. Zero-valued option fields select the pipeline
+// defaults, exactly like counterminer.Options.
+type AnalyzeRequest struct {
+	// Benchmark is the workload to analyse (required; see
+	// /benchmarks).
+	Benchmark string `json:"benchmark"`
+	// Colocate optionally names a second benchmark to share the
+	// cluster with (§V-E).
+	Colocate string `json:"colocate,omitempty"`
+	// Events are event patterns (full names, Table III abbreviations,
+	// or globs); empty analyses the full catalogue.
+	Events []string `json:"events,omitempty"`
+	Runs   int      `json:"runs,omitempty"`
+	Trees  int      `json:"trees,omitempty"`
+	// PruneStep is the EIR pruning step.
+	PruneStep int `json:"prune_step,omitempty"`
+	// TopK bounds the reported events and the interaction ranker's
+	// input.
+	TopK int `json:"top_k,omitempty"`
+	// SkipEIR fits a single model instead of the refinement loop.
+	SkipEIR bool  `json:"skip_eir,omitempty"`
+	Seed    int64 `json:"seed,omitempty"`
+	// MinRuns is the collection quorum (0 = all runs must succeed).
+	MinRuns int `json:"min_runs,omitempty"`
+}
+
+// AnalyzeResponse is POST /analyze's 200 body.
+type AnalyzeResponse struct {
+	// Key is the request's canonical content address (cache key).
+	Key string `json:"key"`
+	// Cached reports a result served straight from the LRU; Shared
+	// reports one computed once and shared with concurrent identical
+	// requests via singleflight.
+	Cached bool `json:"cached"`
+	Shared bool `json:"shared,omitempty"`
+	// ElapsedMs is this request's wall time inside the server.
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// Analysis is the full mined result.
+	Analysis *counterminer.Analysis `json:"analysis"`
+}
+
+// BatchRequest is POST /analyze/batch's body: a whole sweep in one
+// round-trip. The server schedules the jobs cache-aware — exact
+// duplicates collapse, the rest are grouped by benchmark — and returns
+// one result per job in request order.
+type BatchRequest struct {
+	Jobs []AnalyzeRequest `json:"jobs"`
+}
+
+// BatchJobResult is one job's outcome inside a BatchResponse. Exactly
+// one of Analysis and Error is set: a bad job never fails the batch.
+type BatchJobResult struct {
+	// Index is the job's position in the submitted batch.
+	Index int `json:"index"`
+	// Key is the job's content address (empty when the job was
+	// rejected before scheduling).
+	Key string `json:"key,omitempty"`
+	// Cached reports a result served from the LRU; Deduped reports a
+	// job that was an exact duplicate of an earlier job in this batch
+	// and shares its leader's result.
+	Cached  bool `json:"cached,omitempty"`
+	Deduped bool `json:"deduped,omitempty"`
+	// Error is the job's typed failure, nil on success.
+	Error *ErrorResponse `json:"error,omitempty"`
+	// Analysis is the job's mined result, nil on failure.
+	Analysis *counterminer.Analysis `json:"analysis,omitempty"`
+}
+
+// BatchStats is the batch-level accounting in a BatchResponse
+// envelope (the same numbers the server accumulates into /metrics).
+type BatchStats struct {
+	// Submitted is the job count in the request.
+	Submitted int `json:"submitted"`
+	// Deduped is how many jobs were exact duplicates within the batch.
+	Deduped int `json:"deduped"`
+	// CacheHits is how many distinct jobs were served from the LRU.
+	CacheHits int `json:"cache_hits"`
+	// Executed is how many distinct jobs entered the admission queue.
+	Executed int `json:"executed"`
+	// Errors is how many jobs ended in a typed per-job error.
+	Errors int `json:"errors"`
+	// Groups is the number of distinct benchmark-identity groups.
+	Groups int `json:"groups"`
+	// ScheduleOrder lists the distinct jobs' indexes in dispatch order
+	// (duplicates and invalid jobs don't appear).
+	ScheduleOrder []int `json:"schedule_order"`
+}
+
+// BatchResponse is POST /analyze/batch's body. Jobs come back in
+// request order regardless of the schedule.
+type BatchResponse struct {
+	Jobs      []BatchJobResult `json:"jobs"`
+	Stats     BatchStats       `json:"stats"`
+	ElapsedMs float64          `json:"elapsed_ms"`
+}
+
+// BenchmarkSummary summarises one benchmark's persisted runs.
+type BenchmarkSummary struct {
+	Benchmark string `json:"benchmark"`
+	Runs      int    `json:"runs"`
+	Intervals int    `json:"intervals"`
+	Events    int    `json:"events"`
+	// ByMode counts the benchmark's runs per sampling mode.
+	ByMode map[string]int `json:"by_mode"`
+}
+
+// StoreStats summarises the server's whole run store.
+type StoreStats struct {
+	Runs           int            `json:"runs"`
+	Benchmarks     int            `json:"benchmarks"`
+	Samples        int            `json:"samples"`
+	SkippedRecords int            `json:"skipped_records"`
+	ByMode         map[string]int `json:"by_mode"`
+}
+
+// BenchmarksResponse is GET /benchmarks's body: the analyzable
+// catalog, plus — when the server persists runs — the store's read
+// side.
+type BenchmarksResponse struct {
+	// Available lists every benchmark /analyze accepts.
+	Available []string `json:"available"`
+	// Stored summarises the benchmarks with persisted runs.
+	Stored []BenchmarkSummary `json:"stored,omitempty"`
+	// Store summarises the whole store file.
+	Store *StoreStats `json:"store,omitempty"`
+}
+
+// Health is GET /healthz's body.
+type Health struct {
+	// Status is "ok", or "draining" once shutdown has begun (served
+	// with a 503).
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Snapshot is the JSON document GET /metrics serves.
+type Snapshot struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Requests      RequestCounters   `json:"requests"`
+	Queue         QueueGauges       `json:"queue"`
+	Cache         CacheGauges       `json:"cache"`
+	Batch         BatchCounters     `json:"batch"`
+	Collector     CollectorCounters `json:"collector"`
+	Analyses      AnalysisCounters  `json:"analyses"`
+	StageLatency  []StageHistogram  `json:"stage_latency"`
+}
+
+// RequestCounters groups the request-path counters.
+type RequestCounters struct {
+	Total              uint64 `json:"total"`
+	BadRequests        uint64 `json:"bad_requests"`
+	RejectedQueueFull  uint64 `json:"rejected_queue_full"`
+	RejectedDraining   uint64 `json:"rejected_draining"`
+	CacheHits          uint64 `json:"cache_hits"`
+	CacheMisses        uint64 `json:"cache_misses"`
+	SingleflightShared uint64 `json:"singleflight_shared"`
+}
+
+// QueueGauges groups the queue's live state.
+type QueueGauges struct {
+	Depth    int `json:"depth"`
+	Capacity int `json:"capacity"`
+	Active   int `json:"active"`
+	Executed int `json:"executed"`
+}
+
+// CacheGauges groups the result cache's live state.
+type CacheGauges struct {
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// BatchCounters groups the batch subsystem's counters and gauges. The
+// whole surface is pre-registered: every field is present (zeroed) in
+// /metrics before the first batch arrives.
+type BatchCounters struct {
+	// Batches counts POST /analyze/batch requests accepted for
+	// scheduling; Rejected counts whole-batch overload rejections
+	// (429/503).
+	Batches  uint64 `json:"batches"`
+	Rejected uint64 `json:"rejected"`
+	// Jobs / Deduped / CacheHits / Executed / JobErrors aggregate the
+	// per-batch BatchStats over all batches.
+	Jobs      uint64 `json:"jobs"`
+	Deduped   uint64 `json:"deduped"`
+	CacheHits uint64 `json:"cache_hits"`
+	Executed  uint64 `json:"executed"`
+	JobErrors uint64 `json:"job_errors"`
+	// CoalesceFlushes / CoalescedJobs count admission-window merges of
+	// single /analyze submissions; CoalescePending is the live gauge of
+	// jobs waiting for the window to close.
+	CoalesceFlushes uint64 `json:"coalesce_flushes"`
+	CoalescedJobs   uint64 `json:"coalesced_jobs"`
+	CoalescePending int    `json:"coalesce_pending"`
+}
+
+// CollectorCounters reports the shared collector's trace-generator
+// memoization — the reuse the batch scheduler's benchmark grouping is
+// judged by: grouped dispatch should grow MemoHits, not Builds.
+type CollectorCounters struct {
+	// Builds counts expensive trace-generator constructions (at most
+	// one per distinct benchmark profile).
+	Builds uint64 `json:"generator_builds"`
+	// MemoHits counts generator lookups served by the memo.
+	MemoHits uint64 `json:"memo_hits"`
+}
+
+// AnalysisCounters groups pipeline-execution outcomes and the summed
+// degradation accounting.
+type AnalysisCounters struct {
+	Completed         uint64 `json:"completed"`
+	Failed            uint64 `json:"failed"`
+	Canceled          uint64 `json:"canceled"`
+	Degraded          uint64 `json:"degraded"`
+	Retries           uint64 `json:"retries"`
+	RunsFailed        uint64 `json:"runs_failed"`
+	EventsQuarantined uint64 `json:"events_quarantined"`
+	StoreErrors       uint64 `json:"store_errors"`
+}
+
+// StageHistogram is one stage's latency distribution.
+type StageHistogram struct {
+	Stage   string        `json:"stage"`
+	Count   uint64        `json:"count"`
+	SumMs   float64       `json:"sum_ms"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// BucketCount is one cumulative histogram bucket: how many
+// observations were <= LeMs milliseconds (LeMs < 0 encodes +Inf).
+type BucketCount struct {
+	LeMs  float64 `json:"le_ms"`
+	Count uint64  `json:"count"`
+}

@@ -28,8 +28,8 @@ set -eu
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-3}"
-PATTERN="${BENCH_PATTERN:-Fit|BuildTreeOrdered|PredictAll|RankPairs|Distance}"
-PKGS="${BENCH_PKGS:-./internal/sgbrt/ ./internal/interact/ ./internal/dtw/}"
+PATTERN="${BENCH_PATTERN:-Fit|BuildTreeOrdered|PredictAll|RankPairs|Distance|BatchSchedule}"
+PKGS="${BENCH_PKGS:-./internal/sgbrt/ ./internal/interact/ ./internal/dtw/ ./internal/batch/}"
 
 n=0
 while [ -e "BENCH_${n}.json" ]; do

@@ -20,16 +20,19 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== client library and examples =="
+go build ./pkg/client/ ./examples/...
+
 echo "== go test -race =="
 go test -race ./...
 
-echo "== chaos soak (seeded fault-injection + cancellation + overload sweep) =="
+echo "== chaos soak (seeded fault-injection + cancellation + overload + batch sweep) =="
 go test -race -count=2 \
-    -run 'Chaos|Retry|Injection|Transient|Permanent|Corruption|Sink|KeyedRNG|Cancel|Overload|Shutdown|Drain' \
-    . ./internal/fault/ ./internal/serve/
+    -run 'Chaos|Retry|Injection|Transient|Permanent|Corruption|Sink|KeyedRNG|Cancel|Overload|Shutdown|Drain|Batch|Schedule|Coalesce' \
+    . ./internal/fault/ ./internal/serve/ ./internal/batch/
 
 echo "== short benchmarks =="
-go test -run='^$' -bench='Fit|BuildTreeOrdered|PredictAll|RankPairs|Distance' \
-    -benchtime=1x -benchmem ./internal/sgbrt/ ./internal/interact/ ./internal/dtw/
+go test -run='^$' -bench='Fit|BuildTreeOrdered|PredictAll|RankPairs|Distance|BatchSchedule' \
+    -benchtime=1x -benchmem ./internal/sgbrt/ ./internal/interact/ ./internal/dtw/ ./internal/batch/
 
 echo "check OK"
