@@ -1,9 +1,15 @@
-// Command cmstore inspects a CounterMiner performance-data store (the
-// two-level run/series database written by the pipeline's -db option).
+// Command cmstore inspects and maintains a CounterMiner
+// performance-data store (the two-level run/series database written by
+// the pipeline's -db option).
 //
 //	cmstore -db runs.db -stats
 //	cmstore -db runs.db -list [-bench wordcount] [-mode MLPX] [-event ICACHE.MISSES]
 //	cmstore -db runs.db -export -bench wordcount -run 101 -mode MLPX > run.csv
+//	cmstore migrate -db runs.db    convert a legacy single-file store to
+//	                               the sharded directory layout
+//	cmstore compact -db runs.db    rewrite every shard: drop damaged
+//	                               tails, delete empty shards, clean up
+//	                               stale temp files
 package main
 
 import (
@@ -15,6 +21,14 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "migrate":
+			os.Exit(runMigrate(os.Args[2:]))
+		case "compact":
+			os.Exit(runCompact(os.Args[2:]))
+		}
+	}
 	var (
 		dbPath  = flag.String("db", "", "store path (required)")
 		doStats = flag.Bool("stats", false, "print store statistics")
@@ -74,6 +88,60 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cmstore: one of -stats, -list, -export required")
 		os.Exit(2)
 	}
+}
+
+// openForMaintenance parses a subcommand's -db flag and opens the
+// store, reporting skipped records like the inspection modes do.
+func openForMaintenance(cmd string, args []string) *store.DB {
+	fs := flag.NewFlagSet("cmstore "+cmd, flag.ExitOnError)
+	dbPath := fs.String("db", "", "store path (required)")
+	fs.Parse(args)
+	if *dbPath == "" {
+		fmt.Fprintf(os.Stderr, "cmstore %s: -db required\n", cmd)
+		os.Exit(2)
+	}
+	db, err := store.Open(*dbPath)
+	if err != nil {
+		fatal(err)
+	}
+	if n := db.Skipped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "cmstore: warning: skipped %d damaged record(s) in %s\n", n, *dbPath)
+	}
+	return db
+}
+
+// runMigrate converts a legacy single-file store to the sharded
+// directory layout (a no-op when the store is already sharded).
+func runMigrate(args []string) int {
+	db := openForMaintenance("migrate", args)
+	if !db.NeedsMigration() {
+		fmt.Println("cmstore: store already uses the sharded layout")
+		return 0
+	}
+	if err := db.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "cmstore: migrate:", err)
+		return 1
+	}
+	st := db.ShardStats()
+	fmt.Printf("cmstore: migrated %d run(s) into %d shard(s)\n", db.Len(), st.Shards)
+	return 0
+}
+
+// runCompact rewrites every shard, dropping damaged tails, deleting
+// empty shards' files, and removing stale temp files (it also migrates
+// a legacy single-file store).
+func runCompact(args []string) int {
+	db := openForMaintenance("compact", args)
+	n, err := db.Compact()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmstore: compact:", err)
+		return 1
+	}
+	if dropped := db.Skipped(); dropped > 0 {
+		fmt.Printf("cmstore: dropped %d damaged record(s)\n", dropped)
+	}
+	fmt.Printf("cmstore: rewrote %d shard file(s); %d run(s) in %d shard(s)\n", n, db.Len(), db.ShardStats().Shards)
+	return 0
 }
 
 func fatal(err error) {

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"counterminer/internal/serve"
+	"counterminer/internal/store"
 )
 
 func main() {
@@ -59,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		budget     = fs.Duration("budget", 2*time.Minute, "per-request compute budget, applied from admission")
 		grace      = fs.Duration("grace", 15*time.Second, "shutdown grace for in-flight HTTP exchanges")
 		dbPath     = fs.String("db", "", "persist collected runs to this store path (also backs /benchmarks)")
+		storeMem   = fs.String("store-mem", "", "store memory budget (e.g. 64MiB, 100MB): clean shards beyond it evict LRU and reload lazily (empty = unlimited)")
+		storeWB    = fs.Duration("store-writeback", 0, "background flush interval for dirty store shards (0 = store default, -1ns = off)")
 		anaWorkers = fs.Int("analysis-workers", 0, "per-analysis worker count (0 = GOMAXPROCS); never changes results")
 		batchMax   = fs.Int("batch-max", 64, "max jobs one /analyze/batch request (or one coalescing window) may carry")
 		coalesce   = fs.Duration("coalesce-window", 0, "merge single /analyze submissions arriving within this window into one scheduled batch (0 = off)")
@@ -89,6 +92,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "counterminerd: -coalesce-window must be >= 0")
 		return 2
 	}
+	var storeMemBytes int64
+	if *storeMem != "" {
+		var err error
+		storeMemBytes, err = store.ParseByteSize(*storeMem)
+		if err != nil {
+			fmt.Fprintln(stderr, "counterminerd: -store-mem:", err)
+			return 2
+		}
+	}
 	cfg := serve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
@@ -96,6 +108,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Budget:          *budget,
 		ShutdownGrace:   *grace,
 		StorePath:       *dbPath,
+		StoreMemBytes:   storeMemBytes,
+		StoreWriteback:  *storeWB,
 		AnalysisWorkers: *anaWorkers,
 		BatchMax:        *batchMax,
 		CoalesceWindow:  *coalesce,

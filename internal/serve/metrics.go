@@ -7,6 +7,7 @@ import (
 
 	counterminer "counterminer"
 	"counterminer/internal/collector"
+	"counterminer/internal/store"
 )
 
 // Metrics is counterminerd's observability surface: request, cache,
@@ -164,6 +165,7 @@ type gauges struct {
 	queue     *Queue
 	cache     *Cache
 	coll      *collector.Collector
+	db        *store.DB
 	coalescer interface{ Pending() int }
 }
 
@@ -222,6 +224,21 @@ func (m *Metrics) SnapshotFrom(g gauges) Snapshot {
 	}
 	if g.coalescer != nil {
 		snap.Batch.CoalescePending = g.coalescer.Pending()
+	}
+	if g.db != nil {
+		st := g.db.ShardStats()
+		snap.Store = &StoreShardStats{
+			Shards:           st.Shards,
+			LoadedShards:     st.Loaded,
+			DirtyShards:      st.Dirty,
+			ResidentBytes:    st.ResidentBytes,
+			MemBudgetBytes:   st.MemBudgetBytes,
+			ShardLoads:       st.Loads,
+			ShardEvictions:   st.Evictions,
+			WritebackFlushes: st.WritebackFlushes,
+			WritebackErrors:  st.WritebackErrors,
+			SkippedRecords:   st.SkippedRecords,
+		}
 	}
 	for _, name := range m.stageOrder {
 		snap.StageLatency = append(snap.StageLatency, m.stages[name].snapshot(name))

@@ -659,3 +659,55 @@ func TestServerEndToEndRealPipeline(t *testing.T) {
 		}
 	}
 }
+
+// TestMetricsSnapshotStoreShardStats: /metrics carries the store's
+// shard accounting when a store is configured, and omits the section
+// otherwise.
+func TestMetricsSnapshotStoreShardStats(t *testing.T) {
+	dbPath := filepath.Join(t.TempDir(), "runs.db")
+	seed, err := store.Open(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Put(store.Record{
+		Meta:   store.RunMeta{Benchmark: "wordcount", RunID: 1, Mode: "MLPX"},
+		IPC:    []float64{1, 2},
+		Series: map[string][]float64{"ICACHE.MISSES": {3, 4}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Config{StorePath: dbPath, StoreMemBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.snapshot()
+	if snap.Store == nil {
+		t.Fatal("snapshot.Store is nil with a store configured")
+	}
+	if snap.Store.Shards != 1 || snap.Store.LoadedShards != 0 {
+		t.Errorf("store gauges = %+v, want 1 shard, none loaded", snap.Store)
+	}
+	if snap.Store.MemBudgetBytes != 1<<20 {
+		t.Errorf("mem_budget_bytes = %d, want %d (from StoreMemBytes)", snap.Store.MemBudgetBytes, 1<<20)
+	}
+	// Touching the record loads its shard; the gauges follow.
+	if _, ok := s.db.Get("wordcount", 1, "MLPX"); !ok {
+		t.Fatal("seeded record missing")
+	}
+	snap = s.snapshot()
+	if snap.Store.LoadedShards != 1 || snap.Store.ShardLoads != 1 {
+		t.Errorf("after Get: %+v, want loaded_shards=1 shard_loads=1", snap.Store)
+	}
+
+	bare, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bare.snapshot(); got.Store != nil {
+		t.Errorf("snapshot.Store = %+v without a store, want nil", got.Store)
+	}
+}

@@ -65,6 +65,14 @@ type Config struct {
 	// StorePath, when non-empty, persists every collected run to the
 	// two-level store at that path and backs the /benchmarks catalog.
 	StorePath string
+	// StoreMemBytes bounds the store's resident second-level series
+	// bytes: clean shards beyond the budget evict least-recently-used
+	// and reload lazily on next touch (0 = unlimited).
+	StoreMemBytes int64
+	// StoreWriteback paces the store's background writeback goroutine,
+	// which flushes dirty shards incrementally so eviction can keep up
+	// under a memory budget (0 = the store default, negative = off).
+	StoreWriteback time.Duration
 	// AnalysisWorkers is Options.Workers for each pipeline execution
 	// (default 0 = GOMAXPROCS). It never changes results, only speed.
 	AnalysisWorkers int
@@ -170,6 +178,9 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
 		}
+		if cfg.StoreMemBytes > 0 {
+			db.SetMemBudget(cfg.StoreMemBytes)
+		}
 		s.db = db
 	}
 	s.analyze = s.runPipeline
@@ -197,6 +208,13 @@ func (s *Server) Handler() http.Handler {
 // exchanges get ShutdownGrace to complete, and the store is flushed
 // atomically. A clean shutdown returns nil.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	// The background writeback keeps dirty shards flushing (and
+	// evictable under a memory budget) between requests; the final
+	// Flush below still catches mutations after the last tick.
+	stopWB := func() {}
+	if s.db != nil && s.cfg.StoreWriteback >= 0 {
+		stopWB = s.db.StartWriteback(s.cfg.StoreWriteback)
+	}
 	hs := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -216,6 +234,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		}
 		<-errc // always http.ErrServerClosed after Shutdown
 	}
+	stopWB()
 	if s.db != nil {
 		if err := s.db.Flush(); err != nil && serveErr == nil {
 			serveErr = err
@@ -268,7 +287,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // snapshot assembles the full metrics document from the server's live
 // parts.
 func (s *Server) snapshot() Snapshot {
-	g := gauges{queue: s.queue, cache: s.cache, coll: s.coll}
+	g := gauges{queue: s.queue, cache: s.cache, coll: s.coll, db: s.db}
 	if s.coalescer != nil {
 		g.coalescer = s.coalescer
 	}

@@ -37,6 +37,8 @@ type (
 	BatchCounters = client.BatchCounters
 	// CollectorCounters reports generator memoization reuse.
 	CollectorCounters = client.CollectorCounters
+	// StoreShardStats is the run store's shard accounting.
+	StoreShardStats = client.StoreShardStats
 	// AnalysisCounters groups pipeline-execution outcomes.
 	AnalysisCounters = client.AnalysisCounters
 	// StageHistogram is one stage's latency distribution.

@@ -1,0 +1,107 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// benchRecord is a put/get-sized record: 2 events + IPC, 64 intervals.
+func benchRecord(benchmark string, runID int) Record {
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = float64(runID + i)
+	}
+	return Record{
+		Meta:   RunMeta{Benchmark: benchmark, RunID: runID, Mode: "MLPX"},
+		IPC:    vals,
+		Series: map[string][]float64{"A.EVENT": vals, "B.EVENT": vals},
+	}
+}
+
+// BenchmarkStorePutGetMixed measures a concurrent mixed workload — each
+// worker hammers its own benchmark (its own shard) with a Put followed
+// by three Gets. With per-shard locks, throughput scales with workers
+// instead of serialising on one store lock.
+func BenchmarkStorePutGetMixed(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			db, err := Open("")
+			if err != nil {
+				b.Fatal(err)
+			}
+			recs := make([]Record, workers)
+			for w := range recs {
+				recs[w] = benchRecord(fmt.Sprintf("bench-%d", w), 1)
+				if err := db.Put(recs[w]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N/workers + 1
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					bench := fmt.Sprintf("bench-%d", w)
+					for i := 0; i < per; i++ {
+						if i%4 == 0 {
+							db.Put(recs[w])
+						} else {
+							db.Get(bench, 1, "MLPX")
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// benchFlushStore builds a flushed on-disk store of `shards` benchmarks.
+func benchFlushStore(b *testing.B, shards int) *DB {
+	b.Helper()
+	db, err := Open(filepath.Join(b.TempDir(), "runs.db"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for s := 0; s < shards; s++ {
+		if err := db.Put(benchRecord(fmt.Sprintf("bench-%d", s), 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkStoreFlushDirtyShard: incremental flush cost with 1 of 64
+// shards dirty — O(dirty), not O(catalog).
+func BenchmarkStoreFlushDirtyShard(b *testing.B) {
+	db := benchFlushStore(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Put(benchRecord("bench-0", 1))
+		if err := db.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreFlushFullCatalog: the same flush with every shard dirty
+// — the old full-rewrite cost, for comparison.
+func BenchmarkStoreFlushFullCatalog(b *testing.B) {
+	db := benchFlushStore(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 64; s++ {
+			db.Put(benchRecord(fmt.Sprintf("bench-%d", s), 1))
+		}
+		if err := db.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -19,31 +19,30 @@ type BenchmarkSummary struct {
 }
 
 // Benchmarks returns one summary per stored benchmark, sorted by name.
-// It reads only the first-level table, so it stays cheap however large
-// the stored series grow.
+// It reads only each shard's first-level index — no shard is loaded —
+// so it stays cheap however large the stored series grow.
 func (db *DB) Benchmarks() []BenchmarkSummary {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	byName := make(map[string]*BenchmarkSummary)
-	events := make(map[string]map[string]bool)
-	for _, m := range db.firstLevel {
-		s, ok := byName[m.Benchmark]
-		if !ok {
-			s = &BenchmarkSummary{Benchmark: m.Benchmark, ByMode: make(map[string]int)}
-			byName[m.Benchmark] = s
-			events[m.Benchmark] = make(map[string]bool)
+	shards := db.snapshotShards()
+	out := make([]BenchmarkSummary, 0, len(shards))
+	for _, sh := range shards {
+		sh.mu.RLock()
+		if len(sh.metas) == 0 {
+			sh.mu.RUnlock()
+			continue
 		}
-		s.Runs++
-		s.Intervals += m.Intervals
-		s.ByMode[m.Mode]++
-		for _, ev := range m.Events {
-			events[m.Benchmark][ev] = true
+		s := BenchmarkSummary{Benchmark: sh.bench, ByMode: make(map[string]int)}
+		events := make(map[string]bool)
+		for _, m := range sh.metas {
+			s.Runs++
+			s.Intervals += m.Intervals
+			s.ByMode[m.Mode]++
+			for _, ev := range m.Events {
+				events[ev] = true
+			}
 		}
-	}
-	out := make([]BenchmarkSummary, 0, len(byName))
-	for name, s := range byName {
-		s.Events = len(events[name])
-		out = append(out, *s)
+		sh.mu.RUnlock()
+		s.Events = len(events)
+		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Benchmark < out[j].Benchmark })
 	return out

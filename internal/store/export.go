@@ -106,20 +106,22 @@ type Stats struct {
 	ByMode map[string]int
 }
 
-// Summarize computes store-wide statistics.
+// Summarize computes store-wide statistics. Sample counts come from
+// each shard's maintained accounting (persisted in the shard index),
+// so summarising never forces a lazy load.
 func (db *DB) Summarize() Stats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	s := Stats{ByMode: make(map[string]int), SkippedRecords: db.skipped}
-	benches := map[string]bool{}
-	for _, m := range db.firstLevel {
-		s.Runs++
-		benches[m.Benchmark] = true
-		s.ByMode[m.Mode]++
-		for _, series := range db.secondLevel[m.SeriesTable] {
-			s.Samples += len(series)
+	s := Stats{ByMode: make(map[string]int), SkippedRecords: db.Skipped()}
+	for _, sh := range db.snapshotShards() {
+		sh.mu.RLock()
+		if len(sh.metas) > 0 {
+			s.Benchmarks++
 		}
+		for _, m := range sh.metas {
+			s.Runs++
+			s.ByMode[m.Mode]++
+		}
+		s.Samples += int(sh.samples)
+		sh.mu.RUnlock()
 	}
-	s.Benchmarks = len(benches)
 	return s
 }

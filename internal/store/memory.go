@@ -1,0 +1,196 @@
+package store
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SetMemBudget bounds the bytes of second-level series data kept
+// resident across shards. When the budget is exceeded, clean shards are
+// evicted least-recently-used first and reload lazily on next touch
+// (dirty shards are never evicted — flush them, or run StartWriteback,
+// to make them evictable). A budget <= 0 (the default) is unlimited.
+//
+// The budget is a target, not a hard cap: the shard being served is
+// never evicted, and a working set of dirty shards can hold memory
+// until written back.
+func (db *DB) SetMemBudget(bytes int64) {
+	db.budget.Store(bytes)
+	db.maybeEvict(nil)
+}
+
+// MemBudget returns the current eviction budget (<= 0 = unlimited).
+func (db *DB) MemBudget() int64 { return db.budget.Load() }
+
+// touch marks the shard most-recently-used.
+func (db *DB) touch(s *shard) {
+	db.mu.Lock()
+	if s.elem == nil {
+		s.elem = db.lru.PushFront(s)
+	} else {
+		db.lru.MoveToFront(s.elem)
+	}
+	db.mu.Unlock()
+}
+
+// maybeEvict evicts clean shards, least-recently-used first, until the
+// resident series bytes fit the budget. keep, when non-nil, names the
+// shard just served — it is never evicted in this pass.
+func (db *DB) maybeEvict(keep *shard) {
+	budget := db.budget.Load()
+	if budget <= 0 || db.resident.Load() <= budget {
+		return
+	}
+	// Snapshot candidates oldest-first without holding db.mu across
+	// shard locks (lock order: shard.mu before db.mu).
+	db.mu.Lock()
+	candidates := make([]*shard, 0, db.lru.Len())
+	for e := db.lru.Back(); e != nil; e = e.Prev() {
+		candidates = append(candidates, e.Value.(*shard))
+	}
+	db.mu.Unlock()
+	for _, s := range candidates {
+		if db.resident.Load() <= budget {
+			return
+		}
+		if s == keep {
+			continue
+		}
+		s.mu.Lock()
+		if s.loaded && !s.dirty {
+			s.evict(db)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// ShardStats is the store's shard-level accounting, surfaced by
+// counterminerd's /metrics.
+type ShardStats struct {
+	// Shards counts the catalog's benchmarks; Loaded how many have
+	// their series resident; Dirty how many carry unflushed mutations.
+	Shards, Loaded, Dirty int
+	// ResidentBytes is the series payload held in memory;
+	// MemBudgetBytes the eviction target (0 = unlimited).
+	ResidentBytes, MemBudgetBytes int64
+	// Loads and Evictions count lazy shard loads and LRU evictions.
+	Loads, Evictions uint64
+	// WritebackFlushes counts shard files written by the background
+	// writeback goroutine; WritebackErrors its failed passes.
+	WritebackFlushes, WritebackErrors uint64
+	// SkippedRecords counts records dropped reading damaged files.
+	SkippedRecords int
+}
+
+// ShardStats reports the store's current shard accounting.
+func (db *DB) ShardStats() ShardStats {
+	st := ShardStats{
+		MemBudgetBytes:   db.budget.Load(),
+		ResidentBytes:    db.resident.Load(),
+		Loads:            db.loads.Load(),
+		Evictions:        db.evictions.Load(),
+		WritebackFlushes: db.writebacks.Load(),
+		WritebackErrors:  db.writebackErrs.Load(),
+		SkippedRecords:   int(db.skipped.Load()),
+	}
+	for _, s := range db.snapshotShards() {
+		st.Shards++
+		s.mu.RLock()
+		if s.loaded {
+			st.Loaded++
+		}
+		if s.dirty {
+			st.Dirty++
+		}
+		s.mu.RUnlock()
+	}
+	return st
+}
+
+// defaultWritebackInterval paces the background writeback goroutine
+// when StartWriteback is given a non-positive interval.
+const defaultWritebackInterval = 2 * time.Second
+
+// StartWriteback launches a background goroutine that flushes dirty
+// shards every interval (incrementally — clean shards are never
+// rewritten) and then evicts down to the memory budget, so a daemon's
+// steady mutation load keeps shards evictable instead of pinning them
+// dirty in memory. The returned stop function halts the goroutine and
+// waits for an in-progress pass; it is idempotent. Callers still run a
+// final Flush at shutdown for the mutations after the last tick.
+// StartWriteback on an in-memory store is a no-op.
+func (db *DB) StartWriteback(interval time.Duration) (stop func()) {
+	if db.path == "" {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = defaultWritebackInterval
+	}
+	stopc := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopc:
+				return
+			case <-t.C:
+				n, err := db.flush()
+				db.writebacks.Add(uint64(n))
+				if err != nil {
+					db.writebackErrs.Add(1)
+				}
+				db.maybeEvict(nil)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stopc)
+			<-done
+		})
+	}
+}
+
+// ParseByteSize parses a human-readable byte size: a plain integer is
+// bytes, and the suffixes KB/MB/GB (decimal) and KiB/MiB/GiB (binary,
+// also accepted as K/M/G) scale it. Parsing is case-insensitive and a
+// fractional value like "1.5GiB" is allowed. Used by counterminerd's
+// -store-mem flag.
+func ParseByteSize(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	if t == "" {
+		return 0, fmt.Errorf("store: empty byte size")
+	}
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "kib"), strings.HasSuffix(t, "k"):
+		mult = 1 << 10
+	case strings.HasSuffix(t, "mib"), strings.HasSuffix(t, "m"):
+		mult = 1 << 20
+	case strings.HasSuffix(t, "gib"), strings.HasSuffix(t, "g"):
+		mult = 1 << 30
+	case strings.HasSuffix(t, "kb"):
+		mult = 1000
+	case strings.HasSuffix(t, "mb"):
+		mult = 1000 * 1000
+	case strings.HasSuffix(t, "gb"):
+		mult = 1000 * 1000 * 1000
+	}
+	num := strings.TrimRight(t, "kmgib")
+	num = strings.TrimSpace(num)
+	if num == "" {
+		return 0, fmt.Errorf("store: invalid byte size %q", s)
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("store: invalid byte size %q", s)
+	}
+	return int64(f * float64(mult)), nil
+}

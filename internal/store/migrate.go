@@ -1,0 +1,218 @@
+package store
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// legacyBackupSuffix names the crash-recovery backup of a single-file
+// store while it is being migrated to the sharded layout. If a crash
+// lands between the two migration renames, Open finds the backup and
+// restores it; once the sharded directory exists the backup is stale
+// and removed.
+const legacyBackupSuffix = ".v2.bak"
+
+// openLegacyFile loads a v1/v2 single-file store completely into
+// per-benchmark shards. Every shard is marked dirty so the first Flush
+// migrates the store to the sharded directory layout.
+func (db *DB) openLegacyFile() error {
+	f, err := os.Open(db.path)
+	if err != nil {
+		return fmt.Errorf("store: open: %w", err)
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	var img persisted
+	if err := dec.Decode(&img); err != nil {
+		return fmt.Errorf("store: decode %s: %w", db.path, err)
+	}
+	switch img.Version {
+	case 1:
+		db.loadLegacyBlob(img)
+	case formatVersion:
+		db.loadLegacyStream(dec)
+	default:
+		return fmt.Errorf("store: %s has format version %d, want <= %d", db.path, img.Version, formatVersion)
+	}
+	db.legacy = true
+	return nil
+}
+
+// loadLegacyBlob imports a version-1 single-blob image, skipping
+// records whose two levels are inconsistent.
+func (db *DB) loadLegacyBlob(img persisted) {
+	for k, meta := range img.FirstLevel {
+		series, ok := img.SecondLevel[meta.SeriesTable]
+		if !ok || !validMeta(meta) {
+			db.skipped.Add(1)
+			continue
+		}
+		db.adoptLegacy(k, meta, series)
+	}
+}
+
+// loadLegacyStream imports version-2 records until the stream ends. A
+// decode error (corruption or truncation) ends the load — a gob stream
+// cannot be resynchronised — with everything already read retained and
+// the broken tail counted as skipped.
+func (db *DB) loadLegacyStream(dec *gob.Decoder) {
+	for {
+		var dr diskRecord
+		if err := dec.Decode(&dr); err != nil {
+			if !errors.Is(err, io.EOF) {
+				db.skipped.Add(1)
+			}
+			return
+		}
+		if dr.Key == "" || len(dr.Series) == 0 || !validMeta(dr.Meta) ||
+			dr.Key != key(dr.Meta.Benchmark, dr.Meta.RunID, dr.Meta.Mode) {
+			db.skipped.Add(1)
+			continue
+		}
+		table := make(map[string][]float64, len(dr.Series))
+		for _, ds := range dr.Series {
+			table[ds.Event] = ds.Values
+		}
+		db.adoptLegacy(dr.Key, dr.Meta, table)
+	}
+}
+
+// adoptLegacy places one legacy record into its benchmark's shard.
+// Open runs single-goroutine, so no locks are held.
+func (db *DB) adoptLegacy(k string, meta RunMeta, series map[string][]float64) {
+	s := db.shards[meta.Benchmark]
+	if s == nil {
+		s = newShard(meta.Benchmark, true)
+		s.dirty = true
+		db.shards[meta.Benchmark] = s
+	}
+	s.metas[k] = meta
+	s.series[meta.SeriesTable] = series
+	var n int64
+	for _, vals := range series {
+		n += int64(len(vals))
+	}
+	s.samples += n
+	db.resident.Add(n * bytesPerSample)
+}
+
+// NeedsMigration reports whether the store was opened from a legacy
+// single-file image and is still waiting for the Flush that converts
+// it to the sharded directory layout.
+func (db *DB) NeedsMigration() bool {
+	db.flushMu.Lock()
+	defer db.flushMu.Unlock()
+	return db.legacy
+}
+
+// migrate converts a legacy single-file store into the sharded
+// directory layout: every shard is written into a temporary directory,
+// the original file is parked under a backup name, the directory is
+// renamed into place, and only then is the backup removed. A crash at
+// any point leaves either the original file (possibly under the backup
+// name, which Open recovers) or the completed directory — never
+// neither. The caller holds flushMu.
+func (db *DB) migrate() (int, error) {
+	shards := db.snapshotShards()
+	tmp, err := os.MkdirTemp(filepath.Dir(db.path), ".cmdb-mig-*")
+	if err != nil {
+		return 0, fmt.Errorf("store: migrate: %w", err)
+	}
+	written := 0
+	for _, s := range shards {
+		s.mu.Lock()
+		err := func() error {
+			if len(s.metas) == 0 {
+				s.dirty = false
+				return nil
+			}
+			if db.failFlush != nil {
+				if err := db.failFlush(s.bench); err != nil {
+					return fmt.Errorf("store: migrate shard %s: %w", s.bench, err)
+				}
+			}
+			f, err := os.Create(filepath.Join(tmp, shardFileName(s.bench)))
+			if err != nil {
+				return fmt.Errorf("store: migrate: %w", err)
+			}
+			if err := s.encodeTo(f); err != nil {
+				f.Close()
+				return fmt.Errorf("store: migrate shard %s: %w", s.bench, err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("store: migrate: %w", err)
+			}
+			// Mutations that land after this point re-dirty the shard
+			// and flush through the ordinary incremental path; until
+			// the directory rename succeeds, legacy stays true and a
+			// retry rewrites every shard regardless of dirty flags.
+			s.dirty = false
+			written++
+			return nil
+		}()
+		s.mu.Unlock()
+		if err != nil {
+			os.RemoveAll(tmp)
+			return 0, err
+		}
+	}
+	bak := db.path + legacyBackupSuffix
+	if err := os.Rename(db.path, bak); err != nil {
+		os.RemoveAll(tmp)
+		return 0, fmt.Errorf("store: migrate: %w", err)
+	}
+	if err := os.Rename(tmp, db.path); err != nil {
+		// Best effort: put the original back so the store stays
+		// openable in its legacy form.
+		os.Rename(bak, db.path)
+		os.RemoveAll(tmp)
+		return 0, fmt.Errorf("store: migrate: %w", err)
+	}
+	os.Remove(bak)
+	for _, s := range shards {
+		s.mu.RLock()
+		empty := len(s.metas) == 0 && !s.dirty
+		s.mu.RUnlock()
+		if empty {
+			db.dropShard(s)
+		}
+	}
+	db.legacy = false
+	return written, nil
+}
+
+// Compact rewrites the whole store: every shard is loaded, marked
+// dirty, and flushed — dropping damaged tails discovered at load,
+// deleting empty shards' files, and migrating a legacy single-file
+// store. Stale temp files from interrupted flushes are cleaned up. It
+// returns the number of shard files written (or removed) and is an
+// error for in-memory stores.
+func (db *DB) Compact() (int, error) {
+	if db.path == "" {
+		return 0, errors.New("store: in-memory store cannot be compacted")
+	}
+	for _, s := range db.snapshotShards() {
+		s.mu.Lock()
+		s.load(db)
+		s.dirty = true
+		s.mu.Unlock()
+	}
+	n, err := db.flush()
+	if err != nil {
+		return n, err
+	}
+	// Remove temp files abandoned by interrupted flushes.
+	if entries, err := os.ReadDir(db.path); err == nil {
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), ".cmdb-") {
+				os.RemoveAll(filepath.Join(db.path, e.Name()))
+			}
+		}
+	}
+	return n, nil
+}

@@ -40,20 +40,49 @@ func flushedStore(t *testing.T, n int) string {
 	return path
 }
 
+// shardFile returns the store's single shard file (the tests above
+// store one benchmark).
+func shardFile(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == shardSuffix {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(out) != 1 {
+		t.Fatalf("store dir holds %d shard files, want 1: %v", len(out), out)
+	}
+	return out[0]
+}
+
+// TestOpenTruncatedFileSkipsTail: damage inside a shard's series stream
+// loses only the records at the damaged tail. The first level (the
+// shard index at the file's head) survives, so the loss is discovered —
+// and counted — when the shard's series are first touched.
 func TestOpenTruncatedFileSkipsTail(t *testing.T) {
 	path := flushedStore(t, 3)
-	raw, err := os.ReadFile(path)
+	file := shardFile(t, path)
+	raw, err := os.ReadFile(file)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Cut into the last record: everything before it must survive.
-	if err := os.WriteFile(path, raw[:len(raw)-40], 0o644); err != nil {
+	if err := os.WriteFile(file, raw[:len(raw)-40], 0o644); err != nil {
 		t.Fatal(err)
 	}
 
 	db, err := Open(path)
 	if err != nil {
-		t.Fatalf("truncated file failed to open: %v", err)
+		t.Fatalf("store with truncated shard failed to open: %v", err)
+	}
+	// Touch the shard: the damaged tail record is dropped and counted.
+	if _, ok := db.Get("wordcount", 3, "MLPX"); ok {
+		t.Error("truncated record reported found")
 	}
 	if db.Len() != 2 {
 		t.Errorf("Len = %d, want 2 surviving records", db.Len())
@@ -73,9 +102,11 @@ func TestOpenTruncatedFileSkipsTail(t *testing.T) {
 	}
 }
 
+// TestOpenGarbageTailSkips: garbage appended after the last intact
+// record loses nothing — every indexed record still has its series.
 func TestOpenGarbageTailSkips(t *testing.T) {
 	path := flushedStore(t, 2)
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	f, err := os.OpenFile(shardFile(t, path), os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,13 +117,53 @@ func TestOpenGarbageTailSkips(t *testing.T) {
 
 	db, err := Open(path)
 	if err != nil {
-		t.Fatalf("file with garbage tail failed to open: %v", err)
+		t.Fatalf("store with garbage shard tail failed to open: %v", err)
+	}
+	for runID := 1; runID <= 2; runID++ {
+		if _, ok := db.Get("wordcount", runID, "MLPX"); !ok {
+			t.Fatalf("run %d missing", runID)
+		}
 	}
 	if db.Len() != 2 {
 		t.Errorf("Len = %d, want 2", db.Len())
 	}
-	if db.Skipped() != 1 {
-		t.Errorf("Skipped = %d, want 1", db.Skipped())
+	if db.Skipped() != 0 {
+		t.Errorf("Skipped = %d, want 0 (all records survived)", db.Skipped())
+	}
+}
+
+// TestOpenCorruptShardIndexSkipsShard: a shard whose head (header or
+// index) is destroyed loses that shard only — the rest of the catalog
+// opens normally.
+func TestOpenCorruptShardIndexSkipsShard(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.db")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put(bigRecord("wordcount", 1))
+	db.Put(bigRecord("pagerank", 1))
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(path, shardFileName("pagerank"))
+	if err := os.WriteFile(victim, []byte("not a shard at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatalf("store with one corrupt shard failed to open: %v", err)
+	}
+	if re.Skipped() != 1 {
+		t.Errorf("Skipped = %d, want 1 (the destroyed shard)", re.Skipped())
+	}
+	if _, ok := re.Get("pagerank", 1, "MLPX"); ok {
+		t.Error("destroyed shard's record reported found")
+	}
+	rec, ok := re.Get("wordcount", 1, "MLPX")
+	if !ok || len(rec.Series["A.EVENT"]) != 300 {
+		t.Errorf("healthy shard damaged by neighbour corruption: ok=%v", ok)
 	}
 }
 
@@ -101,24 +172,34 @@ func TestOpenHealthyFileSkipsNothing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if db.Len() != 3 || db.Skipped() != 0 {
-		t.Errorf("Len = %d, Skipped = %d; want 3, 0", db.Len(), db.Skipped())
+	if n := db.Len(); n != 3 {
+		t.Errorf("Len = %d, want 3", n)
+	}
+	for runID := 1; runID <= 3; runID++ {
+		if _, ok := db.Get("wordcount", runID, "MLPX"); !ok {
+			t.Fatalf("run %d missing", runID)
+		}
+	}
+	if db.Skipped() != 0 {
+		t.Errorf("Skipped = %d, want 0", db.Skipped())
 	}
 }
 
 func TestStatsReportSkippedRecords(t *testing.T) {
 	path := flushedStore(t, 3)
-	raw, err := os.ReadFile(path)
+	file := shardFile(t, path)
+	raw, err := os.ReadFile(file)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(path, raw[:len(raw)-40], 0o644); err != nil {
+	if err := os.WriteFile(file, raw[:len(raw)-40], 0o644); err != nil {
 		t.Fatal(err)
 	}
 	db, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
+	db.Get("wordcount", 1, "MLPX") // load the shard, surfacing the damage
 	if got := db.Summarize().SkippedRecords; got != 1 {
 		t.Errorf("Stats.SkippedRecords = %d, want 1", got)
 	}
@@ -194,13 +275,13 @@ func TestOpenFutureVersionErrors(t *testing.T) {
 }
 
 // TestFlushDeterministic: flushing the same contents twice produces
-// byte-identical files (records are written in sorted key order).
+// byte-identical shard files (records are written in sorted key order).
 func TestFlushDeterministic(t *testing.T) {
-	a, err := os.ReadFile(flushedStore(t, 3))
+	a, err := os.ReadFile(shardFile(t, flushedStore(t, 3)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := os.ReadFile(flushedStore(t, 3))
+	b, err := os.ReadFile(shardFile(t, flushedStore(t, 3)))
 	if err != nil {
 		t.Fatal(err)
 	}

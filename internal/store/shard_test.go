@@ -1,0 +1,746 @@
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mediumRecord is a record with two event series plus IPC, sized so a
+// few of them dominate a shard's byte budget.
+func mediumRecord(benchmark string, runID int) Record {
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = float64(runID*1000 + i)
+	}
+	return Record{
+		Meta:   RunMeta{Benchmark: benchmark, RunID: runID, Mode: "MLPX"},
+		IPC:    vals,
+		Series: map[string][]float64{"A.EVENT": vals, "B.EVENT": vals},
+	}
+}
+
+// shardedStore builds and flushes a store holding one run per named
+// benchmark.
+func shardedStore(t *testing.T, benches ...string) (string, *DB) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "runs.db")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range benches {
+		if err := db.Put(mediumRecord(bench, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path, db
+}
+
+func TestShardedLayoutOneFilePerBenchmark(t *testing.T) {
+	path, _ := shardedStore(t, "wordcount", "pagerank", "terasort")
+	for _, bench := range []string{"wordcount", "pagerank", "terasort"} {
+		file := filepath.Join(path, shardFileName(bench))
+		if _, err := os.Stat(file); err != nil {
+			t.Errorf("shard file for %s missing: %v", bench, err)
+		}
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Errorf("store dir holds %d entries, want 3 shard files", len(entries))
+	}
+}
+
+func TestShardFileNameDistinct(t *testing.T) {
+	names := []string{"sort", "Sort", "so/rt", "so%2Frt", "sort.", ".sort", "日本"}
+	seen := map[string]string{}
+	for _, n := range names {
+		f := shardFileName(n)
+		if prev, dup := seen[f]; dup {
+			t.Errorf("benchmarks %q and %q map to the same shard file %q", prev, n, f)
+		}
+		seen[f] = n
+		if filepath.Base(f) != f || f == "" || f[0] == '.' {
+			t.Errorf("shard file %q for %q is not a plain visible file name", f, n)
+		}
+	}
+}
+
+func TestShardLazyLoadOnFirstTouch(t *testing.T) {
+	path, _ := shardedStore(t, "alpha", "beta")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Catalog reads touch only the first level.
+	if n := db.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+	if got := len(db.Benchmarks()); got != 2 {
+		t.Fatalf("Benchmarks = %d entries, want 2", got)
+	}
+	if s := db.Summarize(); s.Samples != 2*3*200 {
+		t.Errorf("Summarize().Samples = %d, want %d without loading", s.Samples, 2*3*200)
+	}
+	if st := db.ShardStats(); st.Loads != 0 || st.Loaded != 0 {
+		t.Fatalf("catalog reads loaded shards: %+v", st)
+	}
+	// First Get loads exactly the touched shard.
+	rec, ok := db.Get("alpha", 1, "MLPX")
+	if !ok || len(rec.Series["A.EVENT"]) != 200 {
+		t.Fatalf("Get after lazy load: ok=%v rec=%+v", ok, rec.Meta)
+	}
+	st := db.ShardStats()
+	if st.Loads != 1 || st.Loaded != 1 {
+		t.Errorf("after one Get: Loads=%d Loaded=%d, want 1/1", st.Loads, st.Loaded)
+	}
+	if st.ResidentBytes != 3*200*bytesPerSample {
+		t.Errorf("ResidentBytes = %d, want %d", st.ResidentBytes, 3*200*bytesPerSample)
+	}
+}
+
+func TestListBenchmarkReadsOneShardOnly(t *testing.T) {
+	path, _ := shardedStore(t, "alpha", "beta")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := db.ListBenchmark("alpha")
+	if len(rows) != 1 || rows[0].Benchmark != "alpha" {
+		t.Fatalf("ListBenchmark(alpha) = %+v", rows)
+	}
+	if st := db.ShardStats(); st.Loads != 0 {
+		t.Errorf("ListBenchmark loaded %d shards, want 0 (first level only)", st.Loads)
+	}
+	if rows := db.ListBenchmark("nope"); rows != nil {
+		t.Errorf("ListBenchmark(nope) = %+v, want nil", rows)
+	}
+}
+
+func TestShardEvictionUnderMemBudget(t *testing.T) {
+	path, _ := shardedStore(t, "alpha", "beta", "gamma")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardBytes := int64(3 * 200 * bytesPerSample) // 3 series × 200 values
+	db.SetMemBudget(shardBytes + shardBytes/2)    // room for one shard only
+
+	for _, bench := range []string{"alpha", "beta", "gamma", "alpha", "beta"} {
+		rec, ok := db.Get(bench, 1, "MLPX")
+		if !ok || len(rec.Series["A.EVENT"]) != 200 {
+			t.Fatalf("Get(%s) under budget: ok=%v", bench, ok)
+		}
+	}
+	st := db.ShardStats()
+	if st.Evictions == 0 {
+		t.Error("no evictions under a one-shard budget")
+	}
+	if st.Loads < 4 {
+		t.Errorf("Loads = %d, want reloads after eviction (>= 4)", st.Loads)
+	}
+	if st.ResidentBytes > db.MemBudget() {
+		t.Errorf("ResidentBytes %d exceeds budget %d after eviction pass", st.ResidentBytes, db.MemBudget())
+	}
+	if db.Skipped() != 0 {
+		t.Errorf("Skipped = %d after evict/reload cycles, want 0", db.Skipped())
+	}
+}
+
+func TestShardEvictionSkipsDirty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.db")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetMemBudget(1) // everything over budget
+	if err := db.Put(mediumRecord("alpha", 1)); err != nil {
+		t.Fatal(err)
+	}
+	st := db.ShardStats()
+	if st.Dirty != 1 || st.Loaded != 1 || st.Evictions != 0 {
+		t.Fatalf("dirty shard evicted: %+v", st)
+	}
+	// Flushing cleans the shard; the next eviction pass may drop it.
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	db.SetMemBudget(1)
+	st = db.ShardStats()
+	if st.Evictions != 1 || st.Loaded != 0 || st.ResidentBytes != 0 {
+		t.Fatalf("clean shard not evicted: %+v", st)
+	}
+	// And the data still comes back.
+	if _, ok := db.Get("alpha", 1, "MLPX"); !ok {
+		t.Error("record lost across eviction")
+	}
+}
+
+func TestShardWritebackFlushesDirtyDuringIdle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.db")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := db.StartWriteback(5 * time.Millisecond)
+	defer stop()
+	if err := db.Put(mediumRecord("alpha", 1)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := db.ShardStats()
+		if st.Dirty == 0 && st.WritebackFlushes > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("writeback never flushed the dirty shard: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := re.Get("alpha", 1, "MLPX"); !ok {
+		t.Error("written-back record missing after reopen")
+	}
+}
+
+// TestShardFlushWritesOnlyDirtyShards: an incremental flush touches
+// O(dirty), not O(catalog).
+func TestShardFlushWritesOnlyDirtyShards(t *testing.T) {
+	_, db := shardedStore(t, "alpha", "beta", "gamma")
+	var wrote []string
+	db.failFlush = func(bench string) error {
+		wrote = append(wrote, bench)
+		return nil
+	}
+	if err := db.Put(mediumRecord("beta", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wrote, []string{"beta"}) {
+		t.Errorf("flush wrote shards %v, want [beta] only", wrote)
+	}
+	// A clean store flushes nothing at all.
+	wrote = nil
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(wrote) != 0 {
+		t.Errorf("no-op flush wrote %v", wrote)
+	}
+}
+
+// TestShardFlushInjectedIOErrorIsolation: an I/O failure mid
+// multi-shard flush leaves every untouched shard's file intact and the
+// store reopenable; retrying after the fault clears finishes the job.
+func TestShardFlushInjectedIOErrorIsolation(t *testing.T) {
+	path, db := shardedStore(t, "alpha", "beta", "gamma")
+	before := map[string][]byte{}
+	for _, bench := range []string{"alpha", "beta", "gamma"} {
+		raw, err := os.ReadFile(filepath.Join(path, shardFileName(bench)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[bench] = raw
+	}
+	// Dirty all three, then fail the middle one (flush walks shards in
+	// benchmark order: alpha, beta, gamma).
+	for _, bench := range []string{"alpha", "beta", "gamma"} {
+		if err := db.Put(mediumRecord(bench, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	injected := errors.New("disk on fire")
+	db.failFlush = func(bench string) error {
+		if bench == "beta" {
+			return injected
+		}
+		return nil
+	}
+	if err := db.Flush(); !errors.Is(err, injected) {
+		t.Fatalf("Flush error = %v, want injected fault", err)
+	}
+	// alpha was rewritten; beta and gamma keep their previous bytes.
+	for bench, wantChanged := range map[string]bool{"alpha": true, "beta": false, "gamma": false} {
+		raw, err := os.ReadFile(filepath.Join(path, shardFileName(bench)))
+		if err != nil {
+			t.Fatalf("shard %s unreadable after failed flush: %v", bench, err)
+		}
+		if changed := !bytes.Equal(raw, before[bench]); changed != wantChanged {
+			t.Errorf("shard %s changed=%v, want %v", bench, changed, wantChanged)
+		}
+	}
+	// The store reopens: untouched shards serve their old contents.
+	re, err := Open(path)
+	if err != nil {
+		t.Fatalf("store unreadable after failed flush: %v", err)
+	}
+	if n := re.Len(); n != 4 { // alpha has runs 1+2; beta/gamma still run 1
+		t.Errorf("reopened Len = %d, want 4", n)
+	}
+	if re.Skipped() != 0 {
+		t.Errorf("Skipped = %d, want 0", re.Skipped())
+	}
+	// Clearing the fault and retrying completes the flush.
+	db.failFlush = nil
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := re2.Len(); n != 6 {
+		t.Errorf("Len after retried flush = %d, want 6", n)
+	}
+}
+
+// writeV2File writes a legacy version-2 single-file store holding the
+// given records, canonicalised exactly as Put would store them.
+func writeV2File(t *testing.T, path string, recs []Record) {
+	t.Helper()
+	byKey := map[string]diskRecord{}
+	for _, rec := range recs {
+		k := key(rec.Meta.Benchmark, rec.Meta.RunID, rec.Meta.Mode)
+		meta := rec.Meta
+		meta.SeriesTable = "series/" + k
+		meta.Events = nil
+		for ev := range rec.Series {
+			meta.Events = append(meta.Events, ev)
+		}
+		sort.Strings(meta.Events)
+		if meta.Intervals == 0 {
+			meta.Intervals = len(rec.IPC)
+		}
+		events := append([]string(nil), meta.Events...)
+		if rec.IPC != nil {
+			events = append(events, ipcColumn)
+			sort.Strings(events)
+		}
+		series := make([]diskSeries, 0, len(events))
+		for _, ev := range events {
+			vals := rec.Series[ev]
+			if ev == ipcColumn {
+				vals = rec.IPC
+			}
+			series = append(series, diskSeries{Event: ev, Values: vals})
+		}
+		byKey[k] = diskRecord{Key: k, Meta: meta, Series: series}
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(&persisted{Version: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		dr := byKey[k]
+		if err := enc.Encode(&dr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMigrateV2SingleFile: a v2 single-file store opens, migrates on
+// first flush, and reopens intact — and the migrated shard files are
+// byte-identical to the ones a fresh store produces from the same
+// records.
+func TestMigrateV2SingleFile(t *testing.T) {
+	recs := []Record{
+		mediumRecord("wordcount", 1), mediumRecord("wordcount", 2),
+		mediumRecord("pagerank", 1),
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "runs.db")
+	writeV2File(t, path, recs)
+
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.NeedsMigration() {
+		t.Fatal("v2 single file not flagged for migration")
+	}
+	if db.Len() != 3 || db.Skipped() != 0 {
+		t.Fatalf("legacy open: Len=%d Skipped=%d", db.Len(), db.Skipped())
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatalf("migration flush: %v", err)
+	}
+	if db.NeedsMigration() {
+		t.Error("store still flagged for migration after flush")
+	}
+	fi, err := os.Stat(path)
+	if err != nil || !fi.IsDir() {
+		t.Fatalf("store path is not a directory after migration: %v", err)
+	}
+	if _, err := os.Stat(path + legacyBackupSuffix); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("migration backup left behind: %v", err)
+	}
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		got, ok := re.Get(rec.Meta.Benchmark, rec.Meta.RunID, rec.Meta.Mode)
+		if !ok {
+			t.Fatalf("record %s/%d missing after migration", rec.Meta.Benchmark, rec.Meta.RunID)
+		}
+		if !reflect.DeepEqual(got.Series, rec.Series) || !reflect.DeepEqual(got.IPC, rec.IPC) {
+			t.Errorf("record %s/%d damaged by migration", rec.Meta.Benchmark, rec.Meta.RunID)
+		}
+	}
+	if re.Skipped() != 0 {
+		t.Errorf("Skipped = %d after migration reopen, want 0", re.Skipped())
+	}
+
+	// Bit-identical round trip: a fresh sharded store built from the
+	// same records produces the same shard files.
+	fresh := filepath.Join(dir, "fresh.db")
+	fdb, err := Open(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := fdb.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fdb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range []string{"wordcount", "pagerank"} {
+		migrated, err := os.ReadFile(filepath.Join(path, shardFileName(bench)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := os.ReadFile(filepath.Join(fresh, shardFileName(bench)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(migrated, direct) {
+			t.Errorf("migrated shard %s differs from a directly-built one", bench)
+		}
+	}
+}
+
+// TestMigrateCrashRecovery: a crash between the migration's two renames
+// leaves the original file under the backup name; Open recovers it.
+func TestMigrateCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "runs.db")
+	writeV2File(t, path, []Record{mediumRecord("wordcount", 1)})
+	// Simulate the crash window: original parked, directory not yet in
+	// place.
+	if err := os.Rename(path, path+legacyBackupSuffix); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := Open(path)
+	if err != nil {
+		t.Fatalf("open after simulated crash: %v", err)
+	}
+	if _, ok := db.Get("wordcount", 1, "MLPX"); !ok {
+		t.Fatal("record lost in crash window")
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := re.Get("wordcount", 1, "MLPX"); !ok {
+		t.Error("record lost after recovered migration")
+	}
+}
+
+// TestMigrateInjectedErrorLeavesOriginal: a fault while writing the
+// migration directory leaves the legacy file byte-for-byte untouched.
+func TestMigrateInjectedErrorLeavesOriginal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "runs.db")
+	writeV2File(t, path, []Record{mediumRecord("wordcount", 1), mediumRecord("pagerank", 1)})
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("disk on fire")
+	db.failFlush = func(bench string) error { return injected }
+	if err := db.Flush(); !errors.Is(err, injected) {
+		t.Fatalf("Flush error = %v, want injected fault", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("legacy file gone after failed migration: %v", err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("failed migration modified the legacy file")
+	}
+	// Retry without the fault succeeds.
+	db.failFlush = nil
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || !fi.IsDir() {
+		t.Errorf("store not migrated on retry: %v", err)
+	}
+}
+
+// TestShardDeterministicAcrossWorkers: concurrent Put traffic at any
+// worker count flushes to bit-identical shard files.
+func TestShardDeterministicAcrossWorkers(t *testing.T) {
+	benches := []string{"alpha", "beta", "gamma", "delta"}
+	type job struct {
+		bench string
+		run   int
+	}
+	var jobs []job
+	for _, bench := range benches {
+		for run := 1; run <= 8; run++ {
+			jobs = append(jobs, job{bench, run})
+		}
+	}
+	dump := func(workers int) map[string][]byte {
+		path := filepath.Join(t.TempDir(), "runs.db")
+		db, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(jobs); i += workers {
+					if err := db.Put(mediumRecord(jobs[i].bench, jobs[i].run)); err != nil {
+						t.Error(err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		out := map[string][]byte{}
+		for _, bench := range benches {
+			raw, err := os.ReadFile(filepath.Join(path, shardFileName(bench)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[bench] = raw
+		}
+		return out
+	}
+	base := dump(1)
+	for _, workers := range []int{2, 8} {
+		got := dump(workers)
+		for _, bench := range benches {
+			if !bytes.Equal(base[bench], got[bench]) {
+				t.Errorf("shard %s bytes differ between workers=1 and workers=%d", bench, workers)
+			}
+		}
+	}
+}
+
+func TestShardDeleteEmptyShardRemovesFile(t *testing.T) {
+	path, db := shardedStore(t, "alpha", "beta")
+	if !db.Delete("alpha", 1, "MLPX") {
+		t.Fatal("Delete returned false")
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(path, shardFileName("alpha"))); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("empty shard's file still on disk: %v", err)
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 1 {
+		t.Errorf("Len = %d after deleting alpha, want 1", re.Len())
+	}
+	if got := re.Benchmarks(); len(got) != 1 || got[0].Benchmark != "beta" {
+		t.Errorf("Benchmarks = %+v, want [beta]", got)
+	}
+}
+
+func TestCompactRewritesAndCleans(t *testing.T) {
+	path, _ := shardedStore(t, "alpha", "beta")
+	// Damage alpha's tail and drop a stale temp file in the dir.
+	file := filepath.Join(path, shardFileName("alpha"))
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(file, raw[:len(raw)-30], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(path, ".cmdb-stale123")
+	if err := os.WriteFile(stale, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("Compact wrote %d shards, want 2", n)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("stale temp file survived Compact: %v", err)
+	}
+	// The rewritten store is healthy: the damaged record is gone and a
+	// fresh open skips nothing.
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.Get("alpha", 1, "MLPX")
+	re.Get("beta", 1, "MLPX")
+	if re.Skipped() != 0 {
+		t.Errorf("Skipped = %d after Compact, want 0", re.Skipped())
+	}
+	if _, ok := re.Get("beta", 1, "MLPX"); !ok {
+		t.Error("healthy shard lost by Compact")
+	}
+
+	mem, _ := Open("")
+	if _, err := mem.Compact(); err == nil {
+		t.Error("Compact of in-memory store should error")
+	}
+}
+
+// TestShardChaosConcurrentEvictionWriteback hammers a budgeted store
+// with mixed concurrent traffic while the writeback goroutine runs,
+// then verifies nothing was lost. Primarily a race-detector workout.
+func TestShardChaosConcurrentEvictionWriteback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.db")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetMemBudget(3 * 200 * bytesPerSample * 2) // ~two shards resident
+	stop := db.StartWriteback(2 * time.Millisecond)
+	defer stop()
+
+	const workers, runs = 8, 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			bench := fmt.Sprintf("bench-%d", w%4)
+			for i := 1; i <= runs; i++ {
+				if err := db.Put(mediumRecord(bench, w*100+i)); err != nil {
+					t.Error(err)
+				}
+				db.Get(bench, w*100+i, "MLPX")
+				db.ListBenchmark(bench)
+				if i%5 == 0 {
+					db.Summarize()
+					db.ShardStats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stop()
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := re.Len(), workers*runs; got != want {
+		t.Errorf("Len = %d, want %d", got, want)
+	}
+	for w := 0; w < workers; w++ {
+		bench := fmt.Sprintf("bench-%d", w%4)
+		for i := 1; i <= runs; i++ {
+			if _, ok := re.Get(bench, w*100+i, "MLPX"); !ok {
+				t.Fatalf("record %s/%d lost", bench, w*100+i)
+			}
+		}
+	}
+	if re.Skipped() != 0 {
+		t.Errorf("Skipped = %d, want 0", re.Skipped())
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"0", 0, false},
+		{"123", 123, false},
+		{"64k", 64 << 10, false},
+		{"64KiB", 64 << 10, false},
+		{"100KB", 100_000, false},
+		{"1.5MiB", 3 << 19, false},
+		{"2m", 2 << 20, false},
+		{"256MB", 256_000_000, false},
+		{"1GiB", 1 << 30, false},
+		{"2gb", 2_000_000_000, false},
+		{" 8 MiB ", 8 << 20, false},
+		{"", 0, true},
+		{"x", 0, true},
+		{"-5", 0, true},
+		{"MiB", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseByteSize(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseByteSize(%q) error = %v, want error=%v", c.in, err, c.err)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseByteSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

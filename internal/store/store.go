@@ -6,19 +6,32 @@
 // series of each run. This package reproduces that organisation as an
 // embedded, file-backed store on the standard library.
 //
-// The store is safe for concurrent use. Mutations are in-memory until
-// Flush, which writes atomically (temp file + rename).
+// On disk the store is a directory with one file per benchmark shard.
+// Each shard carries its own first level (run metadata, read eagerly at
+// Open) and second level (the series, loaded lazily on first touch);
+// every shard is guarded by its own lock, so concurrent analyses of
+// different benchmarks never serialise on Put/Get/Flush. Flush rewrites
+// only dirty shards — each atomically (temp file + rename) and
+// byte-deterministically. With SetMemBudget the store is memory-bounded:
+// clean shards evict under an LRU byte budget and reload on demand, and
+// StartWriteback flushes dirty shards in the background so eviction can
+// keep up, letting one daemon host catalogs far larger than RAM.
+//
+// The single-file formats of earlier versions (v1 blob, v2 record
+// stream) still open; the first Flush migrates them to the sharded
+// layout, keeping a crash-recoverable backup of the original file until
+// the rename completes.
 package store
 
 import (
-	"encoding/gob"
+	"container/list"
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"counterminer/internal/timeseries"
 )
@@ -51,147 +64,119 @@ type Record struct {
 	Series map[string][]float64
 }
 
-// DB is the two-level store.
+// DB is the two-level store: a set of per-benchmark shards, each behind
+// its own lock. DB-level state (the shard map, the LRU list) is guarded
+// by mu; lock order is shard.mu before db.mu, and db.mu is never held
+// while acquiring a shard lock.
 type DB struct {
-	mu   sync.RWMutex
-	path string
-	// firstLevel indexes runs by key.
-	firstLevel map[string]RunMeta
-	// secondLevel maps a series-table name to its per-event series
-	// (IPC stored under the reserved name "__ipc__").
-	secondLevel map[string]map[string][]float64
-	// skipped counts records dropped while opening a damaged file.
-	skipped int
-	dirty   bool
+	path   string // store path; "" = purely in-memory
+	legacy bool   // opened from a single-file image; first Flush migrates
+
+	mu     sync.Mutex
+	shards map[string]*shard
+	lru    list.List // least-recently-used at the back; shard.elem guarded by mu
+
+	flushMu sync.Mutex // serialises Flush/writeback/migration
+
+	budget   atomic.Int64 // eviction byte budget; <= 0 means unlimited
+	resident atomic.Int64 // resident second-level bytes across loaded shards
+
+	loads         atomic.Uint64
+	evictions     atomic.Uint64
+	writebacks    atomic.Uint64
+	writebackErrs atomic.Uint64
+	skipped       atomic.Int64 // records dropped at open or lazy load
+
+	wbStop chan struct{}
+	wbDone chan struct{}
+
+	// failFlush, when set by tests, injects an I/O error before a shard
+	// file (or migration entry) for the named benchmark is written.
+	failFlush func(benchmark string) error
 }
 
 const ipcColumn = "__ipc__"
 
-// persisted is the on-disk header. Version 1 stored the whole database
-// in this one gob value; version 2 stores only the header here,
-// followed by a stream of independent diskRecord values, so a corrupt
-// or truncated tail loses individual records instead of the whole file.
-type persisted struct {
-	Version     int
-	FirstLevel  map[string]RunMeta
-	SecondLevel map[string]map[string][]float64
-}
-
-// diskRecord is one version-2 on-disk record. Series is a slice sorted
-// by event name rather than a map so that encoding is deterministic:
-// flushing the same contents always produces byte-identical files.
-type diskRecord struct {
-	Key    string
-	Meta   RunMeta
-	Series []diskSeries
-}
-
-// diskSeries is one event column of a version-2 record.
-type diskSeries struct {
-	Event  string
-	Values []float64
-}
-
-const formatVersion = 2
-
 // Open opens (or creates) a store at path. An empty path creates a
-// purely in-memory store that cannot be flushed.
+// purely in-memory store that cannot be flushed. A directory opens as a
+// sharded store (only each shard's first level is read; series load
+// lazily). A regular file opens as a legacy v1/v2 single-file store,
+// fully loaded, and migrates to the sharded layout on first Flush.
 //
-// Open is resilient to damaged files: records that are corrupt,
+// Open is resilient to damage: shard records that are corrupt,
 // truncated, or internally inconsistent are skipped (and counted in
-// Skipped / Stats.SkippedRecords) rather than failing the whole open.
-// Only an unreadable header — a file that is not a store at all —
-// returns an error.
+// Skipped / Stats.SkippedRecords) rather than failing the whole open —
+// one damaged shard loses that shard's tail, not the catalog. Only an
+// unreadable path, or a single file that is not a store at all, returns
+// an error.
 func Open(path string) (*DB, error) {
-	db := &DB{
-		path:        path,
-		firstLevel:  make(map[string]RunMeta),
-		secondLevel: make(map[string]map[string][]float64),
-	}
+	db := &DB{path: path, shards: make(map[string]*shard)}
 	if path == "" {
 		return db, nil
 	}
-	f, err := os.Open(path)
+	fi, err := os.Stat(path)
 	if errors.Is(err, os.ErrNotExist) {
+		// A crash between migration renames leaves the original
+		// single-file image under the backup name; recover it.
+		bak := path + legacyBackupSuffix
+		if bfi, berr := os.Stat(bak); berr == nil && !bfi.IsDir() {
+			if err := os.Rename(bak, path); err != nil {
+				return nil, fmt.Errorf("store: recover %s: %w", bak, err)
+			}
+			return db, db.openLegacyFile()
+		}
 		return db, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("store: open: %w", err)
 	}
-	defer f.Close()
-	dec := gob.NewDecoder(f)
-	var img persisted
-	if err := dec.Decode(&img); err != nil {
-		return nil, fmt.Errorf("store: decode %s: %w", path, err)
+	if fi.IsDir() {
+		// A stale backup next to a completed migration is leftover
+		// junk from a crash after the directory rename; drop it.
+		os.Remove(path + legacyBackupSuffix)
+		return db, db.openDir()
 	}
-	switch img.Version {
-	case 1:
-		db.loadLegacy(img)
-	case formatVersion:
-		db.loadStream(dec)
-	default:
-		return nil, fmt.Errorf("store: %s has format version %d, want <= %d", path, img.Version, formatVersion)
-	}
-	return db, nil
+	return db, db.openLegacyFile()
 }
 
-// loadLegacy imports a version-1 single-blob image, skipping records
-// whose two levels are inconsistent.
-func (db *DB) loadLegacy(img persisted) {
-	for k, meta := range img.FirstLevel {
-		series, ok := img.SecondLevel[meta.SeriesTable]
-		if !ok || !validMeta(meta) {
-			db.skipped++
-			continue
-		}
-		db.firstLevel[k] = meta
-		db.secondLevel[meta.SeriesTable] = series
-	}
-}
-
-// loadStream imports version-2 records until the stream ends. A decode
-// error (corruption or truncation) ends the load — a gob stream cannot
-// be resynchronised — with everything already read retained and the
-// broken tail counted as skipped.
-func (db *DB) loadStream(dec *gob.Decoder) {
-	for {
-		var dr diskRecord
-		if err := dec.Decode(&dr); err != nil {
-			if !errors.Is(err, io.EOF) {
-				db.skipped++
-			}
-			return
-		}
-		if dr.Key == "" || len(dr.Series) == 0 || !validMeta(dr.Meta) ||
-			dr.Key != key(dr.Meta.Benchmark, dr.Meta.RunID, dr.Meta.Mode) {
-			db.skipped++
-			continue
-		}
-		table := make(map[string][]float64, len(dr.Series))
-		for _, ds := range dr.Series {
-			table[ds.Event] = ds.Values
-		}
-		db.firstLevel[dr.Key] = dr.Meta
-		db.secondLevel[dr.Meta.SeriesTable] = table
-	}
-}
-
-// validMeta checks the invariants every stored record satisfies.
-func validMeta(m RunMeta) bool {
-	return m.Benchmark != "" && m.Mode != "" && m.SeriesTable != ""
-}
-
-// Skipped reports how many records were dropped while opening a
-// damaged file (0 for a healthy one).
+// Skipped reports how many records have been dropped so far while
+// reading damaged files (0 for a healthy store). Because shards load
+// lazily, damage in a shard's series section is discovered — and
+// counted — on first touch, not at Open.
 func (db *DB) Skipped() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.skipped
+	return int(db.skipped.Load())
 }
 
 // key builds the first-level primary key.
 func key(benchmark string, runID int, mode string) string {
 	return fmt.Sprintf("%s/%d/%s", benchmark, runID, mode)
+}
+
+// shardFor returns the benchmark's shard, creating it when create is
+// set. It never holds a shard lock.
+func (db *DB) shardFor(benchmark string, create bool) *shard {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := db.shards[benchmark]
+	if s == nil && create {
+		// A brand-new shard has no file, so it is born loaded.
+		s = newShard(benchmark, true)
+		db.shards[benchmark] = s
+	}
+	return s
+}
+
+// snapshotShards returns the shards sorted by benchmark name, without
+// holding any shard lock.
+func (db *DB) snapshotShards() []*shard {
+	db.mu.Lock()
+	out := make([]*shard, 0, len(db.shards))
+	for _, s := range db.shards {
+		out = append(out, s)
+	}
+	db.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].bench < out[j].bench })
+	return out
 }
 
 // Put stores a record, replacing any previous record of the same
@@ -226,23 +211,72 @@ func (db *DB) Put(rec Record) error {
 		series[ipcColumn] = append([]float64(nil), rec.IPC...)
 	}
 
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.firstLevel[k] = meta
-	db.secondLevel[table] = series
-	db.dirty = true
+	s := db.shardFor(meta.Benchmark, true)
+	s.mu.Lock()
+	s.load(db)
+	if old, ok := s.metas[k]; ok {
+		s.dropSeries(db, old.SeriesTable)
+	}
+	s.metas[k] = meta
+	s.series[table] = series
+	n := int64(0)
+	for _, vals := range series {
+		n += int64(len(vals))
+	}
+	s.samples += n
+	db.resident.Add(n * bytesPerSample)
+	s.dirty = true
+	s.mu.Unlock()
+	db.touch(s)
+	db.maybeEvict(s)
 	return nil
 }
 
-// Get retrieves a record by key.
+// Get retrieves a record by key, loading the benchmark's shard if it
+// was not resident.
 func (db *DB) Get(benchmark string, runID int, mode string) (Record, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	meta, ok := db.firstLevel[key(benchmark, runID, mode)]
+	var rec Record
+	var ok bool
+	if !db.readShard(benchmark, func(s *shard) {
+		rec, ok = s.get(benchmark, runID, mode)
+	}) {
+		return Record{}, false
+	}
+	return rec, ok
+}
+
+// readShard runs fn with the benchmark's shard readable (loaded, lock
+// held). It reports whether the benchmark has a shard at all.
+func (db *DB) readShard(benchmark string, fn func(*shard)) bool {
+	s := db.shardFor(benchmark, false)
+	if s == nil {
+		return false
+	}
+	s.mu.RLock()
+	if s.loaded {
+		fn(s)
+		s.mu.RUnlock()
+		db.touch(s)
+		return true
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	s.load(db)
+	fn(s)
+	s.mu.Unlock()
+	db.touch(s)
+	db.maybeEvict(s)
+	return true
+}
+
+// get reads one record (deep-copying the series) with the shard lock
+// held.
+func (s *shard) get(benchmark string, runID int, mode string) (Record, bool) {
+	meta, ok := s.metas[key(benchmark, runID, mode)]
 	if !ok {
 		return Record{}, false
 	}
-	table := db.secondLevel[meta.SeriesTable]
+	table := s.series[meta.SeriesTable]
 	rec := Record{Meta: meta, Series: make(map[string][]float64, len(table))}
 	for ev, vals := range table {
 		cp := append([]float64(nil), vals...)
@@ -257,132 +291,204 @@ func (db *DB) Get(benchmark string, runID int, mode string) (Record, bool) {
 
 // Delete removes a record; it reports whether the record existed.
 func (db *DB) Delete(benchmark string, runID int, mode string) bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	k := key(benchmark, runID, mode)
-	meta, ok := db.firstLevel[k]
-	if !ok {
+	s := db.shardFor(benchmark, false)
+	if s == nil {
 		return false
 	}
-	delete(db.firstLevel, k)
-	delete(db.secondLevel, meta.SeriesTable)
-	db.dirty = true
+	s.mu.Lock()
+	s.load(db)
+	k := key(benchmark, runID, mode)
+	meta, ok := s.metas[k]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	delete(s.metas, k)
+	s.dropSeries(db, meta.SeriesTable)
+	s.dirty = true
+	s.mu.Unlock()
+	db.touch(s)
 	return true
 }
 
-// List returns the first-level rows, sorted by benchmark, run, mode.
+// List returns the first-level rows, sorted by benchmark, run, mode. It
+// reads only shard metadata — no shard is loaded.
 func (db *DB) List() []RunMeta {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]RunMeta, 0, len(db.firstLevel))
-	for _, m := range db.firstLevel {
-		out = append(out, m)
+	var out []RunMeta
+	for _, s := range db.snapshotShards() {
+		s.mu.RLock()
+		for _, m := range s.metas {
+			out = append(out, m)
+		}
+		s.mu.RUnlock()
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Benchmark != out[j].Benchmark {
-			return out[i].Benchmark < out[j].Benchmark
-		}
-		if out[i].RunID != out[j].RunID {
-			return out[i].RunID < out[j].RunID
-		}
-		return out[i].Mode < out[j].Mode
-	})
+	sortMetas(out)
 	return out
 }
 
-// ListBenchmark returns the first-level rows of one benchmark.
+// ListBenchmark returns the first-level rows of one benchmark, resolved
+// from its single owning shard (the rest of the catalog is never
+// touched).
 func (db *DB) ListBenchmark(benchmark string) []RunMeta {
-	var out []RunMeta
-	for _, m := range db.List() {
-		if m.Benchmark == benchmark {
-			out = append(out, m)
-		}
+	s := db.shardFor(benchmark, false)
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	out := make([]RunMeta, 0, len(s.metas))
+	for _, m := range s.metas {
+		out = append(out, m)
+	}
+	s.mu.RUnlock()
+	sortMetas(out)
+	if len(out) == 0 {
+		return nil
 	}
 	return out
+}
+
+// sortMetas orders first-level rows by benchmark, run, mode.
+func sortMetas(metas []RunMeta) {
+	sort.Slice(metas, func(i, j int) bool {
+		if metas[i].Benchmark != metas[j].Benchmark {
+			return metas[i].Benchmark < metas[j].Benchmark
+		}
+		if metas[i].RunID != metas[j].RunID {
+			return metas[i].RunID < metas[j].RunID
+		}
+		return metas[i].Mode < metas[j].Mode
+	})
 }
 
 // Len reports the number of stored runs.
 func (db *DB) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.firstLevel)
+	n := 0
+	for _, s := range db.snapshotShards() {
+		s.mu.RLock()
+		n += len(s.metas)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
-// SeriesSet returns a record's series as a timeseries.Set.
+// SeriesSet returns a record's series as a timeseries.Set. The values
+// are copied exactly once, directly under the shard's read lock — there
+// is no intermediate Record (and the IPC column, which the set drops,
+// is never copied at all).
 func (db *DB) SeriesSet(benchmark string, runID int, mode string) (*timeseries.Set, error) {
-	rec, ok := db.Get(benchmark, runID, mode)
-	if !ok {
+	var set *timeseries.Set
+	db.readShard(benchmark, func(s *shard) {
+		meta, ok := s.metas[key(benchmark, runID, mode)]
+		if !ok {
+			return
+		}
+		set = timeseries.NewSet()
+		for ev, vals := range s.series[meta.SeriesTable] {
+			if ev == ipcColumn {
+				continue
+			}
+			set.Put(timeseries.New(ev, append([]float64(nil), vals...)))
+		}
+	})
+	if set == nil {
 		return nil, fmt.Errorf("store: no record %s/%d/%s", benchmark, runID, mode)
-	}
-	set := timeseries.NewSet()
-	for ev, vals := range rec.Series {
-		set.Put(timeseries.New(ev, vals))
 	}
 	return set, nil
 }
 
-// Flush writes the store to disk atomically. It is a no-op when nothing
-// changed since the last flush, and an error for in-memory stores.
+// Flush writes every dirty shard to disk, each atomically (temp file +
+// rename) and byte-deterministically; clean shards are not rewritten.
+// A store opened from a legacy single file migrates to the sharded
+// directory layout here. Flush is a no-op when nothing changed, and an
+// error for in-memory stores.
 func (db *DB) Flush() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.path == "" {
 		return errors.New("store: in-memory store cannot be flushed")
 	}
-	if !db.dirty {
-		return nil
+	_, err := db.flush()
+	return err
+}
+
+// flush performs one incremental flush pass and reports how many shard
+// files were written (or removed).
+func (db *DB) flush() (int, error) {
+	db.flushMu.Lock()
+	defer db.flushMu.Unlock()
+	if db.legacy {
+		return db.migrate()
 	}
-	dir := filepath.Dir(db.path)
-	tmp, err := os.CreateTemp(dir, ".cmdb-*")
+	shards := db.snapshotShards()
+	dirCreated := false
+	written := 0
+	for _, s := range shards {
+		wrote, err := db.flushShard(s, &dirCreated)
+		if err != nil {
+			return written, err
+		}
+		if wrote {
+			written++
+		}
+	}
+	return written, nil
+}
+
+// flushShard writes one shard if dirty. An empty dirty shard's file is
+// removed and the shard dropped from the catalog.
+func (db *DB) flushShard(s *shard, dirCreated *bool) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.dirty {
+		return false, nil
+	}
+	file := filepath.Join(db.path, shardFileName(s.bench))
+	if len(s.metas) == 0 {
+		if err := os.Remove(file); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return false, fmt.Errorf("store: remove shard %s: %w", s.bench, err)
+		}
+		s.dirty = false
+		db.dropShard(s)
+		return true, nil
+	}
+	if !*dirCreated {
+		if err := os.MkdirAll(db.path, 0o755); err != nil {
+			return false, fmt.Errorf("store: flush: %w", err)
+		}
+		*dirCreated = true
+	}
+	if db.failFlush != nil {
+		if err := db.failFlush(s.bench); err != nil {
+			return false, fmt.Errorf("store: flush shard %s: %w", s.bench, err)
+		}
+	}
+	tmp, err := os.CreateTemp(db.path, ".cmdb-*")
 	if err != nil {
-		return fmt.Errorf("store: flush: %w", err)
+		return false, fmt.Errorf("store: flush: %w", err)
 	}
 	tmpName := tmp.Name()
-	if err := db.encodeTo(tmp); err != nil {
+	if err := s.encodeTo(tmp); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
-		return fmt.Errorf("store: encode: %w", err)
+		return false, fmt.Errorf("store: encode shard %s: %w", s.bench, err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("store: close: %w", err)
+		return false, fmt.Errorf("store: close: %w", err)
 	}
-	if err := os.Rename(tmpName, db.path); err != nil {
+	if err := os.Rename(tmpName, file); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("store: rename: %w", err)
+		return false, fmt.Errorf("store: rename: %w", err)
 	}
-	db.dirty = false
-	return nil
+	s.dirty = false
+	return true, nil
 }
 
-// encodeTo writes the version-2 image: a header, then one gob value per
-// record in key order (deterministic files, independently decodable
-// records).
-func (db *DB) encodeTo(w io.Writer) error {
-	enc := gob.NewEncoder(w)
-	if err := enc.Encode(&persisted{Version: formatVersion}); err != nil {
-		return err
+// dropShard unlinks an (empty, flushed) shard from the catalog.
+func (db *DB) dropShard(s *shard) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if s.elem != nil {
+		db.lru.Remove(s.elem)
+		s.elem = nil
 	}
-	keys := make([]string, 0, len(db.firstLevel))
-	for k := range db.firstLevel {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		meta := db.firstLevel[k]
-		table := db.secondLevel[meta.SeriesTable]
-		events := make([]string, 0, len(table))
-		for ev := range table {
-			events = append(events, ev)
-		}
-		sort.Strings(events)
-		series := make([]diskSeries, len(events))
-		for i, ev := range events {
-			series[i] = diskSeries{Event: ev, Values: table[ev]}
-		}
-		if err := enc.Encode(&diskRecord{Key: k, Meta: meta, Series: series}); err != nil {
-			return err
-		}
-	}
-	return nil
+	delete(db.shards, s.bench)
 }

@@ -164,7 +164,35 @@ type Snapshot struct {
 	Batch         BatchCounters     `json:"batch"`
 	Collector     CollectorCounters `json:"collector"`
 	Analyses      AnalysisCounters  `json:"analyses"`
-	StageLatency  []StageHistogram  `json:"stage_latency"`
+	// Store is the run store's shard accounting; nil when the server
+	// runs without a store.
+	Store        *StoreShardStats `json:"store,omitempty"`
+	StageLatency []StageHistogram `json:"stage_latency"`
+}
+
+// StoreShardStats is the run store's shard-level accounting: catalog
+// shape, resident memory against the eviction budget, and the
+// load/evict/writeback counters of the sharded layout.
+type StoreShardStats struct {
+	// Shards counts the catalog's benchmarks; LoadedShards how many
+	// have their series resident; DirtyShards how many carry unflushed
+	// mutations.
+	Shards       int `json:"shards"`
+	LoadedShards int `json:"loaded_shards"`
+	DirtyShards  int `json:"dirty_shards"`
+	// ResidentBytes is the series payload held in memory;
+	// MemBudgetBytes the eviction target (0 = unlimited).
+	ResidentBytes  int64 `json:"resident_bytes"`
+	MemBudgetBytes int64 `json:"mem_budget_bytes"`
+	// ShardLoads and ShardEvictions count lazy loads and LRU evictions.
+	ShardLoads     uint64 `json:"shard_loads"`
+	ShardEvictions uint64 `json:"shard_evictions"`
+	// WritebackFlushes counts shard files written by the background
+	// writeback goroutine; WritebackErrors its failed passes.
+	WritebackFlushes uint64 `json:"writeback_flushes"`
+	WritebackErrors  uint64 `json:"writeback_errors"`
+	// SkippedRecords counts records dropped reading damaged files.
+	SkippedRecords int `json:"skipped_records"`
 }
 
 // RequestCounters groups the request-path counters.

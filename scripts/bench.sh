@@ -28,10 +28,10 @@ set -eu
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-3}"
-PATTERN="${BENCH_PATTERN:-Fit|BuildTreeOrdered|PredictAll|RankPairs|Distance|BatchSchedule}"
-PKGS="${BENCH_PKGS:-./internal/sgbrt/ ./internal/interact/ ./internal/dtw/ ./internal/batch/}"
+PATTERN="${BENCH_PATTERN:-Fit|BuildTreeOrdered|PredictAll|RankPairs|Distance|BatchSchedule|Store}"
+PKGS="${BENCH_PKGS:-./internal/sgbrt/ ./internal/interact/ ./internal/dtw/ ./internal/batch/ ./internal/store/}"
 
-n=0
+n=1
 while [ -e "BENCH_${n}.json" ]; do
     n=$((n + 1))
 done
