@@ -25,15 +25,16 @@ race:
 # series, broken stores at 0%/5%/20%), the fault unit tests, the
 # serving layer's overload/shutdown/drain paths, the batch
 # scheduler/coalescer (per-job error isolation under injected faults),
-# and the sharded store's crash/eviction/migration paths, run twice
-# under the race detector. Deterministic — a failure here is a real
-# regression, not flakiness.
+# the sharded store's crash/eviction/migration paths, and the cluster
+# plane's node-level chaos (lease failover, requeue, partition, seeded
+# worker kills), run twice under the race detector. Deterministic — a
+# failure here is a real regression, not flakiness.
 chaos:
-	$(GO) test -race -count=2 -run 'Chaos|Retry|Injection|Transient|Permanent|Corruption|Sink|KeyedRNG|Cancel|Overload|Shutdown|Drain|Batch|Schedule|Coalesce|Shard|Evict|Migrate' . ./internal/fault/ ./internal/serve/ ./internal/batch/ ./internal/store/
+	$(GO) test -race -count=2 -run 'Chaos|Retry|Injection|Transient|Permanent|Corruption|Sink|KeyedRNG|Cancel|Overload|Shutdown|Drain|Batch|Schedule|Coalesce|Shard|Evict|Migrate|Cluster|Lease|Failover|Partition' . ./internal/fault/ ./internal/serve/ ./internal/batch/ ./internal/store/ ./internal/cluster/
 
 # Short allocation-aware sweep over the hot-path micro-benchmarks.
 bench:
-	$(GO) test -run=^$$ -bench='Fit|BuildTreeOrdered|PredictAll|RankPairs|Distance|BatchSchedule|Store' -benchtime=1x -benchmem ./internal/sgbrt/ ./internal/interact/ ./internal/dtw/ ./internal/batch/ ./internal/store/
+	$(GO) test -run=^$$ -bench='Fit|BuildTreeOrdered|PredictAll|RankPairs|Distance|BatchSchedule|Store|Ring|Heartbeat|RegistryPick' -benchtime=1x -benchmem ./internal/sgbrt/ ./internal/interact/ ./internal/dtw/ ./internal/batch/ ./internal/store/ ./internal/cluster/
 
 # Same sweep, repeated BENCH_COUNT times and written to an
 # auto-numbered machine-readable BENCH_<n>.json report.

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"counterminer/pkg/client"
+)
+
+// TestDaemonClusterEndToEnd boots the README quickstart topology — one
+// coordinator and two workers, wired through the real -role/-join
+// flags — drives it through pkg/client exactly like a standalone
+// daemon (the endpoint contract is topology-blind), and verifies the
+// cluster plane's counters and readiness probes before one SIGTERM
+// drains all three processes cleanly.
+func TestDaemonClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-daemon e2e in -short")
+	}
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	coordURL, c, coordExit, _ := startDaemon(t,
+		"-role", "coordinator", "-node-id", "coord", "-lease", "800ms")
+	_, w1c, w1Exit, _ := startDaemon(t,
+		"-role", "worker", "-node-id", "w1", "-join", coordURL,
+		"-heartbeat", "100ms", "-lease", "800ms",
+		"-db", filepath.Join(dir, "w1.db"), "-workers", "1")
+	_, _, w2Exit, _ := startDaemon(t,
+		"-role", "worker", "-node-id", "w2", "-join", coordURL,
+		"-heartbeat", "100ms", "-lease", "800ms",
+		"-db", filepath.Join(dir, "w2.db"), "-workers", "1")
+
+	// The coordinator reports ready once it leads and sees live
+	// workers; each worker once it is registered.
+	waitFor(t, "coordinator ready", func() bool {
+		r, err := c.Ready(ctx)
+		return err == nil && r.Status == "ready"
+	})
+	waitFor(t, "worker ready", func() bool {
+		r, err := w1c.Ready(ctx)
+		return err == nil && r.Status == "ready"
+	})
+
+	// Same wire contract as standalone: a typed client pointed at the
+	// coordinator analyses as if the fleet were one process.
+	jobs := []client.AnalyzeRequest{
+		{Benchmark: "wordcount", Runs: 2, Trees: 20, SkipEIR: true,
+			Events: []string{"ICACHE.*", "L2_RQSTS.*", "BR_INST_RETIRED.*"}},
+		{Benchmark: "sort", Runs: 2, Trees: 20, SkipEIR: true,
+			Events: []string{"ICACHE.*", "L2_RQSTS.*", "BR_INST_RETIRED.*"}},
+	}
+	br, err := c.AnalyzeBatch(ctx, jobs)
+	if err != nil {
+		t.Fatalf("AnalyzeBatch through coordinator: %v", err)
+	}
+	for i, jr := range br.Jobs {
+		if jr.Error != nil || jr.Analysis == nil || len(jr.Analysis.Importance) == 0 {
+			t.Errorf("job %d through cluster = err %+v, want full analysis", i, jr.Error)
+		}
+	}
+
+	// The cluster plane is visible in the coordinator's /metrics.
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Cluster == nil {
+		t.Fatal("coordinator /metrics has no cluster section")
+	}
+	if snap.Cluster.WorkersLive != 2 || snap.Cluster.Dispatches < 2 || !snap.Cluster.Leading {
+		t.Errorf("cluster counters = %+v, want 2 live workers, ≥2 dispatches, leading", snap.Cluster)
+	}
+
+	// One SIGTERM reaches every run() in this process: the whole fleet
+	// must drain and exit 0.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("send SIGTERM: %v", err)
+	}
+	for name, exitc := range map[string]chan int{"coordinator": coordExit, "w1": w1Exit, "w2": w2Exit} {
+		if code := <-exitc; code != 0 {
+			t.Errorf("%s exited %d, want 0", name, code)
+		}
+	}
+}

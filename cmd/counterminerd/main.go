@@ -22,6 +22,15 @@
 //	GET  /metrics        counters, queue/cache/batch gauges, per-stage
 //	                     latency
 //	GET  /healthz        liveness (503 once draining)
+//	GET  /readyz         readiness (503 while draining, leaderless, or
+//	                     unregistered)
+//
+// The daemon also runs as one node of a fleet (-role): a coordinator
+// keeps the whole endpoint contract above and dispatches admitted jobs
+// to workers by consistent hashing over the benchmark identity; a
+// worker registers with the coordinators in -join, heartbeats to keep
+// its lease, and runs the pipeline. Several coordinators sharing a
+// -lease-file elect a leader and fail over when it dies.
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: in-flight analyses
 // finish, queued ones are canceled through the pipeline's *CancelError
@@ -36,9 +45,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"counterminer/internal/cluster"
+	"counterminer/internal/fault"
 	"counterminer/internal/serve"
 	"counterminer/internal/store"
 )
@@ -65,6 +77,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		anaWorkers = fs.Int("analysis-workers", 0, "per-analysis worker count (0 = GOMAXPROCS); never changes results")
 		batchMax   = fs.Int("batch-max", 64, "max jobs one /analyze/batch request (or one coalescing window) may carry")
 		coalesce   = fs.Duration("coalesce-window", 0, "merge single /analyze submissions arriving within this window into one scheduled batch (0 = off)")
+
+		role      = fs.String("role", "standalone", "node role: standalone, coordinator, or worker")
+		nodeID    = fs.String("node-id", "", "stable node identity (default: role-<listen addr>)")
+		join      = fs.String("join", "", "comma-separated coordinator base URLs (worker: where to register; coordinator: ignored)")
+		advertise = fs.String("advertise", "", "base URL coordinators should dial this worker at (default http://<listen addr>)")
+		leaseTTL  = fs.Duration("lease", 2*time.Second, "cluster lease TTL: worker heartbeat lease on a coordinator, leadership lease with -lease-file")
+		heartbeat = fs.Duration("heartbeat", 500*time.Millisecond, "worker heartbeat interval (keep well under -lease)")
+		leaseFile = fs.String("lease-file", "", "coordinator leadership lease file shared by all coordinators (empty = this coordinator always leads)")
+		chaosSeed = fs.Int64("node-chaos-seed", 0, "seed for node-level chaos injection (0 = chaos off); for soak testing only")
+		chaosKill = fs.Float64("node-chaos-kill", 0, "per-exec probability a worker kills itself under -node-chaos-seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -90,6 +112,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	case *coalesce < 0:
 		fmt.Fprintln(stderr, "counterminerd: -coalesce-window must be >= 0")
+		return 2
+	case *role != "standalone" && *role != "coordinator" && *role != "worker":
+		fmt.Fprintln(stderr, "counterminerd: -role must be standalone, coordinator, or worker")
+		return 2
+	case *role == "worker" && *join == "":
+		fmt.Fprintln(stderr, "counterminerd: -role worker needs -join with at least one coordinator URL")
+		return 2
+	case *leaseTTL <= 0 || *heartbeat <= 0:
+		fmt.Fprintln(stderr, "counterminerd: -lease and -heartbeat must be > 0")
+		return 2
+	case *heartbeat >= *leaseTTL:
+		fmt.Fprintln(stderr, "counterminerd: -heartbeat must be shorter than -lease, or workers expire between beats")
 		return 2
 	}
 	var storeMemBytes int64
@@ -126,16 +160,93 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv, err := serve.New(cfg)
-	if err != nil {
-		fmt.Fprintln(stderr, "counterminerd:", err)
-		return 1
-	}
+	// Listen before building the server: the worker's default advertise
+	// address needs the resolved port when -addr asked for an ephemeral
+	// one.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "counterminerd:", err)
 		return 1
 	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		ln.Close()
+		fmt.Fprintln(stderr, "counterminerd:", err)
+		return 1
+	}
+
+	id := cluster.NodeID(*nodeID)
+	if id == "" {
+		id = cluster.NodeID(*role + "-" + ln.Addr().String())
+	}
+	var chaos *fault.NodeChaos
+	if *chaosSeed != 0 {
+		chaos = fault.NewNodeChaos(fault.NodeConfig{Seed: *chaosSeed, WorkerKillRate: *chaosKill})
+	}
+
+	switch *role {
+	case "coordinator":
+		var elector *cluster.Elector
+		if *leaseFile != "" {
+			elector, err = cluster.NewElector(cluster.ElectorConfig{
+				ID:    id,
+				Store: cluster.NewFileLease(*leaseFile),
+				TTL:   *leaseTTL,
+			})
+			if err != nil {
+				ln.Close()
+				fmt.Fprintln(stderr, "counterminerd:", err)
+				return 1
+			}
+		}
+		coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+			ID:        id,
+			Elector:   elector,
+			WorkerTTL: *leaseTTL,
+		})
+		if err != nil {
+			ln.Close()
+			fmt.Fprintln(stderr, "counterminerd:", err)
+			return 1
+		}
+		srv.SetDispatch(coord.Dispatch)
+		srv.SetReady(coord.Ready)
+		srv.SetClusterStats(coord.Stats)
+		for pattern, h := range coord.Routes() {
+			srv.Route(pattern, h)
+		}
+		go coord.Run(ctx)
+		if elector != nil {
+			go elector.Run(ctx)
+		}
+		fmt.Fprintf(stdout, "counterminerd: coordinator %s (lease %s)\n", id, *leaseTTL)
+	case "worker":
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + ln.Addr().String()
+		}
+		worker, err := cluster.NewWorker(cluster.WorkerConfig{
+			ID:        id,
+			Advertise: adv,
+			Join:      splitJoin(*join),
+			Heartbeat: *heartbeat,
+			Exec:      srv.Execute,
+			Chaos:     chaos,
+		})
+		if err != nil {
+			ln.Close()
+			fmt.Fprintln(stderr, "counterminerd:", err)
+			return 1
+		}
+		srv.SetReady(worker.Ready)
+		srv.SetClusterStats(worker.Stats)
+		for pattern, h := range worker.Routes() {
+			srv.Route(pattern, h)
+		}
+		go worker.Run(ctx)
+		fmt.Fprintf(stdout, "counterminerd: worker %s advertising %s\n", id, adv)
+	}
+
 	fmt.Fprintf(stdout, "counterminerd: listening on %s\n", ln.Addr())
 	if err := srv.Serve(ctx, ln); err != nil {
 		fmt.Fprintln(stderr, "counterminerd:", err)
@@ -143,4 +254,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, "counterminerd: drained, store flushed, exiting")
 	return 0
+}
+
+// splitJoin parses the -join list, dropping empty entries and trailing
+// slashes so URL concatenation stays clean.
+func splitJoin(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSuffix(strings.TrimSpace(part), "/")
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

@@ -1,0 +1,278 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Lease is one grant of the coordinator leadership: who holds it, the
+// monotonically increasing term it was granted under, and when it
+// lapses unless renewed. Terms are the fencing token — every grant
+// bumps the term, and workers reject writes from terms below the
+// highest they have seen, so an expired leader that never noticed its
+// own expiry cannot corrupt anything.
+type Lease struct {
+	Owner  NodeID    `json:"owner"`
+	Term   uint64    `json:"term"`
+	Expiry time.Time `json:"expiry"`
+}
+
+// ExpiredAt reports whether the lease has lapsed at now.
+func (l Lease) ExpiredAt(now time.Time) bool { return !now.Before(l.Expiry) }
+
+// LeaseStore is the shared arbiter coordinators elect through. All
+// operations are compare-and-swap shaped and take the caller's clock,
+// so election logic is testable without wall-clock races.
+//
+// Implementations: MemoryLease (in-process, for tests and single-
+// binary clusters) and FileLease (a lease file on a filesystem shared
+// by the coordinators — the localhost quickstart).
+type LeaseStore interface {
+	// TryAcquire takes the lease iff it is unheld, expired at now, or
+	// already owned by the caller. A fresh grant increments the term; a
+	// re-acquire by the current valid owner extends the expiry at the
+	// same term. Returns the resulting (or blocking) lease and whether
+	// the caller holds it.
+	TryAcquire(owner NodeID, now time.Time, ttl time.Duration) (Lease, bool, error)
+	// Renew extends the lease iff owner still holds it at exactly term
+	// and it has not expired. Returns the current lease and whether the
+	// renewal succeeded — a false return means the caller must step
+	// down.
+	Renew(owner NodeID, term uint64, now time.Time, ttl time.Duration) (Lease, bool, error)
+	// Release frees the lease iff owner holds it at term, letting a
+	// standby acquire without waiting out the TTL (graceful failover).
+	Release(owner NodeID, term uint64) (bool, error)
+	// Get returns the current lease and whether one has ever been
+	// granted.
+	Get() (Lease, bool, error)
+}
+
+// MemoryLease is the in-process LeaseStore.
+type MemoryLease struct {
+	mu   sync.Mutex
+	cur  Lease
+	held bool
+}
+
+// NewMemoryLease returns an empty in-process lease store.
+func NewMemoryLease() *MemoryLease { return &MemoryLease{} }
+
+// TryAcquire implements LeaseStore.
+func (m *MemoryLease) TryAcquire(owner NodeID, now time.Time, ttl time.Duration) (Lease, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cur, m.held = acquire(m.cur, m.held, owner, now, ttl)
+	return m.cur, m.held && m.cur.Owner == owner, nil
+}
+
+// Renew implements LeaseStore.
+func (m *MemoryLease) Renew(owner NodeID, term uint64, now time.Time, ttl time.Duration) (Lease, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var ok bool
+	m.cur, ok = renew(m.cur, m.held, owner, term, now, ttl)
+	return m.cur, ok, nil
+}
+
+// Release implements LeaseStore.
+func (m *MemoryLease) Release(owner NodeID, term uint64) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.held || m.cur.Owner != owner || m.cur.Term != term {
+		return false, nil
+	}
+	// The term survives release: the next grant must still fence above
+	// every write the released leader ever made.
+	m.cur.Expiry = time.Time{}
+	return true, nil
+}
+
+// Get implements LeaseStore.
+func (m *MemoryLease) Get() (Lease, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur, m.held, nil
+}
+
+// acquire is the shared CAS arm of TryAcquire: given the current
+// state, decide the next. Kept pure so both stores agree exactly.
+func acquire(cur Lease, held bool, owner NodeID, now time.Time, ttl time.Duration) (Lease, bool) {
+	switch {
+	case held && cur.Owner == owner && !cur.ExpiredAt(now):
+		// Re-acquire by the valid owner extends at the same term.
+		cur.Expiry = now.Add(ttl)
+		return cur, true
+	case !held || cur.ExpiredAt(now):
+		return Lease{Owner: owner, Term: cur.Term + 1, Expiry: now.Add(ttl)}, true
+	default:
+		return cur, held
+	}
+}
+
+// renew is the shared CAS arm of Renew.
+func renew(cur Lease, held bool, owner NodeID, term uint64, now time.Time, ttl time.Duration) (Lease, bool) {
+	if !held || cur.Owner != owner || cur.Term != term || cur.ExpiredAt(now) {
+		return cur, false
+	}
+	cur.Expiry = now.Add(ttl)
+	return cur, true
+}
+
+// FileLease is a LeaseStore backed by one JSON file on a filesystem
+// shared by the coordinators. Mutations run under a sidecar lock file
+// (created O_EXCL, broken when stale) and land via temp-file rename,
+// so two counterminerd processes on one host can elect through it.
+// It trusts the hosts' clocks to agree to within the lease TTL —
+// acceptable for the localhost quickstart it exists for; a multi-host
+// fleet should bring a real coordination service behind the same
+// interface.
+type FileLease struct {
+	path string
+	mu   sync.Mutex // serialises this process; the lock file serialises others
+}
+
+// NewFileLease returns a lease store at path (created on first use).
+func NewFileLease(path string) *FileLease { return &FileLease{path: path} }
+
+// staleLockAge is how old a lock file may grow before it is presumed
+// abandoned by a crashed process and broken.
+const staleLockAge = 2 * time.Second
+
+// lock acquires the sidecar lock file, breaking stale ones.
+func (f *FileLease) lock() (func(), error) {
+	lockPath := f.path + ".lock"
+	deadline := time.Now().Add(staleLockAge + time.Second)
+	for {
+		fd, err := os.OpenFile(lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			fd.Close()
+			return func() { os.Remove(lockPath) }, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("cluster: lease lock: %w", err)
+		}
+		if st, serr := os.Stat(lockPath); serr == nil && time.Since(st.ModTime()) > staleLockAge {
+			os.Remove(lockPath) // abandoned by a crashed process
+			continue
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster: lease lock at %s held too long", lockPath)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// load reads the lease file. A missing file is an unheld lease.
+func (f *FileLease) load() (Lease, bool, error) {
+	data, err := os.ReadFile(f.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return Lease{}, false, nil
+	}
+	if err != nil {
+		return Lease{}, false, fmt.Errorf("cluster: read lease: %w", err)
+	}
+	var l Lease
+	if err := json.Unmarshal(data, &l); err != nil {
+		return Lease{}, false, fmt.Errorf("cluster: decode lease %s: %w", f.path, err)
+	}
+	return l, true, nil
+}
+
+// save writes the lease file atomically (temp file + rename).
+func (f *FileLease) save(l Lease) error {
+	data, err := json.Marshal(l)
+	if err != nil {
+		return err
+	}
+	tmp := f.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("cluster: write lease: %w", err)
+	}
+	if err := os.Rename(tmp, f.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: commit lease: %w", err)
+	}
+	return nil
+}
+
+// TryAcquire implements LeaseStore.
+func (f *FileLease) TryAcquire(owner NodeID, now time.Time, ttl time.Duration) (Lease, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := os.MkdirAll(filepath.Dir(f.path), 0o755); err != nil {
+		return Lease{}, false, err
+	}
+	unlock, err := f.lock()
+	if err != nil {
+		return Lease{}, false, err
+	}
+	defer unlock()
+	cur, held, err := f.load()
+	if err != nil {
+		return Lease{}, false, err
+	}
+	next, nowHeld := acquire(cur, held, owner, now, ttl)
+	if nowHeld && next.Owner == owner && (next != cur || !held) {
+		if err := f.save(next); err != nil {
+			return cur, false, err
+		}
+	}
+	return next, nowHeld && next.Owner == owner, nil
+}
+
+// Renew implements LeaseStore.
+func (f *FileLease) Renew(owner NodeID, term uint64, now time.Time, ttl time.Duration) (Lease, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	unlock, err := f.lock()
+	if err != nil {
+		return Lease{}, false, err
+	}
+	defer unlock()
+	cur, held, err := f.load()
+	if err != nil {
+		return Lease{}, false, err
+	}
+	next, ok := renew(cur, held, owner, term, now, ttl)
+	if ok {
+		if err := f.save(next); err != nil {
+			return cur, false, err
+		}
+	}
+	return next, ok, nil
+}
+
+// Release implements LeaseStore.
+func (f *FileLease) Release(owner NodeID, term uint64) (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	unlock, err := f.lock()
+	if err != nil {
+		return false, err
+	}
+	defer unlock()
+	cur, held, err := f.load()
+	if err != nil {
+		return false, err
+	}
+	if !held || cur.Owner != owner || cur.Term != term {
+		return false, nil
+	}
+	cur.Expiry = time.Time{}
+	if err := f.save(cur); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Get implements LeaseStore.
+func (f *FileLease) Get() (Lease, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.load()
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// leaseStores builds both implementations so every semantic test runs
+// against each.
+func leaseStores(t *testing.T) map[string]LeaseStore {
+	t.Helper()
+	return map[string]LeaseStore{
+		"memory": NewMemoryLease(),
+		"file":   NewFileLease(filepath.Join(t.TempDir(), "leader.lease")),
+	}
+}
+
+func TestLeaseAcquireRenewExpire(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	ttl := time.Second
+	for name, s := range leaseStores(t) {
+		t.Run(name, func(t *testing.T) {
+			l, ok, err := s.TryAcquire("a", t0, ttl)
+			if err != nil || !ok {
+				t.Fatalf("first acquire: ok=%v err=%v", ok, err)
+			}
+			if l.Owner != "a" || l.Term != 1 {
+				t.Fatalf("lease = %+v, want owner a term 1", l)
+			}
+
+			// A rival cannot take a live lease.
+			if l2, ok, _ := s.TryAcquire("b", t0.Add(ttl/2), ttl); ok || l2.Owner != "a" {
+				t.Fatalf("rival acquired live lease: %+v ok=%v", l2, ok)
+			}
+
+			// The owner renews at its term; a wrong term fails.
+			if _, ok, _ := s.Renew("a", 1, t0.Add(ttl/2), ttl); !ok {
+				t.Fatal("owner renew at correct term failed")
+			}
+			if _, ok, _ := s.Renew("a", 2, t0.Add(ttl/2), ttl); ok {
+				t.Fatal("renew at wrong term succeeded")
+			}
+			if _, ok, _ := s.Renew("b", 1, t0.Add(ttl/2), ttl); ok {
+				t.Fatal("non-owner renew succeeded")
+			}
+
+			// After expiry the rival takes over at a higher term, and the
+			// deposed owner's renew is dead.
+			tExp := t0.Add(ttl / 2).Add(ttl).Add(time.Millisecond)
+			l3, ok, _ := s.TryAcquire("b", tExp, ttl)
+			if !ok || l3.Owner != "b" || l3.Term != 2 {
+				t.Fatalf("takeover = %+v ok=%v, want owner b term 2", l3, ok)
+			}
+			if _, ok, _ := s.Renew("a", 1, tExp, ttl); ok {
+				t.Fatal("deposed owner renewed")
+			}
+		})
+	}
+}
+
+func TestLeaseReleaseLetsStandbyTakeOverEarly(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	ttl := time.Hour // would block a standby for an hour without release
+	for name, s := range leaseStores(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, ok, _ := s.TryAcquire("a", t0, ttl); !ok {
+				t.Fatal("acquire failed")
+			}
+			if ok, _ := s.Release("b", 1); ok {
+				t.Fatal("non-owner released the lease")
+			}
+			if ok, _ := s.Release("a", 9); ok {
+				t.Fatal("wrong-term release succeeded")
+			}
+			if ok, _ := s.Release("a", 1); !ok {
+				t.Fatal("owner release failed")
+			}
+			l, ok, _ := s.TryAcquire("b", t0.Add(time.Millisecond), ttl)
+			if !ok || l.Owner != "b" {
+				t.Fatalf("standby could not take released lease: %+v", l)
+			}
+			if l.Term != 2 {
+				t.Fatalf("term after release-takeover = %d, want 2 (terms must never rewind)", l.Term)
+			}
+		})
+	}
+}
+
+func TestLeaseOwnerReacquireKeepsTerm(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	for name, s := range leaseStores(t) {
+		t.Run(name, func(t *testing.T) {
+			s.TryAcquire("a", t0, time.Second)
+			l, ok, _ := s.TryAcquire("a", t0.Add(time.Second/2), time.Second)
+			if !ok || l.Term != 1 {
+				t.Fatalf("owner re-acquire = %+v ok=%v, want term 1 kept", l, ok)
+			}
+			if l.Expiry != t0.Add(time.Second/2).Add(time.Second) {
+				t.Fatalf("re-acquire did not extend expiry: %v", l.Expiry)
+			}
+		})
+	}
+}
+
+func TestFileLeaseSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "leader.lease")
+	t0 := time.Unix(1000, 0)
+	s1 := NewFileLease(path)
+	if _, ok, _ := s1.TryAcquire("a", t0, time.Hour); !ok {
+		t.Fatal("acquire failed")
+	}
+	// A second process (fresh store over the same file) sees the grant.
+	s2 := NewFileLease(path)
+	l, held, err := s2.Get()
+	if err != nil || !held || l.Owner != "a" || l.Term != 1 {
+		t.Fatalf("reopened lease = %+v held=%v err=%v", l, held, err)
+	}
+	if _, ok, _ := s2.TryAcquire("b", t0.Add(time.Minute), time.Hour); ok {
+		t.Fatal("second process stole a live lease")
+	}
+}

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"counterminer/internal/fault"
+)
+
+// Caller issues one cluster RPC: POST in to addr's method endpoint and
+// decode the reply into out. Implementations: HTTPCaller (the real
+// wire) and ChaosCaller (wraps another Caller with seeded drops).
+type Caller interface {
+	Call(ctx context.Context, addr, method string, in, out any) error
+}
+
+// RPCError is a non-200 answer to a cluster RPC, carrying the
+// worker's refusal code so the coordinator can distinguish "route
+// elsewhere" (worker_killed, stale_term) from "job failed".
+type RPCError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *RPCError) Error() string {
+	return fmt.Sprintf("cluster: rpc %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// HTTPCaller is the production Caller: JSON over HTTP to the node's
+// /cluster/<method> endpoint.
+type HTTPCaller struct {
+	// Client is the HTTP client to use (default: a 30s-timeout client).
+	Client *http.Client
+}
+
+// Call implements Caller.
+func (c *HTTPCaller) Call(ctx context.Context, addr, method string, in, out any) error {
+	hc := c.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("cluster: encode %s: %w", method, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/cluster/"+method, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("cluster: build %s: %w", method, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: call %s %s: %w", addr, method, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("cluster: read %s reply: %w", method, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var we struct {
+			Error   string `json:"error"`
+			Message string `json:"message"`
+		}
+		json.Unmarshal(data, &we)
+		if we.Error == "" {
+			we.Error = "rpc_failed"
+			we.Message = string(data)
+		}
+		return &RPCError{Status: resp.StatusCode, Code: we.Error, Message: we.Message}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("cluster: decode %s reply: %w", method, err)
+	}
+	return nil
+}
+
+// ChaosCaller wraps a Caller with the node chaos plan's RPC faults:
+// a dropped request never reaches the callee, a dropped reply ran on
+// the callee but the caller never hears — exactly the asymmetry that
+// makes idempotent dispatch necessary. Drops are keyed by a
+// per-(addr, method) sequence number, so a retry of a dropped call is
+// a different coin flip, and the whole schedule replays from the seed.
+type ChaosCaller struct {
+	// Next is the underlying transport.
+	Next Caller
+	// Chaos is the seeded fault plan (nil disables injection).
+	Chaos *fault.NodeChaos
+	// From names the calling node in the chaos key.
+	From NodeID
+
+	mu   sync.Mutex
+	seqs map[string]uint64
+}
+
+// nextSeq hands out the per-(addr, method) call sequence number.
+func (c *ChaosCaller) nextSeq(addr, method string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.seqs == nil {
+		c.seqs = make(map[string]uint64)
+	}
+	k := addr + "\x00" + method
+	c.seqs[k]++
+	return c.seqs[k]
+}
+
+// Call implements Caller.
+func (c *ChaosCaller) Call(ctx context.Context, addr, method string, in, out any) error {
+	if c.Chaos == nil {
+		return c.Next.Call(ctx, addr, method, in, out)
+	}
+	seq := c.nextSeq(addr, method)
+	if c.Chaos.DropRPC(string(c.From), addr, method, seq) {
+		return &fault.RPCDropError{Kind: "rpc-drop", From: string(c.From), To: addr, Method: method, Seq: seq}
+	}
+	callErr := c.Next.Call(ctx, addr, method, in, out)
+	if callErr == nil && c.Chaos.DropReply(string(c.From), addr, method, seq) {
+		// The call ran on the callee; only the answer is lost.
+		return &fault.RPCDropError{Kind: "reply-drop", From: string(c.From), To: addr, Method: method, Seq: seq}
+	}
+	return callErr
+}
+
+// isTransportError reports whether a Call failure means the node never
+// (observably) answered — network failure, injected drop, or timeout —
+// as opposed to an application-level refusal.
+func isTransportError(err error) bool {
+	var re *RPCError
+	if errors.As(err, &re) {
+		return false
+	}
+	return err != nil
+}

@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	counterminer "counterminer"
+	"counterminer/internal/fault"
+	"counterminer/internal/serve"
+	"counterminer/pkg/client"
+)
+
+// WorkerConfig configures a Worker.
+type WorkerConfig struct {
+	// ID is this worker's identity. Ring placement hashes it, so a
+	// stable ID across restarts keeps the worker's keys.
+	ID NodeID
+	// Advertise is this worker's base URL as coordinators should dial
+	// it.
+	Advertise string
+	// Join lists coordinator base URLs; the worker registers with the
+	// first that accepts and rotates through the rest on failover.
+	Join []string
+	// Heartbeat is the send interval (default 500ms). Keep it well
+	// under the coordinator's worker lease.
+	Heartbeat time.Duration
+	// Caller issues coordinator RPCs (default: plain HTTP).
+	Caller Caller
+	// Exec runs one job — in production, a serve.Server's Execute, so a
+	// worker under load pushes back through its own admission queue.
+	Exec func(ctx context.Context, job serve.Job) (*counterminer.Analysis, error)
+	// Chaos, if set, injects node-level faults: seeded kills on the
+	// exec path, dropped and delayed heartbeats.
+	Chaos *fault.NodeChaos
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 500 * time.Millisecond
+	}
+	if c.Caller == nil {
+		c.Caller = &HTTPCaller{}
+	}
+	return c
+}
+
+// hbFailLimit is how many consecutive heartbeat transport failures a
+// worker tolerates before assuming the coordinator is gone and
+// re-registering (possibly with a different join address).
+const hbFailLimit = 3
+
+// Worker is the fleet's compute half: it registers with the leading
+// coordinator, keeps its heartbeat lease alive, and serves exec RPCs
+// through the local pipeline. It enforces the term fence — exec
+// requests carrying a term below the highest this worker has observed
+// are rejected, so a deposed coordinator returning from a partition
+// cannot push work.
+type Worker struct {
+	cfg WorkerConfig
+
+	registered  atomic.Bool
+	killed      atomic.Bool
+	partitioned atomic.Bool
+	maxTerm     atomic.Uint64
+	coord       atomic.Int64 // index into cfg.Join
+
+	hbSeq   atomic.Uint64
+	hbFails atomic.Uint64 // consecutive transport failures
+
+	execsServed atomic.Uint64
+	execErrors  atomic.Uint64
+	staleTerm   atomic.Uint64
+	hbSent      atomic.Uint64
+	hbDropped   atomic.Uint64
+}
+
+// NewWorker returns a worker ready to Run and serve exec RPCs.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("cluster: worker needs an ID")
+	}
+	if cfg.Exec == nil {
+		return nil, fmt.Errorf("cluster: worker needs an Exec function")
+	}
+	if len(cfg.Join) == 0 {
+		return nil, fmt.Errorf("cluster: worker needs at least one join address")
+	}
+	return &Worker{cfg: cfg}, nil
+}
+
+// observeTerm raises the worker's term fence to t if higher.
+func (w *Worker) observeTerm(t uint64) {
+	for {
+		cur := w.maxTerm.Load()
+		if t <= cur || w.maxTerm.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// Run registers and heartbeats until ctx ends.
+func (w *Worker) Run(ctx context.Context) {
+	t := time.NewTicker(w.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		if !w.registered.Load() && !w.killed.Load() {
+			w.register(ctx)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if w.registered.Load() && !w.killed.Load() {
+				w.heartbeat(ctx)
+			}
+		}
+	}
+}
+
+// register walks the join list from the current index until a leader
+// accepts. Silent failure: the next Run tick retries.
+func (w *Worker) register(ctx context.Context) {
+	n := len(w.cfg.Join)
+	start := int(w.coord.Load())
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		var resp RegisterResponse
+		err := w.cfg.Caller.Call(ctx, w.cfg.Join[idx], "register",
+			RegisterRequest{ID: w.cfg.ID, Addr: w.cfg.Advertise}, &resp)
+		if err != nil || resp.NotLeader {
+			continue
+		}
+		if resp.Accepted {
+			w.observeTerm(resp.Term)
+			w.coord.Store(int64(idx))
+			w.hbFails.Store(0)
+			w.registered.Store(true)
+			return
+		}
+	}
+}
+
+// heartbeat sends one lease renewal, with chaos drops and delays
+// applied first.
+func (w *Worker) heartbeat(ctx context.Context) {
+	seq := w.hbSeq.Add(1)
+	if w.partitioned.Load() {
+		w.hbDropped.Add(1)
+		return
+	}
+	if w.cfg.Chaos != nil {
+		if w.cfg.Chaos.DropHeartbeat(string(w.cfg.ID), seq) {
+			w.hbDropped.Add(1)
+			return
+		}
+		if d, ok := w.cfg.Chaos.DelayHeartbeat(string(w.cfg.ID), seq); ok {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+	addr := w.cfg.Join[int(w.coord.Load())%len(w.cfg.Join)]
+	var resp HeartbeatResponse
+	err := w.cfg.Caller.Call(ctx, addr, "heartbeat", HeartbeatRequest{ID: w.cfg.ID, Seq: seq}, &resp)
+	if err != nil {
+		// Coordinator unreachable. Tolerate a few beats (it may be
+		// mid-election), then hunt for a new leader.
+		if w.hbFails.Add(1) >= hbFailLimit {
+			w.hbFails.Store(0)
+			w.coord.Store((w.coord.Load() + 1) % int64(len(w.cfg.Join)))
+			w.registered.Store(false)
+		}
+		return
+	}
+	w.hbFails.Store(0)
+	w.observeTerm(resp.Term)
+	w.hbSent.Add(1)
+	if resp.NotLeader {
+		// Leadership moved; find the new leader.
+		w.coord.Store((w.coord.Load() + 1) % int64(len(w.cfg.Join)))
+		w.registered.Store(false)
+		return
+	}
+	if !resp.OK {
+		// The coordinator does not know us (our lease expired, or it is
+		// freshly elected): re-register with it.
+		w.registered.Store(false)
+	}
+}
+
+// Routes returns the worker's /cluster/* handlers for mounting on a
+// serve.Server.
+func (w *Worker) Routes() map[string]http.Handler {
+	return map[string]http.Handler{
+		"/cluster/exec": http.HandlerFunc(w.handleExec),
+	}
+}
+
+// handleExec is POST /cluster/exec: the worker's whole data plane.
+func (w *Worker) handleExec(wr http.ResponseWriter, r *http.Request) {
+	var req ExecRequest
+	if !decodeRPC(wr, r, &req) {
+		return
+	}
+	if w.killed.Load() {
+		rpcStatus(wr, http.StatusServiceUnavailable, "worker_killed", ErrKilled.Error())
+		return
+	}
+	seq := w.execsServed.Add(1)
+	if w.cfg.Chaos != nil && w.cfg.Chaos.KillWorker(string(w.cfg.ID), seq) {
+		// The seeded kill: this worker is dead from now on — it stops
+		// heartbeating and refuses every request, the in-process
+		// equivalent of a crashed process.
+		w.Kill()
+		rpcStatus(wr, http.StatusServiceUnavailable, "worker_killed", ErrKilled.Error())
+		return
+	}
+	// The term fence. Raise first, then compare: an exec carrying a
+	// newer term teaches this worker about the election even before a
+	// heartbeat does.
+	w.observeTerm(req.Term)
+	if req.Term < w.maxTerm.Load() {
+		w.staleTerm.Add(1)
+		rpcStatus(wr, http.StatusConflict, "stale_term",
+			fmt.Sprintf("term %d is below the highest observed (%d)", req.Term, w.maxTerm.Load()))
+		return
+	}
+	ana, err := w.cfg.Exec(r.Context(), req.Job)
+	resp := ExecResponse{Worker: w.cfg.ID}
+	if err != nil {
+		w.execErrors.Add(1)
+		resp.Error = wireError(err)
+	} else {
+		resp.Analysis = ana
+	}
+	writeRPC(wr, resp)
+}
+
+// Kill marks the worker dead: it stops heartbeating and refuses every
+// exec. Chaos plans trigger this; tests may call it directly.
+func (w *Worker) Kill() {
+	w.killed.Store(true)
+	w.registered.Store(false)
+}
+
+// Killed reports whether the worker has been killed.
+func (w *Worker) Killed() bool { return w.killed.Load() }
+
+// Partition simulates a one-way network partition: the worker stops
+// sending heartbeats (so its lease expires at the coordinator) but
+// still serves and answers exec RPCs — the late-answer scenario.
+func (w *Worker) Partition(on bool) { w.partitioned.Store(on) }
+
+// Registered reports whether the worker currently holds a lease.
+func (w *Worker) Registered() bool { return w.registered.Load() }
+
+// Ready is the worker's readiness check: alive and registered.
+func (w *Worker) Ready() error {
+	if w.killed.Load() {
+		return fmt.Errorf("worker killed")
+	}
+	if !w.registered.Load() {
+		return fmt.Errorf("not registered with a coordinator")
+	}
+	return nil
+}
+
+// Stats reports the worker's /metrics contribution.
+func (w *Worker) Stats() client.ClusterCounters {
+	return client.ClusterCounters{
+		Role:              "worker",
+		NodeID:            string(w.cfg.ID),
+		Term:              w.maxTerm.Load(),
+		Registered:        w.registered.Load(),
+		Killed:            w.killed.Load(),
+		ExecsServed:       w.execsServed.Load(),
+		ExecErrors:        w.execErrors.Load(),
+		StaleTermRejected: w.staleTerm.Load(),
+		HeartbeatsSent:    w.hbSent.Load(),
+		HeartbeatsDropped: w.hbDropped.Load(),
+	}
+}

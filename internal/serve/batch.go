@@ -239,7 +239,7 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 // jobError maps an analysis or admission error onto the typed per-job
 // entry, carrying the same retry hint a single-job rejection would.
 func jobError(err error) *ErrorResponse {
-	status, code := errorStatus(err)
+	status, code := ErrorStatus(err)
 	er := &ErrorResponse{Error: code, Message: err.Error()}
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		er.RetryAfterSeconds = 1

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	counterminer "counterminer"
+	"counterminer/pkg/client"
+)
+
+// Cluster-plane sentinels. They live here, next to the HTTP error
+// vocabulary, because serve owns the endpoint contract: whatever the
+// node's role, a client sees the same typed rejections.
+var (
+	// ErrNotLeader reports a request landing on a coordinator that
+	// does not hold the leader lease; the client should retry (the
+	// same address after an election, or the new leader).
+	ErrNotLeader = errors.New("serve: not the cluster leader")
+	// ErrNoWorkers reports a coordinator with no live registered
+	// workers to dispatch to.
+	ErrNoWorkers = errors.New("serve: no live workers registered")
+)
+
+// Job is one fully resolved analysis job in wire form: the benchmark
+// identity, the resolved event list, and the result-relevant option
+// fields. It is the unit the cluster layer moves between nodes — a
+// coordinator hands Jobs to a Dispatch function, a worker executes
+// them with Execute — and it is content-addressed: Key is the same
+// canonical hash the result cache uses, so retries and re-dispatches
+// of the same Job are idempotent everywhere results are keyed.
+type Job struct {
+	// Key is the job's content address (the result-cache key).
+	Key string `json:"key"`
+	// Benchmark and Colocate are the benchmark identity.
+	Benchmark string `json:"benchmark"`
+	Colocate  string `json:"colocate,omitempty"`
+	// Events is the resolved event list (nil = full catalogue).
+	Events []string `json:"events,omitempty"`
+	// The result-relevant options, mirroring client.AnalyzeRequest.
+	Runs      int   `json:"runs,omitempty"`
+	Trees     int   `json:"trees,omitempty"`
+	PruneStep int   `json:"prune_step,omitempty"`
+	TopK      int   `json:"top_k,omitempty"`
+	SkipEIR   bool  `json:"skip_eir,omitempty"`
+	Seed      int64 `json:"seed,omitempty"`
+	MinRuns   int   `json:"min_runs,omitempty"`
+}
+
+// GroupKey is the job's scheduler grouping key: the benchmark identity,
+// the unit of collector memoization. The cluster layer routes by it so
+// jobs sharing a memoized trace generator land on the same worker.
+func (j Job) GroupKey() string { return j.Benchmark + "\x00" + j.Colocate }
+
+// jobFromSpec converts a resolved jobSpec into its wire form.
+func jobFromSpec(key string, spec jobSpec) Job {
+	return Job{
+		Key:       key,
+		Benchmark: spec.benchmark,
+		Colocate:  spec.colocate,
+		Events:    spec.events,
+		Runs:      spec.opts.Runs,
+		Trees:     spec.opts.Trees,
+		PruneStep: spec.opts.PruneStep,
+		TopK:      spec.opts.TopK,
+		SkipEIR:   spec.opts.SkipEIR,
+		Seed:      spec.opts.Seed,
+		MinRuns:   spec.opts.MinRuns,
+	}
+}
+
+// specFromJob rebuilds the local jobSpec from a wire Job, attaching
+// this server's analysis worker count (a speed knob that never changes
+// results, so it stays out of the wire form and the content address).
+func (s *Server) specFromJob(j Job) jobSpec {
+	return jobSpec{
+		benchmark: j.Benchmark,
+		colocate:  j.Colocate,
+		events:    j.Events,
+		opts: counterminer.Options{
+			Runs:      j.Runs,
+			Trees:     j.Trees,
+			PruneStep: j.PruneStep,
+			TopK:      j.TopK,
+			SkipEIR:   j.SkipEIR,
+			Seed:      j.Seed,
+			MinRuns:   j.MinRuns,
+			Workers:   s.cfg.AnalysisWorkers,
+		},
+	}
+}
+
+// SetDispatch replaces local pipeline execution with a remote
+// dispatcher: every admitted analysis — single, batch, or coalesced —
+// is handed to d as a wire Job instead of running on this node's
+// pipeline. The server keeps everything else: admission control, the
+// content-addressed cache and singleflight, batch planning, and
+// metrics. This is how a coordinator serves the same /analyze contract
+// as a standalone daemon while the compute happens on workers.
+//
+// Call between New and Serve; not safe to swap while serving.
+func (s *Server) SetDispatch(d func(ctx context.Context, job Job) (*counterminer.Analysis, error)) {
+	s.analyze = func(ctx context.Context, spec jobSpec) (*counterminer.Analysis, error) {
+		key := Key(spec.benchmark, spec.colocate, spec.events, spec.opts)
+		return d(ctx, jobFromSpec(key, spec))
+	}
+}
+
+// Execute runs one wire Job through this node's ordinary serving
+// machinery: the content-addressed cache (hit or singleflight), the
+// admission queue (a worker node under load rejects with ErrQueueFull
+// exactly like a standalone daemon), and the pipeline, with metrics
+// observed along the way. Because the cache key is recomputed locally
+// from the job's content, re-deliveries of the same Job — a
+// coordinator retrying after a lost reply, or two coordinators racing
+// across a failover — deduplicate onto one execution per node.
+//
+// The coalescing window is deliberately bypassed: a dispatched job was
+// already scheduled by the coordinator's planner.
+func (s *Server) Execute(ctx context.Context, job Job) (*counterminer.Analysis, error) {
+	s.metrics.IncRequest()
+	spec := s.specFromJob(job)
+	key := Key(spec.benchmark, spec.colocate, spec.events, spec.opts)
+	ana, call, leader := s.cache.Acquire(key)
+	if ana != nil {
+		s.metrics.IncCacheHit()
+		return ana, nil
+	}
+	if leader {
+		s.metrics.IncCacheMiss()
+		s.startJob(pendingJob{key: key, call: call, spec: spec, deadline: time.Now().Add(s.cfg.Budget)})
+	} else {
+		s.metrics.IncShared()
+	}
+	select {
+	case <-call.Done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return call.Ana, call.Err
+}
+
+// Route mounts an extra handler on the server's HTTP surface (the
+// cluster layer adds its /cluster/* RPC endpoints this way). Call
+// between New and Serve.
+func (s *Server) Route(pattern string, h http.Handler) { s.extra[pattern] = h }
+
+// SetReady adds an extra readiness check consulted by GET /readyz
+// alongside the built-in drain check: a coordinator reports whether it
+// holds the leader lease and sees live workers, a worker whether it is
+// registered. Call between New and Serve.
+func (s *Server) SetReady(f func() error) { s.ready = f }
+
+// SetClusterStats attaches the cluster role's counters to GET
+// /metrics (Snapshot.Cluster). Call between New and Serve.
+func (s *Server) SetClusterStats(f func() client.ClusterCounters) { s.clusterStats = f }

@@ -8,6 +8,7 @@ import (
 	counterminer "counterminer"
 	"counterminer/internal/collector"
 	"counterminer/internal/store"
+	"counterminer/pkg/client"
 )
 
 // Metrics is counterminerd's observability surface: request, cache,
@@ -167,6 +168,7 @@ type gauges struct {
 	coll      *collector.Collector
 	db        *store.DB
 	coalescer interface{ Pending() int }
+	cluster   func() client.ClusterCounters
 }
 
 // SnapshotFrom assembles the full metrics document from the registry
@@ -224,6 +226,10 @@ func (m *Metrics) SnapshotFrom(g gauges) Snapshot {
 	}
 	if g.coalescer != nil {
 		snap.Batch.CoalescePending = g.coalescer.Pending()
+	}
+	if g.cluster != nil {
+		cc := g.cluster()
+		snap.Cluster = &cc
 	}
 	if g.db != nil {
 		st := g.db.ShardStats()

@@ -141,8 +141,16 @@ type Server struct {
 	coalescer *batch.Coalescer[pendingJob]
 
 	// analyze executes one resolved request; tests substitute it to
-	// make concurrency scenarios deterministic.
+	// make concurrency scenarios deterministic, and SetDispatch
+	// replaces it with a cluster dispatcher on coordinators.
 	analyze func(ctx context.Context, spec jobSpec) (*counterminer.Analysis, error)
+
+	// extra holds additional routes (the cluster RPC surface); ready
+	// and clusterStats are the cluster role's readiness check and
+	// metrics contribution. All are wired between New and Serve.
+	extra        map[string]http.Handler
+	ready        func() error
+	clusterStats func() client.ClusterCounters
 }
 
 // jobSpec is one fully resolved analysis request: benchmark identity,
@@ -169,6 +177,7 @@ func New(cfg Config) (*Server, error) {
 		queue:   NewQueue(cfg.Workers, cfg.QueueDepth, cfg.Budget),
 		cache:   NewCache(cfg.CacheSize),
 		metrics: NewMetrics(),
+		extra:   make(map[string]http.Handler),
 	}
 	if cfg.CoalesceWindow > 0 {
 		s.coalescer = batch.NewCoalescer[pendingJob](cfg.CoalesceWindow, cfg.BatchMax, s.dispatchCoalesced)
@@ -195,10 +204,14 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/analyze/batch", s.handleAnalyzeBatch)
+	for pattern, h := range s.extra {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }
 
@@ -276,6 +289,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz is GET /readyz, the readiness probe: where /healthz
+// answers "is the process alive", /readyz answers "should this node
+// receive traffic". It flips to 503 the moment graceful drain begins
+// (the queue stops admitting work long before the listener closes),
+// the store stops accepting writes only as part of that same drain,
+// and in cluster mode the role's own condition is consulted — a
+// coordinator must hold the leader lease and see live workers, a
+// worker must be registered with its coordinator.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	var reasons []string
+	if s.draining.Load() {
+		reasons = append(reasons, "draining: the job queue no longer admits work")
+	}
+	if s.ready != nil {
+		if err := s.ready(); err != nil {
+			reasons = append(reasons, err.Error())
+		}
+	}
+	if len(reasons) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: "unready", Reasons: reasons})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyResponse{Status: "ready"})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
@@ -291,6 +333,7 @@ func (s *Server) snapshot() Snapshot {
 	if s.coalescer != nil {
 		g.coalescer = s.coalescer
 	}
+	g.cluster = s.clusterStats
 	return s.metrics.SnapshotFrom(g)
 }
 
@@ -379,7 +422,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if call.Err != nil {
-		status, code := errorStatus(call.Err)
+		status, code := ErrorStatus(call.Err)
 		writeError(w, status, code, call.Err.Error())
 		return
 	}
@@ -486,14 +529,22 @@ func candidates(name string) []string {
 	return out
 }
 
-// errorStatus maps an analysis or admission error onto the typed
-// HTTP rejection the client sees.
-func errorStatus(err error) (int, string) {
+// ErrorStatus maps an analysis, admission, or cluster error onto the
+// typed HTTP rejection the client sees. It is exported because the
+// cluster layer speaks the same error vocabulary over its worker RPCs:
+// a worker encodes its outcome with ErrorStatus and the coordinator
+// decodes it back into the matching sentinel, so error identity
+// survives one network hop exactly.
+func ErrorStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests, "queue_full"
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, ErrNotLeader):
+		return http.StatusServiceUnavailable, "not_leader"
+	case errors.Is(err, ErrNoWorkers):
+		return http.StatusServiceUnavailable, "no_workers"
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "budget_exceeded"
 	case errors.Is(err, counterminer.ErrCanceled):

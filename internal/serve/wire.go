@@ -45,4 +45,8 @@ type (
 	StageHistogram = client.StageHistogram
 	// BucketCount is one cumulative histogram bucket.
 	BucketCount = client.BucketCount
+	// ReadyResponse is GET /readyz's body.
+	ReadyResponse = client.ReadyResponse
+	// ClusterCounters is the cluster role's /metrics contribution.
+	ClusterCounters = client.ClusterCounters
 )

@@ -1,0 +1,99 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryDelayExponentialGrowthAndCap is the regression test for the
+// backoff cap: waits double per attempt from the base, never exceed
+// the configured max, and huge attempt counts must not overflow the
+// shift back into a tiny (or negative) wait.
+func TestRetryDelayExponentialGrowthAndCap(t *testing.T) {
+	c := New("http://unused", WithRetryBackoff(100*time.Millisecond, 2*time.Second))
+	e := &APIError{} // no Retry-After hint → backoff starts at base
+
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 0: base
+		200 * time.Millisecond, // attempt 1: doubled
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second, // attempt 5: 3.2s clamps to max
+		2 * time.Second,
+	}
+	for attempt, w := range want {
+		if got := c.retryDelay(e, attempt); got != w {
+			t.Errorf("attempt %d delay = %v, want %v", attempt, got, w)
+		}
+	}
+
+	// Shift-overflow territory: attempts far past 63 must pin to the
+	// cap, not wrap negative or collapse to zero.
+	for _, attempt := range []int{17, 63, 64, 1000} {
+		if got := c.retryDelay(e, attempt); got != 2*time.Second {
+			t.Errorf("attempt %d delay = %v, want cap %v", attempt, got, 2*time.Second)
+		}
+	}
+}
+
+// TestRetryDelayHonorsServerHintUnderCap: a Retry-After hint larger
+// than base seeds the schedule, and a hint above the cap still clamps
+// — a stressed server must not be able to dictate unbounded waits.
+func TestRetryDelayHonorsServerHintUnderCap(t *testing.T) {
+	c := New("http://unused", WithRetryBackoff(100*time.Millisecond, 3*time.Second))
+
+	hinted := &APIError{RetryAfterSeconds: 1}
+	if got := c.retryDelay(hinted, 0); got != time.Second {
+		t.Errorf("hinted first wait = %v, want 1s", got)
+	}
+	if got := c.retryDelay(hinted, 1); got != 2*time.Second {
+		t.Errorf("hinted second wait = %v, want 2s", got)
+	}
+	if got := c.retryDelay(hinted, 2); got != 3*time.Second {
+		t.Errorf("hinted third wait = %v, want cap 3s", got)
+	}
+
+	oversized := &APIError{RetryAfterSeconds: 3600}
+	if got := c.retryDelay(oversized, 0); got != 3*time.Second {
+		t.Errorf("oversized hint wait = %v, want cap 3s", got)
+	}
+}
+
+// TestRetryDelayJitterDeterministicAndBounded: an injected jitter
+// source maps a wait of d into [d/2, d], and the same source always
+// produces the same schedule — the property the chaos soak leans on
+// to replay retry timing from a seed.
+func TestRetryDelayJitterDeterministicAndBounded(t *testing.T) {
+	jitter := func(attempt int) float64 { return float64(attempt%3) / 3 }
+	c := New("http://unused",
+		WithRetryBackoff(100*time.Millisecond, 10*time.Second),
+		WithRetryJitter(jitter))
+	c2 := New("http://unused",
+		WithRetryBackoff(100*time.Millisecond, 10*time.Second),
+		WithRetryJitter(jitter))
+	e := &APIError{}
+
+	for attempt := 0; attempt < 8; attempt++ {
+		got := c.retryDelay(e, attempt)
+		full := 100 * time.Millisecond << attempt
+		if got < full/2 || got > full {
+			t.Errorf("attempt %d jittered delay %v outside [%v, %v]", attempt, got, full/2, full)
+		}
+		if again := c2.retryDelay(e, attempt); again != got {
+			t.Errorf("attempt %d jitter not deterministic: %v vs %v", attempt, got, again)
+		}
+	}
+
+	// Out-of-range jitter values clamp rather than exceed the window.
+	for name, f := range map[string]func(int) float64{
+		"negative": func(int) float64 { return -5 },
+		"huge":     func(int) float64 { return 7 },
+	} {
+		cx := New("http://unused", WithRetryBackoff(time.Second, time.Minute), WithRetryJitter(f))
+		got := cx.retryDelay(e, 0)
+		if got < time.Second/2 || got > time.Second {
+			t.Errorf("%s jitter delay %v outside [500ms, 1s]", name, got)
+		}
+	}
+}

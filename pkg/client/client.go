@@ -42,6 +42,9 @@ type Client struct {
 	baseURL string
 	hc      *http.Client
 	retries int
+	base    time.Duration
+	max     time.Duration
+	jitter  func(attempt int) float64
 	sleep   func(context.Context, time.Duration) error
 }
 
@@ -57,6 +60,34 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 // retrying).
 func WithMaxRetries(n int) Option { return func(c *Client) { c.retries = n } }
 
+// WithRetryBackoff sets the retry wait's exponential shape: the first
+// retry waits the longer of base and the server's Retry-After hint,
+// each further retry doubles it, and no wait ever exceeds max
+// (defaults: base 1s, max 30s). The cap matters: a Retry-After hint
+// from a deeply overloaded server, doubled a few times, would
+// otherwise grow into a multi-minute stall.
+func WithRetryBackoff(base, max time.Duration) Option {
+	return func(c *Client) {
+		if base > 0 {
+			c.base = base
+		}
+		if max > 0 {
+			c.max = max
+		}
+	}
+}
+
+// WithRetryJitter desynchronizes retries: f(attempt) in [0,1] scales
+// the random half of each wait, so a fleet of clients rejected by the
+// same overloaded server does not come back in one synchronized
+// stampede. With jitter installed, a wait of d becomes
+// d/2 + f(attempt)*d/2. f must be deterministic for a given caller —
+// seed it per client — so retry schedules stay reproducible; nil
+// (the default) disables jitter and waits the full d.
+func WithRetryJitter(f func(attempt int) float64) Option {
+	return func(c *Client) { c.jitter = f }
+}
+
 // New returns a client for the service at baseURL (e.g.
 // "http://127.0.0.1:7070").
 func New(baseURL string, opts ...Option) *Client {
@@ -64,6 +95,8 @@ func New(baseURL string, opts ...Option) *Client {
 		baseURL: strings.TrimRight(baseURL, "/"),
 		hc:      http.DefaultClient,
 		retries: 2,
+		base:    time.Second,
+		max:     30 * time.Second,
 		sleep:   sleepCtx,
 	}
 	for _, o := range opts {
@@ -160,6 +193,30 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 	return &h, nil
 }
 
+// Ready fetches readiness. Like Health it never retries and decodes
+// the 503 body too: an unready node answers with its reasons, which is
+// an answer, not a failure.
+func (c *Client) Ready(ctx context.Context) (*ReadyResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/readyz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	var r ReadyResponse
+	if err := json.Unmarshal(body, &r); err != nil || r.Status == "" {
+		return nil, apiError(resp, body)
+	}
+	return &r, nil
+}
+
 // do runs one JSON exchange with Retry-After-aware retry: 429/503
 // responses are retried up to MaxRetries times, waiting the longer of
 // the Retry-After header and the body's retry_after_seconds hint
@@ -206,7 +263,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if !apiErr.Temporary() || attempt >= c.retries {
 			return apiErr
 		}
-		if err := c.sleep(ctx, retryDelay(apiErr)); err != nil {
+		if err := c.sleep(ctx, c.retryDelay(apiErr, attempt)); err != nil {
 			return err
 		}
 	}
@@ -231,15 +288,35 @@ func apiError(resp *http.Response, body []byte) *APIError {
 	return apiErr
 }
 
-// retryDelay converts a rejection's hint into a wait, defaulting to 1s
-// and capping at 30s.
-func retryDelay(e *APIError) time.Duration {
+// retryDelay converts a rejection into the attempt-th retry's wait:
+// start from the longer of the server's Retry-After hint and the
+// configured base, double per attempt, clamp to the configured max,
+// then jitter if installed. The clamp runs last-but-one so a large
+// hint can never ride the exponent past the cap; the left shift is
+// itself overflow-guarded for pathological attempt counts.
+func (c *Client) retryDelay(e *APIError, attempt int) time.Duration {
 	d := time.Duration(e.RetryAfterSeconds) * time.Second
-	if d <= 0 {
-		d = time.Second
+	if d < c.base {
+		d = c.base
 	}
-	if d > 30*time.Second {
-		d = 30 * time.Second
+	if attempt > 0 {
+		if attempt > 16 || d<<attempt < d {
+			d = c.max
+		} else {
+			d <<= attempt
+		}
+	}
+	if d > c.max {
+		d = c.max
+	}
+	if c.jitter != nil {
+		f := c.jitter(attempt)
+		if f < 0 {
+			f = 0
+		} else if f > 1 {
+			f = 1
+		}
+		d = d/2 + time.Duration(f*float64(d/2))
 	}
 	return d
 }

@@ -14,8 +14,8 @@ import (
 )
 
 // TestRetryAfterAwareRetry pins the overload contract: a 429 with
-// Retry-After is waited out and retried, and the recorded waits honor
-// the server's hint.
+// Retry-After is waited out and retried, the first wait honoring the
+// server's hint and later waits backing off exponentially from it.
 func TestRetryAfterAwareRetry(t *testing.T) {
 	var calls atomic.Int64
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -50,8 +50,8 @@ func TestRetryAfterAwareRetry(t *testing.T) {
 	if calls.Load() != 3 {
 		t.Errorf("server calls = %d, want 3 (two rejections + success)", calls.Load())
 	}
-	if len(waits) != 2 || waits[0] != 3*time.Second || waits[1] != 3*time.Second {
-		t.Errorf("waits = %v, want two 3s waits from Retry-After", waits)
+	if len(waits) != 2 || waits[0] != 3*time.Second || waits[1] != 6*time.Second {
+		t.Errorf("waits = %v, want 3s from Retry-After then 6s doubled", waits)
 	}
 }
 

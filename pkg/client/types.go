@@ -155,6 +155,49 @@ type Health struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
+// ReadyResponse is GET /readyz's body: the readiness probe. Where
+// /healthz answers "is the process alive", /readyz answers "should
+// this node receive traffic" — 200 "ready", or 503 "unready" with the
+// reasons (draining, coordinator not leading, worker not registered).
+type ReadyResponse struct {
+	Status  string   `json:"status"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// ClusterCounters is the cluster role's contribution to /metrics:
+// which role the node plays and the health of the coordination plane.
+// Coordinator-only and worker-only fields are zero on the other role;
+// a standalone daemon omits the whole section.
+type ClusterCounters struct {
+	// Role is "coordinator" or "worker"; NodeID the node's identity.
+	Role   string `json:"role"`
+	NodeID string `json:"node_id"`
+	// Term is the highest coordination term this node has observed;
+	// Leading reports a coordinator currently holding the leader lease.
+	Term    uint64 `json:"term"`
+	Leading bool   `json:"leading,omitempty"`
+	// Elections counts this coordinator's role transitions into or out
+	// of leadership.
+	Elections uint64 `json:"elections,omitempty"`
+	// Coordinator side: the worker registry and dispatch plane.
+	WorkersLive            int    `json:"workers_live,omitempty"`
+	Registrations          uint64 `json:"registrations,omitempty"`
+	Heartbeats             uint64 `json:"heartbeats,omitempty"`
+	LeaseExpirations       uint64 `json:"lease_expirations,omitempty"`
+	Dispatches             uint64 `json:"dispatches,omitempty"`
+	Requeues               uint64 `json:"requeues,omitempty"`
+	RPCFailures            uint64 `json:"rpc_failures,omitempty"`
+	LateCompletionsDropped uint64 `json:"late_completions_dropped,omitempty"`
+	// Worker side: registration state and the exec surface.
+	Registered        bool   `json:"registered,omitempty"`
+	Killed            bool   `json:"killed,omitempty"`
+	ExecsServed       uint64 `json:"execs_served,omitempty"`
+	ExecErrors        uint64 `json:"exec_errors,omitempty"`
+	StaleTermRejected uint64 `json:"stale_term_rejected,omitempty"`
+	HeartbeatsSent    uint64 `json:"heartbeats_sent,omitempty"`
+	HeartbeatsDropped uint64 `json:"heartbeats_dropped,omitempty"`
+}
+
 // Snapshot is the JSON document GET /metrics serves.
 type Snapshot struct {
 	UptimeSeconds float64           `json:"uptime_seconds"`
@@ -166,7 +209,10 @@ type Snapshot struct {
 	Analyses      AnalysisCounters  `json:"analyses"`
 	// Store is the run store's shard accounting; nil when the server
 	// runs without a store.
-	Store        *StoreShardStats `json:"store,omitempty"`
+	Store *StoreShardStats `json:"store,omitempty"`
+	// Cluster is the cluster role's coordination-plane accounting; nil
+	// on a standalone daemon.
+	Cluster      *ClusterCounters `json:"cluster,omitempty"`
 	StageLatency []StageHistogram `json:"stage_latency"`
 }
 

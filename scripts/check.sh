@@ -26,13 +26,13 @@ go build ./pkg/client/ ./examples/...
 echo "== go test -race =="
 go test -race ./...
 
-echo "== chaos soak (seeded fault-injection + cancellation + overload + batch + store sweep) =="
+echo "== chaos soak (seeded fault-injection + cancellation + overload + batch + store + cluster sweep) =="
 go test -race -count=2 \
-    -run 'Chaos|Retry|Injection|Transient|Permanent|Corruption|Sink|KeyedRNG|Cancel|Overload|Shutdown|Drain|Batch|Schedule|Coalesce|Shard|Evict|Migrate' \
-    . ./internal/fault/ ./internal/serve/ ./internal/batch/ ./internal/store/
+    -run 'Chaos|Retry|Injection|Transient|Permanent|Corruption|Sink|KeyedRNG|Cancel|Overload|Shutdown|Drain|Batch|Schedule|Coalesce|Shard|Evict|Migrate|Cluster|Lease|Failover|Partition' \
+    . ./internal/fault/ ./internal/serve/ ./internal/batch/ ./internal/store/ ./internal/cluster/
 
 echo "== short benchmarks =="
-go test -run='^$' -bench='Fit|BuildTreeOrdered|PredictAll|RankPairs|Distance|BatchSchedule|Store' \
-    -benchtime=1x -benchmem ./internal/sgbrt/ ./internal/interact/ ./internal/dtw/ ./internal/batch/ ./internal/store/
+go test -run='^$' -bench='Fit|BuildTreeOrdered|PredictAll|RankPairs|Distance|BatchSchedule|Store|Ring|Heartbeat|RegistryPick' \
+    -benchtime=1x -benchmem ./internal/sgbrt/ ./internal/interact/ ./internal/dtw/ ./internal/batch/ ./internal/store/ ./internal/cluster/
 
 echo "check OK"
