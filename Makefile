@@ -25,16 +25,18 @@ race:
 # series, broken stores at 0%/5%/20%), the fault unit tests, the
 # serving layer's overload/shutdown/drain paths, the batch
 # scheduler/coalescer (per-job error isolation under injected faults),
-# the sharded store's crash/eviction/migration paths, and the cluster
+# the sharded store's crash/eviction/migration paths, the cluster
 # plane's node-level chaos (lease failover, requeue, partition, seeded
-# worker kills), run twice under the race detector. Deterministic — a
-# failure here is a real regression, not flakiness.
+# worker kills), and the Cleaner seam (registry, per-cleaner cache-key
+# separation, Bayesian determinism across worker counts), run twice
+# under the race detector. Deterministic — a failure here is a real
+# regression, not flakiness.
 chaos:
-	$(GO) test -race -count=2 -run 'Chaos|Retry|Injection|Transient|Permanent|Corruption|Sink|KeyedRNG|Cancel|Overload|Shutdown|Drain|Batch|Schedule|Coalesce|Shard|Evict|Migrate|Cluster|Lease|Failover|Partition' . ./internal/fault/ ./internal/serve/ ./internal/batch/ ./internal/store/ ./internal/cluster/
+	$(GO) test -race -count=2 -run 'Chaos|Retry|Injection|Transient|Permanent|Corruption|Sink|KeyedRNG|Cancel|Overload|Shutdown|Drain|Batch|Schedule|Coalesce|Shard|Evict|Migrate|Cluster|Lease|Failover|Partition|Cleaner|Bayes' . ./internal/fault/ ./internal/serve/ ./internal/batch/ ./internal/store/ ./internal/cluster/ ./internal/clean/
 
 # Short allocation-aware sweep over the hot-path micro-benchmarks.
 bench:
-	$(GO) test -run=^$$ -bench='Fit|BuildTreeOrdered|PredictAll|RankPairs|Distance|BatchSchedule|Store|Ring|Heartbeat|RegistryPick' -benchtime=1x -benchmem ./internal/sgbrt/ ./internal/interact/ ./internal/dtw/ ./internal/batch/ ./internal/store/ ./internal/cluster/
+	$(GO) test -run=^$$ -bench='Fit|BuildTreeOrdered|PredictAll|RankPairs|Distance|BatchSchedule|Store|Ring|Heartbeat|RegistryPick|BayesClean|ThresholdKNNClean' -benchtime=1x -benchmem ./internal/sgbrt/ ./internal/interact/ ./internal/dtw/ ./internal/batch/ ./internal/store/ ./internal/cluster/ ./internal/clean/
 
 # Same sweep, repeated BENCH_COUNT times and written to an
 # auto-numbered machine-readable BENCH_<n>.json report.

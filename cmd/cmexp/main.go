@@ -23,6 +23,7 @@ import (
 	"time"
 
 	counterminer "counterminer"
+	"counterminer/internal/clean"
 	"counterminer/internal/experiments"
 )
 
@@ -37,10 +38,16 @@ func main() {
 		workers = flag.Int("workers", 0, "override worker-goroutine count")
 		budget  = flag.Int("events", 0, "override modelled-event budget (0 = all 229)")
 		timeout = flag.Duration("timeout", 0, "abort the experiment run after this long (0 = no deadline)")
+		cleaner = flag.String("cleaner", "", "data cleaner for the cleaning-dependent experiments (threshold-knn or bayes; empty = default)")
 	)
 	flag.Parse()
 	if *timeout < 0 {
 		fmt.Fprintln(os.Stderr, "cmexp: -timeout must be >= 0")
+		os.Exit(2)
+	}
+	if _, err := clean.Lookup(*cleaner); err != nil {
+		fmt.Fprintf(os.Stderr, "cmexp: unknown cleaner %q; candidates: %s\n",
+			*cleaner, strings.Join(clean.Candidates(*cleaner), ", "))
 		os.Exit(2)
 	}
 
@@ -113,6 +120,7 @@ func main() {
 	if *budget > 0 {
 		cfg.EventBudget = *budget
 	}
+	cfg.Cleaner = *cleaner
 
 	// Ctrl-C (SIGINT) or SIGTERM cancels the experiment context; the
 	// sweeps observe it between benchmarks, reps, and grid cells.

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	counterminer "counterminer"
+	"counterminer/internal/clean"
 	"counterminer/internal/collector"
 	"counterminer/internal/fault"
 	"counterminer/internal/sim"
@@ -53,6 +54,7 @@ func main() {
 		chaos     = flag.Float64("chaos", 0, "fault-injection rate in [0,1): per-run failures, series corruption, store errors")
 		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed (identical seeds replay identical failures)")
 		timeout   = flag.Duration("timeout", 0, "abort the analysis after this long (0 = no deadline)")
+		cleaner   = flag.String("cleaner", "", "data cleaner: threshold-knn (default, the paper's §III-B pipeline) or bayes (Bayesian multiplexing-error correction)")
 	)
 	flag.Parse()
 
@@ -75,6 +77,7 @@ func main() {
 	case *timeout < 0:
 		fatalUsage("-timeout must be >= 0")
 	}
+	checkCleaner(*cleaner)
 
 	// Ctrl-C (SIGINT) or SIGTERM cancels the analysis context; every
 	// pipeline stage observes it within one unit of work, and the store's
@@ -88,14 +91,15 @@ func main() {
 	}
 
 	opts := counterminer.Options{
-		Runs:      *runs,
-		Trees:     *trees,
-		TopK:      *topK,
-		SkipEIR:   *skipEIR,
-		StorePath: *dbPath,
-		Workers:   *workers,
-		Retry:     counterminer.RetryPolicy{Attempts: *retries, BaseDelay: *retryWait},
-		MinRuns:   *minRuns,
+		Runs:         *runs,
+		Trees:        *trees,
+		TopK:         *topK,
+		SkipEIR:      *skipEIR,
+		StorePath:    *dbPath,
+		Workers:      *workers,
+		Retry:        counterminer.RetryPolicy{Attempts: *retries, BaseDelay: *retryWait},
+		MinRuns:      *minRuns,
+		CleanOptions: clean.Options{Cleaner: *cleaner},
 	}
 	if *chaos > 0 {
 		opts.Source = fault.NewSource(collector.New(sim.NewCatalogue()), fault.Config{
@@ -168,8 +172,8 @@ func main() {
 	}
 	fmt.Printf("events measured: %d   MAPM events: %d   model error: %.1f%%\n",
 		a.Events, a.MAPMEvents, a.ModelError)
-	fmt.Printf("cleaner: %d outliers replaced, %d missing values filled\n",
-		a.OutliersReplaced, a.MissingFilled)
+	fmt.Printf("cleaner: %s — %d outliers replaced, %d missing values filled\n",
+		a.Cleaner, a.OutliersReplaced, a.MissingFilled)
 	if d := &a.Degradation; d.Degraded() {
 		fmt.Printf("degradation report:\n  %s\n", strings.ReplaceAll(d.String(), "\n", "\n  "))
 	}
@@ -189,6 +193,16 @@ func main() {
 			fmt.Printf(" %d:%.1f%%", a.EIRNumEvents[i], a.EIRErrors[i])
 		}
 		fmt.Println()
+	}
+}
+
+// checkCleaner exits with a friendly candidate-listing error when name
+// is not a registered cleaner (empty selects the default).
+func checkCleaner(name string) {
+	if _, err := clean.Lookup(name); err != nil {
+		fmt.Fprintf(os.Stderr, "counterminer: unknown cleaner %q; candidates: %s\n",
+			name, strings.Join(clean.Candidates(name), ", "))
+		os.Exit(2)
 	}
 }
 

@@ -49,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"counterminer/internal/clean"
 	"counterminer/internal/cluster"
 	"counterminer/internal/fault"
 	"counterminer/internal/serve"
@@ -77,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		anaWorkers = fs.Int("analysis-workers", 0, "per-analysis worker count (0 = GOMAXPROCS); never changes results")
 		batchMax   = fs.Int("batch-max", 64, "max jobs one /analyze/batch request (or one coalescing window) may carry")
 		coalesce   = fs.Duration("coalesce-window", 0, "merge single /analyze submissions arriving within this window into one scheduled batch (0 = off)")
+		cleanerDef = fs.String("cleaner", "", "default data cleaner for requests that don't name one (threshold-knn or bayes; empty = threshold-knn)")
 
 		role      = fs.String("role", "standalone", "node role: standalone, coordinator, or worker")
 		nodeID    = fs.String("node-id", "", "stable node identity (default: role-<listen addr>)")
@@ -126,6 +128,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "counterminerd: -heartbeat must be shorter than -lease, or workers expire between beats")
 		return 2
 	}
+	if _, err := clean.Lookup(*cleanerDef); err != nil {
+		fmt.Fprintf(stderr, "counterminerd: unknown cleaner %q; candidates: %s\n",
+			*cleanerDef, strings.Join(clean.Candidates(*cleanerDef), ", "))
+		return 2
+	}
 	var storeMemBytes int64
 	if *storeMem != "" {
 		var err error
@@ -147,6 +154,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		AnalysisWorkers: *anaWorkers,
 		BatchMax:        *batchMax,
 		CoalesceWindow:  *coalesce,
+		DefaultCleaner:  *cleanerDef,
 	}
 	// On the CLI, 0 means "none"; in serve.Config that is encoded as a
 	// negative (0 selects the default).

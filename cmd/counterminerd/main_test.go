@@ -278,12 +278,29 @@ func TestDaemonFlagValidation(t *testing.T) {
 		{"-budget", "0s"},
 		{"-grace", "-1s"},
 		{"-analysis-workers", "-3"},
+		{"-cleaner", "nope"},
 		{"-no-such-flag"},
 	}
 	for _, args := range cases {
 		var out, errOut syncBuffer
 		if code := run(args, &out, &errOut); code != 2 {
 			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+// TestDaemonUnknownCleanerListsCandidates pins the -cleaner usage
+// error: the rejection must name the registered cleaners so the user
+// can correct the flag without reading source.
+func TestDaemonUnknownCleanerListsCandidates(t *testing.T) {
+	var out, errOut syncBuffer
+	if code := run([]string{"-cleaner", "bays"}, &out, &errOut); code != 2 {
+		t.Fatalf("run(-cleaner bays) = %d, want 2", code)
+	}
+	msg := errOut.String()
+	for _, want := range []string{`unknown cleaner "bays"`, "candidates:", "bayes"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("stderr %q missing %q", msg, want)
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"counterminer/internal/interact"
 	"counterminer/internal/rank"
 	"counterminer/internal/sgbrt"
+	"counterminer/internal/timeseries"
 )
 
 // This file is the adoption path for real counter data: everything
@@ -50,29 +51,47 @@ func (d *DataSet) Validate() error {
 	return nil
 }
 
-// Clean runs the §III-B data cleaner over every event column in place
-// (outlier replacement and missing-value filling operate per column,
-// treating it as that event's time series). It returns the totals.
+// Clean runs the configured data cleaner (opts.Cleaner, default the
+// §III-B threshold+KNN pipeline) over every event column in place,
+// treating each column as that event's time series. It returns the
+// totals. External data carries no multiplexing metadata, so cleaners
+// run with an unknown group count and fall back to purely data-driven
+// repair.
 func (d *DataSet) Clean(opts clean.Options) (outliers, missing int, err error) {
+	return d.CleanContext(context.Background(), opts)
+}
+
+// CleanContext is Clean with cooperative cancellation.
+func (d *DataSet) CleanContext(ctx context.Context, opts clean.Options) (outliers, missing int, err error) {
 	if err := d.Validate(); err != nil {
 		return 0, 0, err
 	}
-	col := make([]float64, len(d.X))
-	for j := range d.Events {
+	cleaner, err := clean.Lookup(opts.Cleaner)
+	if err != nil {
+		return 0, 0, err
+	}
+	set := timeseries.NewSet()
+	for j, ev := range d.Events {
+		col := make([]float64, len(d.X))
 		for i := range d.X {
 			col[i] = d.X[i][j]
 		}
-		cleaned, rep, err := clean.Series(col, opts)
+		set.Put(timeseries.New(ev, col))
+	}
+	cleaned, rep, err := cleaner.Clean(ctx, set, clean.Meta{Benchmark: "external"}, opts)
+	if err != nil {
+		return 0, 0, fmt.Errorf("counterminer: %w", err)
+	}
+	for j, ev := range d.Events {
+		s, err := cleaned.Lookup(ev)
 		if err != nil {
-			return 0, 0, fmt.Errorf("counterminer: clean column %s: %w", d.Events[j], err)
+			return 0, 0, fmt.Errorf("counterminer: clean column %s: %w", ev, err)
 		}
 		for i := range d.X {
-			d.X[i][j] = cleaned[i]
+			d.X[i][j] = s.Values[i]
 		}
-		outliers += rep.Outliers
-		missing += rep.Missing
 	}
-	return outliers, missing, nil
+	return rep.TotalOutliers, rep.TotalMissing, nil
 }
 
 // AnalyzeDataContext runs the mining stages — optional cleaning,
@@ -86,9 +105,14 @@ func AnalyzeDataContext(ctx context.Context, d *DataSet, opts Options) (*Analysi
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
+	// Validate before defaulting, so out-of-range clean options are
+	// rejected rather than silently raised onto the paper defaults.
+	if err := opts.CleanOptions.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 
-	ana := &Analysis{Benchmark: "external", Events: len(d.Events)}
+	ana := &Analysis{Benchmark: "external", Cleaner: opts.CleanOptions.Cleaner, Events: len(d.Events)}
 	var mapm *rank.Model
 	sr := &stageRunner{ctx: ctx}
 	err := sr.run([]stage{
@@ -97,7 +121,7 @@ func AnalyzeDataContext(ctx context.Context, d *DataSet, opts Options) (*Analysi
 			if copts.Workers == 0 {
 				copts.Workers = opts.Workers
 			}
-			out, miss, err := d.Clean(copts)
+			out, miss, err := d.CleanContext(ctx, copts)
 			if err != nil {
 				return err
 			}

@@ -50,8 +50,11 @@ const maxOutlierRounds = 8
 const zeroBound = 0.01
 
 // Options configures the cleaner. The zero value selects the paper's
-// settings.
+// settings under the default threshold-knn cleaner.
 type Options struct {
+	// Cleaner selects the cleaning strategy by registry name; empty
+	// selects DefaultCleaner (the paper's threshold+KNN pipeline).
+	Cleaner string
 	// N is the outlier threshold multiplier (default 5).
 	N float64
 	// K is the KNN neighbour count (default 5).
@@ -66,7 +69,19 @@ type Options struct {
 	Workers int
 }
 
+// WithDefaults returns a copy of o with every unset field resolved:
+// the cleaner name canonicalized (empty → DefaultCleaner) and N/K
+// raised to the paper defaults. Serving layers canonicalize before
+// hashing, so a zero field and an explicit default produce the same
+// content address — and two cleaner names never collide. Workers is
+// left alone: it can never change results, so it stays out of every
+// identity.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
+
 func (o Options) withDefaults() Options {
+	if o.Cleaner == "" {
+		o.Cleaner = DefaultCleaner
+	}
 	if o.N <= 0 {
 		o.N = DefaultN
 	}
@@ -135,6 +150,9 @@ type Report struct {
 func Series(values []float64, opts Options) ([]float64, Report, error) {
 	if len(values) == 0 {
 		return nil, Report{}, errors.New("clean: empty series")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, Report{}, err
 	}
 	opts = opts.withDefaults()
 	out := append([]float64(nil), values...)
@@ -256,6 +274,9 @@ func Set(in *timeseries.Set, opts Options) (*timeseries.Set, SetReport, error) {
 // checks the context between series, so a done context aborts within
 // one series repair and surfaces as ctx.Err().
 func SetCtx(ctx context.Context, in *timeseries.Set, opts Options) (*timeseries.Set, SetReport, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, SetReport{}, err
+	}
 	events := in.Events()
 	type result struct {
 		values []float64

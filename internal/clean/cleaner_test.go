@@ -1,0 +1,440 @@
+package clean
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"counterminer/internal/timeseries"
+)
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	want := []string{BayesCleaner, DefaultCleaner}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+}
+
+func TestLookupDefault(t *testing.T) {
+	c, err := Lookup("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != DefaultCleaner {
+		t.Fatalf("Lookup(\"\") = %q, want %q", c.Name(), DefaultCleaner)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	_, err := Lookup("nope")
+	if err == nil {
+		t.Fatal("unknown cleaner should error")
+	}
+	if !errors.Is(err, ErrUnknownCleaner) {
+		t.Errorf("error %v does not match ErrUnknownCleaner", err)
+	}
+	var ue *UnknownCleanerError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error %T is not *UnknownCleanerError", err)
+	}
+	// Nothing contains "nope": candidates fall back to every name.
+	if !reflect.DeepEqual(ue.Candidates, Names()) {
+		t.Errorf("candidates = %v, want all names", ue.Candidates)
+	}
+	if !strings.Contains(err.Error(), "threshold-knn") {
+		t.Errorf("error text %q should list candidates", err)
+	}
+}
+
+func TestCandidatesSubstring(t *testing.T) {
+	got := Candidates("BAY")
+	if !reflect.DeepEqual(got, []string{BayesCleaner}) {
+		t.Errorf("Candidates(BAY) = %v, want [bayes]", got)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		ok   bool
+	}{
+		{"zero value", Options{}, true},
+		{"explicit defaults", Options{N: DefaultN, K: DefaultK}, true},
+		{"named cleaners", Options{Cleaner: BayesCleaner}, true},
+		{"nan threshold", Options{N: math.NaN()}, false},
+		{"inf threshold", Options{N: math.Inf(1)}, false},
+		{"negative threshold", Options{N: -1}, false},
+		{"negative k", Options{K: -3}, false},
+		{"unknown cleaner", Options{Cleaner: "median-of-medians"}, false},
+	}
+	for _, tc := range cases {
+		err := tc.opts.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+		if !tc.ok && err != nil && tc.opts.Cleaner == "" && !errors.Is(err, ErrBadOptions) {
+			t.Errorf("%s: error %v does not match ErrBadOptions", tc.name, err)
+		}
+	}
+	// The unknown-cleaner case surfaces the cleaner taxonomy, not the
+	// generic one.
+	if err := (Options{Cleaner: "x"}).Validate(); !errors.Is(err, ErrUnknownCleaner) {
+		t.Errorf("unknown cleaner validation error %v does not match ErrUnknownCleaner", err)
+	}
+}
+
+func TestSeriesRejectsBadOptions(t *testing.T) {
+	if _, _, err := Series([]float64{1, 2, 3}, Options{N: math.NaN()}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("Series with NaN threshold: error %v does not match ErrBadOptions", err)
+	}
+	in := timeseries.NewSet()
+	in.Put(timeseries.New("E", []float64{1, 2, 3}))
+	if _, _, err := Set(in, Options{K: -1}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("Set with negative K: error %v does not match ErrBadOptions", err)
+	}
+}
+
+func TestWithDefaultsCanonicalizes(t *testing.T) {
+	got := Options{}.WithDefaults()
+	want := Options{Cleaner: DefaultCleaner, N: DefaultN, K: DefaultK}
+	if got != want {
+		t.Fatalf("WithDefaults() = %+v, want %+v", got, want)
+	}
+	// Workers never participates in canonical identity.
+	if w := (Options{Workers: 7}).WithDefaults().Workers; w != 7 {
+		t.Errorf("WithDefaults clobbered Workers: %d", w)
+	}
+}
+
+// noisySet builds a deterministic multi-event set with MLPX-like damage:
+// burst overshoots and missing zeros on correlated series.
+func noisySet(t *testing.T, events, n int, seed int64) *timeseries.Set {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	// Shared program phase so the series correlate.
+	phase := make([]float64, n)
+	for t := range phase {
+		phase[t] = 1 + 0.5*math.Sin(float64(t)/9)
+	}
+	set := timeseries.NewSet()
+	for e := 0; e < events; e++ {
+		scale := 50 + 20*float64(e)
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = scale * phase[i] * (1 + 0.05*rng.NormFloat64())
+			if rng.Float64() < 0.05 {
+				vs[i] *= 3 * 0.9 // caught burst, G=3 overshoot
+			} else if rng.Float64() < 0.05 {
+				vs[i] = 0 // missed slice
+			}
+		}
+		set.Put(timeseries.New(string(rune('A'+e))+"_EVENT", vs))
+	}
+	return set
+}
+
+func TestThresholdKNNCleanerBitIdenticalToSetCtx(t *testing.T) {
+	in := noisySet(t, 6, 400, 11)
+	c, err := Lookup(DefaultCleaner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotRep, err := c.Clean(context.Background(), in, Meta{Benchmark: "x", Groups: 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantRep, err := SetCtx(context.Background(), in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotRep, wantRep) {
+		t.Errorf("reports differ: %+v vs %+v", gotRep, wantRep)
+	}
+	for _, ev := range in.Events() {
+		g, _ := got.Lookup(ev)
+		w, _ := want.Lookup(ev)
+		if !reflect.DeepEqual(g.Values, w.Values) {
+			t.Fatalf("event %s: threshold-knn cleaner output differs from SetCtx", ev)
+		}
+	}
+}
+
+func TestBayesCleanerDeterministicAcrossWorkers(t *testing.T) {
+	in := noisySet(t, 24, 600, 7)
+	c, err := Lookup(BayesCleaner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := Meta{Benchmark: "x", Groups: 6}
+	var ref *timeseries.Set
+	var refRep SetReport
+	for _, workers := range []int{1, 2, 8} {
+		out, rep, err := c.Clean(context.Background(), in, meta, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref, refRep = out, rep
+			continue
+		}
+		if !reflect.DeepEqual(rep, refRep) {
+			t.Errorf("workers=%d: report differs from workers=1", workers)
+		}
+		for _, ev := range in.Events() {
+			g, _ := out.Lookup(ev)
+			w, _ := ref.Lookup(ev)
+			if !reflect.DeepEqual(g.Values, w.Values) {
+				t.Fatalf("workers=%d event %s: bayes output not bit-identical", workers, ev)
+			}
+		}
+	}
+}
+
+func TestBayesCleanerDoesNotMutateInput(t *testing.T) {
+	in := noisySet(t, 4, 200, 3)
+	snapshot := map[string][]float64{}
+	for _, ev := range in.Events() {
+		s, _ := in.Lookup(ev)
+		snapshot[ev] = append([]float64(nil), s.Values...)
+	}
+	c, _ := Lookup(BayesCleaner)
+	if _, _, err := c.Clean(context.Background(), in, Meta{Groups: 3}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range in.Events() {
+		s, _ := in.Lookup(ev)
+		if !reflect.DeepEqual(s.Values, snapshot[ev]) {
+			t.Fatalf("event %s: bayes mutated its input", ev)
+		}
+	}
+}
+
+// TestBayesOvershootInversionBeatsBinMedian is the heart of the bayes
+// pitch: a caught burst carries the interval's real magnitude scaled by
+// ~0.9·G, and dividing it back recovers the truth, while bin-median
+// replacement flattens the burst to the series' typical level.
+func TestBayesOvershootInversionBeatsBinMedian(t *testing.T) {
+	const n, G = 400, 6
+	rng := rand.New(rand.NewSource(5))
+	truth := make([]float64, n)
+	measured := make([]float64, n)
+	for i := range truth {
+		truth[i] = 100 * (1 + 0.3*math.Sin(float64(i)/7))
+		measured[i] = truth[i] * (1 + 0.03*rng.NormFloat64())
+	}
+	// Three caught bursts: genuine spikes ×G-overshot by the kernel.
+	bursts := []int{80, 200, 320}
+	for _, i := range bursts {
+		truth[i] = 400
+		measured[i] = truth[i] * G * 0.9
+	}
+	in := timeseries.NewSet()
+	in.Put(timeseries.New("SPIKY", measured))
+
+	errFor := func(name string) float64 {
+		c, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := c.Clean(context.Background(), in, Meta{Groups: G}, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _ := out.Lookup("SPIKY")
+		var sum float64
+		for _, i := range bursts {
+			sum += math.Abs(s.Values[i]-truth[i]) / truth[i]
+		}
+		return sum / float64(len(bursts))
+	}
+	bayes, tk := errFor(BayesCleaner), errFor(DefaultCleaner)
+	if bayes >= tk {
+		t.Fatalf("bayes burst error %.3f not below threshold-knn %.3f", bayes, tk)
+	}
+	if bayes > 0.35 {
+		t.Errorf("bayes burst error %.3f, want near-inversion (< 0.35)", bayes)
+	}
+}
+
+// TestBayesPeerFillUsesCorrelation: a missing interval on one series is
+// recoverable from a correlated peer that saw the same program phase.
+func TestBayesPeerFillUsesCorrelation(t *testing.T) {
+	const n = 300
+	phase := make([]float64, n)
+	for i := range phase {
+		phase[i] = 1 + 0.8*math.Sin(float64(i)/11)
+	}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range phase {
+		a[i] = 100 * phase[i]
+		b[i] = 40 * phase[i]
+	}
+	hole := 150 // a phase peak
+	truthA := a[hole]
+	a[hole] = 0
+	in := timeseries.NewSet()
+	in.Put(timeseries.New("A", a))
+	in.Put(timeseries.New("B", b))
+
+	c, _ := Lookup(BayesCleaner)
+	out, rep, err := c.Clean(context.Background(), in, Meta{Groups: 3}, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalMissing == 0 {
+		t.Fatal("missing zero was not detected")
+	}
+	s, _ := out.Lookup("A")
+	if rel := math.Abs(s.Values[hole]-truthA) / truthA; rel > 0.15 {
+		t.Errorf("peer fill recovered %.1f for truth %.1f (rel err %.2f)", s.Values[hole], truthA, rel)
+	}
+}
+
+func TestBayesEdgeCases(t *testing.T) {
+	ctx := context.Background()
+	c, _ := Lookup(BayesCleaner)
+
+	t.Run("genuine zeros kept", func(t *testing.T) {
+		vs := []float64{0, 0.005, 0, 0.003, 0.004, 0, 0.002, 0.001}
+		in := timeseries.NewSet()
+		in.Put(timeseries.New("RARE", vs))
+		out, rep, err := c.Clean(ctx, in, Meta{}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.PerEvent["RARE"].ZerosKeptGenuine {
+			t.Error("genuine zeros not recognized")
+		}
+		s, _ := out.Lookup("RARE")
+		if !reflect.DeepEqual(s.Values, vs) {
+			t.Errorf("genuine-zero series changed: %v", s.Values)
+		}
+	})
+
+	t.Run("all zeros survive", func(t *testing.T) {
+		in := timeseries.NewSet()
+		in.Put(timeseries.New("DEAD", make([]float64, 16)))
+		out, _, err := c.Clean(ctx, in, Meta{}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _ := out.Lookup("DEAD")
+		for _, v := range s.Values {
+			if v != 0 {
+				t.Fatalf("all-zero series changed: %v", s.Values)
+			}
+		}
+	})
+
+	t.Run("constant series unchanged", func(t *testing.T) {
+		vs := []float64{7, 7, 7, 7, 7, 7}
+		in := timeseries.NewSet()
+		in.Put(timeseries.New("CONST", vs))
+		out, rep, err := c.Clean(ctx, in, Meta{Groups: 3}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _ := out.Lookup("CONST")
+		if !reflect.DeepEqual(s.Values, vs) {
+			t.Errorf("constant series changed: %v", s.Values)
+		}
+		if rep.TotalOutliers != 0 || rep.TotalMissing != 0 {
+			t.Errorf("constant series reported repairs: %+v", rep)
+		}
+	})
+
+	t.Run("all NaN errors", func(t *testing.T) {
+		in := timeseries.NewSet()
+		in.Put(timeseries.New("BAD", []float64{math.NaN(), math.NaN()}))
+		if _, _, err := c.Clean(ctx, in, Meta{}, Options{}); err == nil {
+			t.Error("all-NaN series should error")
+		}
+	})
+
+	t.Run("non-finite repaired and counted", func(t *testing.T) {
+		vs := make([]float64, 60)
+		for i := range vs {
+			vs[i] = 50 + float64(i%5)
+		}
+		vs[10] = math.Inf(1)
+		vs[30] = math.NaN()
+		in := timeseries.NewSet()
+		in.Put(timeseries.New("GARBAGE", vs))
+		out, rep, err := c.Clean(ctx, in, Meta{Groups: 3}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.PerEvent["GARBAGE"].NonFinite != 2 {
+			t.Errorf("NonFinite = %d, want 2", rep.PerEvent["GARBAGE"].NonFinite)
+		}
+		s, _ := out.Lookup("GARBAGE")
+		for i, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite survived at %d: %v", i, v)
+			}
+		}
+	})
+
+	t.Run("skip flags respected", func(t *testing.T) {
+		vs := make([]float64, 100)
+		for i := range vs {
+			vs[i] = 10 + float64(i%3)
+		}
+		vs[5] = 0    // missing candidate
+		vs[50] = 500 // outlier candidate
+		in := timeseries.NewSet()
+		in.Put(timeseries.New("E", vs))
+		out, rep, err := c.Clean(ctx, in, Meta{Groups: 3}, Options{SkipOutliers: true, SkipMissing: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TotalOutliers != 0 || rep.TotalMissing != 0 {
+			t.Errorf("skip flags ignored: %+v", rep)
+		}
+		s, _ := out.Lookup("E")
+		if s.Values[5] != 0 || s.Values[50] != 500 {
+			t.Errorf("skip flags ignored: values changed to %v/%v", s.Values[5], s.Values[50])
+		}
+	})
+
+	t.Run("unknown groups falls back to temporal", func(t *testing.T) {
+		vs := make([]float64, 120)
+		for i := range vs {
+			vs[i] = 20 + math.Sin(float64(i)/5)
+		}
+		vs[60] = 900
+		in := timeseries.NewSet()
+		in.Put(timeseries.New("E", vs))
+		out, rep, err := c.Clean(ctx, in, Meta{}, Options{}) // Groups 0: unknown
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TotalOutliers != 1 {
+			t.Fatalf("outliers = %d, want 1", rep.TotalOutliers)
+		}
+		s, _ := out.Lookup("E")
+		if s.Values[60] > 25 || s.Values[60] < 15 {
+			t.Errorf("temporal fallback produced %v, want near 20", s.Values[60])
+		}
+	})
+}
+
+func TestBayesCleanerCancellation(t *testing.T) {
+	in := noisySet(t, 16, 400, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c, _ := Lookup(BayesCleaner)
+	if _, _, err := c.Clean(ctx, in, Meta{Groups: 3}, Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled context: error %v, want context.Canceled", err)
+	}
+}

@@ -176,6 +176,72 @@ func sameKeySet(a, b map[string]bool) bool {
 	return true
 }
 
+// TestClusterRequeueCarriesCleanerThroughRedispatch pins the
+// failover path's cleaner fidelity: a job analysed under a non-default
+// cleaner that gets requeued after its owner's lease expires must reach
+// the second worker with the same cleaner name. Workers recompute the
+// content address from the wire Job, so losing the field here would
+// silently serve the re-dispatched client a default-cleaner result.
+func TestClusterRequeueCarriesCleanerThroughRedispatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent failover test in -short")
+	}
+	coord, cn, _ := startCoordinatorNode(t, "coord", nil, nil)
+	join := []string{cn.url}
+
+	type delivery struct {
+		id  NodeID
+		job serve.Job
+	}
+	var victim atomic.Value // NodeID
+	release := make(chan struct{})
+	defer close(release)
+	entered := make(chan delivery, 2)
+	mkExec := func(id NodeID) func(context.Context, serve.Job) (*counterminer.Analysis, error) {
+		return func(ctx context.Context, j serve.Job) (*counterminer.Analysis, error) {
+			entered <- delivery{id, j}
+			if victim.CompareAndSwap(nil, id) || victim.Load() == id {
+				<-release
+			}
+			return &counterminer.Analysis{Benchmark: j.Benchmark, Cleaner: j.Cleaner, Events: 1}, nil
+		}
+	}
+	workers := map[NodeID]*Worker{}
+	for _, id := range []NodeID{"w1", "w2"} {
+		w, _ := startWorkerNode(t, id, join, nil, "", mkExec(id))
+		workers[id] = w
+	}
+	waitFor(t, "workers registered", func() bool { return coord.Registry().Live() == 2 })
+
+	resc := make(chan *counterminer.Analysis, 1)
+	go func() {
+		ana, err := coord.Dispatch(context.Background(),
+			serve.Job{Key: "job-bayes", Benchmark: "wordcount", Cleaner: "bayes"})
+		if err != nil {
+			t.Errorf("dispatch: %v", err)
+		}
+		resc <- ana
+	}()
+
+	first := <-entered
+	if first.job.Cleaner != "bayes" {
+		t.Fatalf("first delivery cleaner = %q, want bayes", first.job.Cleaner)
+	}
+	workers[first.id].Partition(true)
+
+	ana := <-resc
+	second := <-entered
+	if second.id == first.id {
+		t.Fatalf("requeue went back to the partitioned worker %s", first.id)
+	}
+	if second.job.Cleaner != "bayes" {
+		t.Fatalf("re-dispatched delivery cleaner = %q, want bayes (cleaner lost across requeue)", second.job.Cleaner)
+	}
+	if ana == nil || ana.Cleaner != "bayes" {
+		t.Fatalf("delivered analysis = %+v, want Cleaner bayes", ana)
+	}
+}
+
 // TestDispatchContextCancelReturnsPromptly guards the dispatch loop's
 // exit paths: a canceled client context must not leave Dispatch hung
 // on a dead worker.

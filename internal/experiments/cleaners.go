@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"counterminer/internal/clean"
+	"counterminer/internal/collector"
+	"counterminer/internal/parallel"
+	"counterminer/internal/sim"
+)
+
+// cleanerRates are the MLPX rates the head-to-head sweeps: the
+// paper's lightest grid (10 events on 4 counters, G=3), the middle of
+// the Fig. 3 range (24 events, G=6), and its heaviest point (36
+// events, G=9), where multiplexing error — and the gap between
+// correction strategies — is largest.
+var cleanerRates = []int{10, 24, 36}
+
+// Cleaners runs the cleaner head-to-head: every registered cleaner
+// over the canonical MLPX rates, scored by the eq. (4) DTW error of
+// ICACHE.MISSES against its OCOE ground truth. The raw (uncleaned)
+// error column anchors each row; cfg.Cleaner is ignored — the whole
+// point is to sweep the registry.
+func Cleaners(ctx context.Context, cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	cat := sim.NewCatalogue()
+	benches := cfg.benchmarks()
+	if len(benches) > 3 {
+		benches = benches[:3] // match the Fig. 3/7 workload-class slice
+	}
+	cleaners := clean.Names()
+
+	// Flatten the (rate × benchmark × cleaner) grid so every cell runs
+	// concurrently. The collector memoizes by (profile, run, mode,
+	// events), so the cleaners of one cell family share the same three
+	// collected runs and differ only in the repair strategy.
+	type cell struct{ raw, cleaned float64 }
+	col := collector.New(cat)
+	nCells := len(cleanerRates) * len(benches) * len(cleaners)
+	cells, err := parallel.MapCtx(ctx, nCells, cfg.Workers, func(k int) (cell, error) {
+		ci := k / (len(benches) * len(cleaners))
+		bi := k / len(cleaners) % len(benches)
+		li := k % len(cleaners)
+		prof, err := sim.ProfileByName(benches[bi])
+		if err != nil {
+			return cell{}, err
+		}
+		r, c, err := avgErrorWith(ctx, col, prof, cleanerRates[ci], cleaners[li], cfg)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{r, c}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	at := func(ci, bi, li int) cell {
+		return cells[(ci*len(benches)+bi)*len(cleaners)+li]
+	}
+
+	t := &Table{
+		ID:     "cleaners",
+		Title:  "Cleaner head-to-head: ICACHE.MISSES DTW error vs MLPX rate",
+		Header: append([]string{"events", "benchmark", "raw"}, cleaners...),
+	}
+	for ci, n := range cleanerRates {
+		for bi, b := range benches {
+			prof, err := sim.ProfileByName(b)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{fmt.Sprint(n), prof.Abbrev, pct(at(ci, bi, 0).raw)}
+			for li := range cleaners {
+				row = append(row, pct(at(ci, bi, li).cleaned))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		// Per-rate averages close each block.
+		avgRow := []string{fmt.Sprint(n), "AVG", ""}
+		var sumRaw float64
+		for bi := range benches {
+			sumRaw += at(ci, bi, 0).raw
+		}
+		avgRow[2] = pct(sumRaw / float64(len(benches)))
+		for li := range cleaners {
+			var sum float64
+			for bi := range benches {
+				sum += at(ci, bi, li).cleaned
+			}
+			avgRow = append(avgRow, pct(sum/float64(len(benches))))
+		}
+		t.Rows = append(t.Rows, avgRow)
+	}
+
+	// Name the winner at the heaviest rate: the regime the Bayesian
+	// cleaner's burst-inversion model targets.
+	top := len(cleanerRates) - 1
+	best, bestErr := "", 0.0
+	for li, name := range cleaners {
+		var sum float64
+		for bi := range benches {
+			sum += at(top, bi, li).cleaned
+		}
+		avg := sum / float64(len(benches))
+		if best == "" || avg < bestErr {
+			best, bestErr = name, avg
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("at %d events the lowest average error is %s at %s",
+			cleanerRates[top], best, pct(bestErr)),
+		"threshold-knn is the paper's §III-B pipeline; bayes inverts the MLPX burst physics with a precision-weighted posterior")
+	return t, nil
+}

@@ -308,6 +308,21 @@ func Fig5(ctx context.Context, cfg Config) (*Table, error) {
 		Title:  "Data cleaning outcome on the Fig. 2 example series (wordcount)",
 		Header: []string{"event", "outliers replaced", "missing filled", "raw err", "cleaned err"},
 	}
+	// Clean the measured set once through the configured cleaner, then
+	// score the two example events against it.
+	cleaner, err := clean.Lookup(cfg.Cleaner)
+	if err != nil {
+		return nil, err
+	}
+	m, err := col.Collect(prof, 3, collector.MLPX, defaultSetWith(cat, 10))
+	if err != nil {
+		return nil, err
+	}
+	cleanedSet, setRep, err := cleaner.Clean(ctx, m.Series,
+		clean.Meta{Benchmark: prof.Name, Groups: m.Groups}, clean.Options{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
 	// Per-event DTW scoring is independent; run the events concurrently
 	// and collect rows in event order.
 	rows, err := parallel.MapCtx(ctx, len(events), cfg.Workers, func(i int) ([]string, error) {
@@ -317,10 +332,6 @@ func Fig5(ctx context.Context, cfg Config) (*Table, error) {
 			return nil, err
 		}
 		o2, err := col.Collect(prof, 2, collector.OCOE, []string{ev})
-		if err != nil {
-			return nil, err
-		}
-		m, err := col.Collect(prof, 3, collector.MLPX, defaultSetWith(cat, 10))
 		if err != nil {
 			return nil, err
 		}
@@ -340,14 +351,15 @@ func Fig5(ctx context.Context, cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cl, rep, err := clean.Series(sm.Values, clean.Options{})
+		cl, err := cleanedSet.Lookup(ev)
 		if err != nil {
 			return nil, err
 		}
-		clErr, err := mlpxErr(s1.Values, s2.Values, cl)
+		clErr, err := mlpxErr(s1.Values, s2.Values, cl.Values)
 		if err != nil {
 			return nil, err
 		}
+		rep := setRep.PerEvent[ev]
 		return []string{
 			ev, fmt.Sprint(rep.Outliers), fmt.Sprint(rep.Missing), pct(rawErr), pct(clErr),
 		}, nil

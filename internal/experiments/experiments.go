@@ -42,6 +42,11 @@ type Config struct {
 	// Benchmarks restricts error experiments to a subset; nil means all
 	// sixteen.
 	Benchmarks []string
+	// Cleaner selects the data cleaner the cleaning-dependent
+	// experiments dispatch through (empty = clean.DefaultCleaner). The
+	// "cleaners" comparison experiment ignores it and always sweeps
+	// every registered cleaner.
+	Cleaner string
 }
 
 // WithDefaults fills unset fields.
@@ -60,6 +65,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.PruneStep <= 0 {
 		c.PruneStep = 10
+	}
+	if c.Cleaner == "" {
+		c.Cleaner = clean.DefaultCleaner
 	}
 	return c
 }
@@ -145,11 +153,19 @@ func (c Config) eventSet(cat *sim.Catalogue) []string {
 }
 
 // errorSample measures one (raw, cleaned) eq.-(4) error pair for the
-// given benchmark and event count, using run triple `rep`.
-func errorSample(col *collector.Collector, prof sim.Profile, nEvents, rep int) (raw, cleaned float64, err error) {
+// given benchmark and event count, using run triple `rep`. The cleaned
+// value dispatches through the named Cleaner over the full measured
+// set — its run metadata (benchmark, multiplexing group count) comes
+// along, so model-based cleaners see the same context the pipeline
+// gives them.
+func errorSample(ctx context.Context, col *collector.Collector, prof sim.Profile, nEvents, rep int, cleanerName string) (raw, cleaned float64, err error) {
 	cat := col.Catalogue()
 	const refEvent = "ICACHE.MISSES"
 
+	cleaner, err := clean.Lookup(cleanerName)
+	if err != nil {
+		return 0, 0, err
+	}
 	o1, err := col.Collect(prof, rep*3+1, collector.OCOE, []string{refEvent})
 	if err != nil {
 		return 0, 0, err
@@ -179,25 +195,39 @@ func errorSample(col *collector.Collector, prof sim.Profile, nEvents, rep int) (
 	if err != nil {
 		return 0, 0, err
 	}
-	cl, _, err := clean.Series(sm.Values, clean.Options{})
+	// Workers: 1 keeps the per-sample cost flat — the reps themselves
+	// already run concurrently in avgError.
+	cleanedSet, _, err := cleaner.Clean(ctx, m.Series,
+		clean.Meta{Benchmark: prof.Name, Groups: m.Groups}, clean.Options{Workers: 1})
 	if err != nil {
 		return 0, 0, err
 	}
-	cleaned, err = dtw.MLPXError(s1.Values, s2.Values, cl)
+	cl, err := cleanedSet.Lookup(refEvent)
+	if err != nil {
+		return 0, 0, err
+	}
+	cleaned, err = dtw.MLPXError(s1.Values, s2.Values, cl.Values)
 	if err != nil {
 		return 0, 0, err
 	}
 	return raw, cleaned, nil
 }
 
-// avgError averages errorSample over cfg.Reps triples. The triples —
-// each dominated by its two DTW distance computations — run
-// concurrently; the averages are summed serially in rep order, so the
-// result matches the serial loop bit for bit.
+// avgError averages errorSample over cfg.Reps triples with the
+// configured cleaner. The triples — each dominated by its two DTW
+// distance computations — run concurrently; the averages are summed
+// serially in rep order, so the result matches the serial loop bit for
+// bit.
 func avgError(ctx context.Context, col *collector.Collector, prof sim.Profile, nEvents int, cfg Config) (raw, cleaned float64, err error) {
+	return avgErrorWith(ctx, col, prof, nEvents, cfg.Cleaner, cfg)
+}
+
+// avgErrorWith is avgError with an explicit cleaner name, the primitive
+// the cleaner-comparison experiment sweeps.
+func avgErrorWith(ctx context.Context, col *collector.Collector, prof sim.Profile, nEvents int, cleanerName string, cfg Config) (raw, cleaned float64, err error) {
 	type sample struct{ raw, cleaned float64 }
 	samples, err := parallel.MapCtx(ctx, cfg.Reps, cfg.Workers, func(rep int) (sample, error) {
-		r, c, err := errorSample(col, prof, nEvents, rep)
+		r, c, err := errorSample(ctx, col, prof, nEvents, rep, cleanerName)
 		return sample{r, c}, err
 	})
 	if err != nil {

@@ -50,8 +50,8 @@ func TestTableRender(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 20 {
-		t.Fatalf("registered experiments = %d, want 20", len(ids))
+	if len(ids) != 21 {
+		t.Fatalf("registered experiments = %d, want 21", len(ids))
 	}
 	for _, id := range ids {
 		if _, err := Lookup(id); err != nil {
@@ -220,6 +220,40 @@ func TestCatalogTables(t *testing.T) {
 	}
 	if len(t4.Rows) != 16 {
 		t.Errorf("tab4 rows = %d", len(t4.Rows))
+	}
+}
+
+func TestCleanersQuick(t *testing.T) {
+	tab, err := Cleaners(context.Background(), Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 rates × (2 quick benchmarks + AVG row).
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d: %v", len(tab.Rows), tab.Rows)
+	}
+	// Column layout: events, benchmark, raw, bayes, threshold-knn
+	// (cleaners sorted by name).
+	if want := []string{"events", "benchmark", "raw", "bayes", "threshold-knn"}; strings.Join(tab.Header, ",") != strings.Join(want, ",") {
+		t.Fatalf("header = %v, want %v", tab.Header, want)
+	}
+	// Both cleaners must beat raw on average at every rate, and at the
+	// heaviest rate (36 events, G=9) the Bayesian burst inversion must
+	// beat the threshold cleaner in at least one benchmark suite.
+	bayesWins := false
+	for _, row := range tab.Rows {
+		raw := parsePct(t, row[2])
+		bayes := parsePct(t, row[3])
+		knn := parsePct(t, row[4])
+		if row[1] == "AVG" && (bayes >= raw || knn >= raw) {
+			t.Errorf("%s events: cleaning did not beat raw (raw %v, bayes %v, knn %v)", row[0], raw, bayes, knn)
+		}
+		if row[0] == "36" && row[1] != "AVG" && bayes < knn {
+			bayesWins = true
+		}
+	}
+	if !bayesWins {
+		t.Errorf("bayes never beat threshold-knn at 36 events:\n%v", tab.Rows)
 	}
 }
 

@@ -17,26 +17,27 @@ type Func func(ctx context.Context, cfg Config) (*Table, error)
 // registry maps experiment IDs to their generators, in the paper's
 // order.
 var registry = map[string]Func{
-	"fig1":   Fig1,
-	"fig2":   Fig2,
-	"fig3":   Fig3,
-	"tab1":   Table1,
-	"fig5":   Fig5,
-	"fig6":   Fig6,
-	"fig7":   Fig7,
-	"fig8":   Fig8,
-	"fig9":   Fig9,
-	"fig10":  Fig10,
-	"fig11":  Fig11,
-	"fig12":  Fig12,
-	"fig13":  Fig13,
-	"fig14":  Fig14,
-	"fig15":  Fig15,
-	"fig16":  Fig16,
-	"census": Census,
-	"tab2":   Table2,
-	"tab3":   Table3,
-	"tab4":   Table4,
+	"fig1":     Fig1,
+	"fig2":     Fig2,
+	"fig3":     Fig3,
+	"tab1":     Table1,
+	"fig5":     Fig5,
+	"fig6":     Fig6,
+	"fig7":     Fig7,
+	"fig8":     Fig8,
+	"fig9":     Fig9,
+	"fig10":    Fig10,
+	"fig11":    Fig11,
+	"fig12":    Fig12,
+	"fig13":    Fig13,
+	"fig14":    Fig14,
+	"fig15":    Fig15,
+	"fig16":    Fig16,
+	"census":   Census,
+	"cleaners": Cleaners,
+	"tab2":     Table2,
+	"tab3":     Table3,
+	"tab4":     Table4,
 }
 
 // order lists experiment IDs in presentation order.
@@ -44,7 +45,7 @@ var order = []string{
 	"fig1", "fig2", "fig3", "tab1", "fig5", "fig6", "fig7",
 	"fig8", "fig9", "fig10", "fig11", "fig12",
 	"fig13", "fig14", "fig15", "fig16",
-	"census", "tab2", "tab3", "tab4",
+	"census", "cleaners", "tab2", "tab3", "tab4",
 }
 
 // IDs returns all experiment identifiers in presentation order.

@@ -140,10 +140,14 @@ func Key(benchmark, colocate string, events []string, opts counterminer.Options)
 	fmt.Fprintf(&b, "&runs=%d&trees=%d&prune=%d&topk=%d&skipeir=%t&seed=%d&minruns=%d",
 		opts.Runs, opts.Trees, opts.PruneStep, opts.TopK, opts.SkipEIR, opts.Seed, opts.MinRuns)
 	// clean.Options minus its Workers knob (worker counts never change
-	// results anywhere in the engine).
-	fmt.Fprintf(&b, "&clean=%g/%d/%t/%t",
+	// results anywhere in the engine). The cleaner name is part of the
+	// content identity — two cleaners must never share a cached result —
+	// and WithDefaults has already canonicalized it, so "" and an
+	// explicit default name collide while distinct cleaners never do.
+	fmt.Fprintf(&b, "&clean=%g/%d/%t/%t/%s",
 		opts.CleanOptions.N, opts.CleanOptions.K,
-		opts.CleanOptions.SkipOutliers, opts.CleanOptions.SkipMissing)
+		opts.CleanOptions.SkipOutliers, opts.CleanOptions.SkipMissing,
+		opts.CleanOptions.Cleaner)
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
 }

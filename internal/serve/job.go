@@ -7,6 +7,7 @@ import (
 	"time"
 
 	counterminer "counterminer"
+	"counterminer/internal/clean"
 	"counterminer/pkg/client"
 )
 
@@ -46,6 +47,11 @@ type Job struct {
 	SkipEIR   bool  `json:"skip_eir,omitempty"`
 	Seed      int64 `json:"seed,omitempty"`
 	MinRuns   int   `json:"min_runs,omitempty"`
+	// Cleaner is the canonical cleaner name. It travels on the wire
+	// because Execute recomputes the content address locally from the
+	// job's content — dropping it here would silently re-key a
+	// re-dispatched job onto the default cleaner's result.
+	Cleaner string `json:"cleaner,omitempty"`
 }
 
 // GroupKey is the job's scheduler grouping key: the benchmark identity,
@@ -67,6 +73,7 @@ func jobFromSpec(key string, spec jobSpec) Job {
 		SkipEIR:   spec.opts.SkipEIR,
 		Seed:      spec.opts.Seed,
 		MinRuns:   spec.opts.MinRuns,
+		Cleaner:   spec.opts.CleanOptions.Cleaner,
 	}
 }
 
@@ -79,14 +86,15 @@ func (s *Server) specFromJob(j Job) jobSpec {
 		colocate:  j.Colocate,
 		events:    j.Events,
 		opts: counterminer.Options{
-			Runs:      j.Runs,
-			Trees:     j.Trees,
-			PruneStep: j.PruneStep,
-			TopK:      j.TopK,
-			SkipEIR:   j.SkipEIR,
-			Seed:      j.Seed,
-			MinRuns:   j.MinRuns,
-			Workers:   s.cfg.AnalysisWorkers,
+			Runs:         j.Runs,
+			Trees:        j.Trees,
+			PruneStep:    j.PruneStep,
+			TopK:         j.TopK,
+			SkipEIR:      j.SkipEIR,
+			Seed:         j.Seed,
+			MinRuns:      j.MinRuns,
+			CleanOptions: clean.Options{Cleaner: j.Cleaner},
+			Workers:      s.cfg.AnalysisWorkers,
 		},
 	}
 }

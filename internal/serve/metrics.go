@@ -6,6 +6,7 @@ import (
 	"time"
 
 	counterminer "counterminer"
+	"counterminer/internal/clean"
 	"counterminer/internal/collector"
 	"counterminer/internal/store"
 	"counterminer/pkg/client"
@@ -55,18 +56,36 @@ type Metrics struct {
 	// plan so the surface is complete before the first analysis.
 	stageOrder []string
 	stages     map[string]*Histogram
+	// per-cleaner Clean-stage accounting, pre-registered over the
+	// cleaner registry.
+	cleanerOrder []string
+	cleaners     map[string]*cleanerStats
+}
+
+// cleanerStats is one cleaner's accounting: how often it ran, what it
+// corrected, and its Clean-stage latency.
+type cleanerStats struct {
+	analyses uint64
+	outliers uint64
+	missing  uint64
+	latency  *Histogram
 }
 
 // NewMetrics returns a metrics registry with one histogram per
 // pipeline stage (in plan order, from counterminer.StageNames).
 func NewMetrics() *Metrics {
 	m := &Metrics{
-		start:      time.Now(),
-		stageOrder: counterminer.StageNames(),
-		stages:     make(map[string]*Histogram),
+		start:        time.Now(),
+		stageOrder:   counterminer.StageNames(),
+		stages:       make(map[string]*Histogram),
+		cleanerOrder: clean.Names(),
+		cleaners:     make(map[string]*cleanerStats),
 	}
 	for _, s := range m.stageOrder {
 		m.stages[s] = NewHistogram()
+	}
+	for _, c := range m.cleanerOrder {
+		m.cleaners[c] = &cleanerStats{latency: NewHistogram()}
 	}
 	return m
 }
@@ -158,6 +177,22 @@ func (m *Metrics) ObserveAnalysis(ana *counterminer.Analysis, err error) {
 		}
 		h.Observe(st.Duration)
 	}
+	if ana.Cleaner != "" {
+		cs, ok := m.cleaners[ana.Cleaner]
+		if !ok {
+			cs = &cleanerStats{latency: NewHistogram()}
+			m.cleaners[ana.Cleaner] = cs
+			m.cleanerOrder = append(m.cleanerOrder, ana.Cleaner)
+		}
+		cs.analyses++
+		cs.outliers += uint64(ana.OutliersReplaced)
+		cs.missing += uint64(ana.MissingFilled)
+		for _, st := range ana.Stages {
+			if st.Stage == counterminer.StageClean {
+				cs.latency.Observe(st.Duration)
+			}
+		}
+	}
 }
 
 // gauges bundles the live-state sources SnapshotFrom reads alongside
@@ -248,6 +283,16 @@ func (m *Metrics) SnapshotFrom(g gauges) Snapshot {
 	}
 	for _, name := range m.stageOrder {
 		snap.StageLatency = append(snap.StageLatency, m.stages[name].snapshot(name))
+	}
+	for _, name := range m.cleanerOrder {
+		cs := m.cleaners[name]
+		snap.Cleaners = append(snap.Cleaners, CleanerCounters{
+			Cleaner:          name,
+			Analyses:         cs.analyses,
+			OutliersReplaced: cs.outliers,
+			MissingFilled:    cs.missing,
+			CleanLatency:     cs.latency.snapshot(counterminer.StageClean),
+		})
 	}
 	return snap
 }

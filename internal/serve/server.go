@@ -35,6 +35,7 @@ import (
 
 	counterminer "counterminer"
 	"counterminer/internal/batch"
+	"counterminer/internal/clean"
 	"counterminer/internal/collector"
 	"counterminer/internal/fault"
 	"counterminer/internal/sim"
@@ -85,6 +86,10 @@ type Config struct {
 	// benefits. Zero disables coalescing (submissions dispatch
 	// immediately).
 	CoalesceWindow time.Duration
+	// DefaultCleaner selects the Clean-stage strategy for requests that
+	// do not name one (default clean.DefaultCleaner). Must be a
+	// registered cleaner name; New rejects anything else.
+	DefaultCleaner string
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +122,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CoalesceWindow < 0 {
 		c.CoalesceWindow = 0
+	}
+	if c.DefaultCleaner == "" {
+		c.DefaultCleaner = clean.DefaultCleaner
 	}
 	return c
 }
@@ -167,6 +175,9 @@ type jobSpec struct {
 // unreadable path is.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if _, err := clean.Lookup(cfg.DefaultCleaner); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	cat := sim.NewCatalogue()
 	coll := collector.New(cat)
 	s := &Server{
@@ -464,6 +475,17 @@ func (s *Server) resolve(req AnalyzeRequest) (jobSpec, *httpError) {
 	if req.Runs > 0 && req.MinRuns > req.Runs {
 		return jobSpec{}, &httpError{http.StatusBadRequest, "bad_request", "min_runs cannot exceed runs"}
 	}
+	cleanerName := req.Cleaner
+	if cleanerName == "" {
+		cleanerName = s.cfg.DefaultCleaner
+	}
+	cleaner, err := clean.Lookup(cleanerName)
+	if err != nil {
+		return jobSpec{}, &httpError{
+			http.StatusNotFound, "unknown_cleaner",
+			fmt.Sprintf("unknown cleaner %q; candidates: %s", cleanerName, strings.Join(clean.Candidates(cleanerName), ", ")),
+		}
+	}
 	var events []string
 	if len(req.Events) > 0 {
 		sel, err := s.cat.Select(req.Events)
@@ -487,7 +509,10 @@ func (s *Server) resolve(req AnalyzeRequest) (jobSpec, *httpError) {
 			SkipEIR:   req.SkipEIR,
 			Seed:      req.Seed,
 			MinRuns:   req.MinRuns,
-			Workers:   s.cfg.AnalysisWorkers,
+			// The canonical name (never the raw request string) lands in
+			// the spec, the content address, and the wire Job.
+			CleanOptions: clean.Options{Cleaner: cleaner.Name()},
+			Workers:      s.cfg.AnalysisWorkers,
 		},
 	}, nil
 }

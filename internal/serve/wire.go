@@ -49,4 +49,6 @@ type (
 	ReadyResponse = client.ReadyResponse
 	// ClusterCounters is the cluster role's /metrics contribution.
 	ClusterCounters = client.ClusterCounters
+	// CleanerCounters is one cleaner's /metrics section.
+	CleanerCounters = client.CleanerCounters
 )

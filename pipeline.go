@@ -167,6 +167,7 @@ func (o Options) withDefaults() Options {
 		o.MinRuns = o.Runs
 	}
 	o.Retry = o.Retry.withDefaults()
+	o.CleanOptions = o.CleanOptions.WithDefaults()
 	return o
 }
 
@@ -193,6 +194,9 @@ func (p PairScore) Key() string { return p.A + "-" + p.B }
 type Analysis struct {
 	// Benchmark is the analysed workload.
 	Benchmark string
+	// Cleaner is the registry name of the cleaner the Clean stage ran
+	// (clean.DefaultCleaner unless the options selected another).
+	Cleaner string
 	// Events is the analysed event count (model input dimension before
 	// refinement).
 	Events int
@@ -258,20 +262,35 @@ func (a *Analysis) SMICount() int {
 // Pipeline wires collector, cleaner, importance ranker, and interaction
 // ranker together over the simulated cluster.
 type Pipeline struct {
-	opts   Options
-	cat    *sim.Catalogue
-	source fault.RunSource
-	sink   fault.RunSink
+	opts    Options
+	cat     *sim.Catalogue
+	cleaner clean.Cleaner
+	source  fault.RunSource
+	sink    fault.RunSink
 }
 
-// NewPipeline builds a pipeline with the given options.
+// NewPipeline builds a pipeline with the given options. Invalid clean
+// options — including an unknown cleaner name — are rejected here, with
+// typed errors (clean.ErrBadOptions, clean.ErrUnknownCleaner), before
+// any compute is spent.
 func NewPipeline(opts Options) (*Pipeline, error) {
+	// Validate before defaulting: WithDefaults raises out-of-range N/K
+	// onto the paper defaults, and a typo should be an error, not a
+	// silent fallback.
+	if err := opts.CleanOptions.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
+	cleaner, err := clean.Lookup(opts.CleanOptions.Cleaner)
+	if err != nil {
+		return nil, err
+	}
 	cat := sim.NewCatalogue()
 	p := &Pipeline{
-		opts:   opts,
-		cat:    cat,
-		source: opts.Source,
+		opts:    opts,
+		cat:     cat,
+		cleaner: cleaner,
+		source:  opts.Source,
 	}
 	if p.source == nil {
 		p.source = collector.New(cat)
@@ -370,7 +389,7 @@ func (p *Pipeline) analyzeProfile(ctx context.Context, prof sim.Profile) (*Analy
 		p:      p,
 		prof:   prof,
 		events: events,
-		ana:    &Analysis{Benchmark: prof.Name, Events: len(events)},
+		ana:    &Analysis{Benchmark: prof.Name, Cleaner: p.cleaner.Name(), Events: len(events)},
 	}
 	ar.deg = &ar.ana.Degradation
 	sr := &stageRunner{ctx: ctx}
@@ -481,9 +500,11 @@ func (ar *analysisRun) validate(ctx context.Context) error {
 }
 
 // clean repairs every surviving run's series and assembles the
-// training matrix. Each run's raw series set is snapshotted first so
-// Persist can store the run exactly as collected (every event,
-// quarantined ones included).
+// training matrix, dispatching through the configured Cleaner (the
+// pluggable Clean-stage seam). Each run's raw series set is snapshotted
+// first so Persist can store the run exactly as collected (every event,
+// quarantined ones included) — whichever cleaner ran, the store always
+// holds the raw measurement.
 func (ar *analysisRun) clean(ctx context.Context) error {
 	p, ana := ar.p, ar.ana
 	copts := p.opts.CleanOptions
@@ -495,7 +516,8 @@ func (ar *analysisRun) clean(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		cleaned, rep, err := clean.SetCtx(ctx, subset(r.Series, ar.kept), copts)
+		meta := clean.Meta{Benchmark: r.Benchmark, Groups: r.Groups}
+		cleaned, rep, err := p.cleaner.Clean(ctx, subset(r.Series, ar.kept), meta, copts)
 		if err != nil {
 			return err
 		}

@@ -9,8 +9,8 @@ import (
 type ErrorResponse struct {
 	// Error is the machine-readable code ("queue_full", "draining",
 	// "bad_request", "batch_too_large", "unknown_benchmark",
-	// "canceled", "budget_exceeded", "quorum_not_met",
-	// "series_invalid", "internal").
+	// "unknown_cleaner", "canceled", "budget_exceeded",
+	// "quorum_not_met", "series_invalid", "internal").
 	Error string `json:"error"`
 	// Message is the human-readable detail.
 	Message string `json:"message"`
@@ -44,6 +44,13 @@ type AnalyzeRequest struct {
 	Seed    int64 `json:"seed,omitempty"`
 	// MinRuns is the collection quorum (0 = all runs must succeed).
 	MinRuns int `json:"min_runs,omitempty"`
+	// Cleaner selects the Clean-stage strategy by registry name
+	// ("threshold-knn", "bayes"); empty uses the server's default. An
+	// unknown name is rejected with 404 "unknown_cleaner" and a
+	// candidate listing. The cleaner is part of the result's content
+	// address: the same benchmark under two cleaners is two cache
+	// entries.
+	Cleaner string `json:"cleaner,omitempty"`
 }
 
 // AnalyzeResponse is POST /analyze's 200 body.
@@ -214,6 +221,27 @@ type Snapshot struct {
 	// on a standalone daemon.
 	Cluster      *ClusterCounters `json:"cluster,omitempty"`
 	StageLatency []StageHistogram `json:"stage_latency"`
+	// Cleaners breaks the Clean stage down per registered cleaner:
+	// analysis counts, correction totals, and the Clean-stage latency
+	// distribution. Pre-registered — every cleaner appears (zeroed)
+	// from the first scrape.
+	Cleaners []CleanerCounters `json:"cleaners"`
+}
+
+// CleanerCounters is one cleaner's /metrics section: how often it ran,
+// what it corrected, and how long its Clean stage took.
+type CleanerCounters struct {
+	// Cleaner is the registry name ("threshold-knn", "bayes").
+	Cleaner string `json:"cleaner"`
+	// Analyses counts completed analyses that ran this cleaner.
+	Analyses uint64 `json:"analyses"`
+	// OutliersReplaced and MissingFilled aggregate the cleaner's
+	// corrections over those analyses.
+	OutliersReplaced uint64 `json:"outliers_replaced"`
+	MissingFilled    uint64 `json:"missing_filled"`
+	// CleanLatency is the Clean stage's latency distribution under this
+	// cleaner.
+	CleanLatency StageHistogram `json:"clean_latency"`
 }
 
 // StoreShardStats is the run store's shard-level accounting: catalog
