@@ -171,8 +171,8 @@ func TestAnalyzeContextCompletedThenCanceled(t *testing.T) {
 	if a == nil || len(a.Importance) == 0 {
 		t.Fatalf("finished analysis missing: %+v", a)
 	}
-	if len(a.Stages) != 6 {
-		t.Errorf("Stages = %v, want all 6 stages recorded", a.Stages)
+	if len(a.Stages) != 7 {
+		t.Errorf("Stages = %v, want all 7 stages recorded", a.Stages)
 	}
 	// Flush itself ran before the cancel was observable: the records are
 	// on disk.
@@ -220,7 +220,8 @@ func (c *countdownCtx) Done() <-chan struct{} { return c.done }
 func TestAnalyzeContextCancelLandsInEveryStage(t *testing.T) {
 	known := map[string]bool{
 		StageCollect: true, StageValidate: true, StageClean: true,
-		StageRank: true, StageInteract: true, StagePersist: true,
+		StageRank: true, StageInteract: true, StageFingerprint: true,
+		StagePersist: true,
 	}
 	opts := fastOptions(t)
 	opts.Workers = 1

@@ -1,0 +1,244 @@
+package main
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"counterminer/internal/collector"
+	"counterminer/internal/sim"
+	"counterminer/internal/store"
+	"counterminer/pkg/client"
+)
+
+// seedClassifyStore collects runs MLPX runs per benchmark over the
+// full catalogue and persists them at a fresh store path. Collection
+// is deterministic, so two stores seeded with the same arguments are
+// byte-identical — which is how the topology tests hand "the same
+// store" to daemons in different processes' roles.
+func seedClassifyStore(t *testing.T, dir, name string, benches []string, runs int) string {
+	t.Helper()
+	dbPath := filepath.Join(dir, name)
+	db, err := store.Open(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := collector.New(sim.NewCatalogue())
+	for _, bench := range benches {
+		p, err := sim.ProfileByName(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for runID := 1; runID <= runs; runID++ {
+			run, err := coll.Collect(p, runID, collector.MLPX, coll.Catalogue().Events())
+			if err != nil {
+				t.Fatal(err)
+			}
+			series := make(map[string][]float64)
+			for _, ev := range run.Series.Events() {
+				series[ev] = run.Series.MustGet(ev).Values
+			}
+			if err := db.Put(store.Record{
+				Meta: store.RunMeta{
+					Benchmark: bench, RunID: runID, Mode: run.Mode.String(),
+					Events: run.Series.Events(), Intervals: len(run.IPC),
+				},
+				IPC:    run.IPC,
+				Series: series,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return dbPath
+}
+
+var classifyBenches = []string{"wordcount", "sort", "kmeans", "DataCaching"}
+
+// sameBits reports whether two embeddings are bit-identical.
+func sameBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDaemonClassifyEndToEnd is the acceptance scenario: a stored
+// benchmark classifies back to itself with confidence >= 0.9, and a
+// saturated, drifted profile is flagged anomalous.
+func TestDaemonClassifyEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := seedClassifyStore(t, dir, "runs.db", classifyBenches, 2)
+	_, c, _, _ := startDaemon(t, "-db", dbPath, "-workers", "2")
+	ctx := context.Background()
+
+	cr, err := c.Classify(ctx, client.ClassifyRequest{Benchmark: "wordcount", Runs: 1})
+	if err != nil {
+		t.Fatalf("Classify: %v", err)
+	}
+	cls := cr.Classification
+	if cls == nil || len(cls.Matches) == 0 {
+		t.Fatalf("empty classification: %+v", cr)
+	}
+	if cls.Matches[0].Benchmark != "wordcount" {
+		t.Errorf("nearest = %q, want wordcount (%+v)", cls.Matches[0].Benchmark, cls.Matches)
+	}
+	if cls.Confidence < 0.9 {
+		t.Errorf("confidence = %v, want >= 0.9", cls.Confidence)
+	}
+	if cls.Anomaly {
+		t.Errorf("stored benchmark flagged anomalous (score %v)", cls.AnomalyScore)
+	}
+	if cls.Entries != len(classifyBenches)*2 {
+		t.Errorf("index entries = %d, want %d", cls.Entries, len(classifyBenches)*2)
+	}
+
+	// A drifted, saturated inline profile behaves like no stored
+	// workload: anomaly.
+	coll := collector.New(sim.NewCatalogue())
+	p, _ := sim.ProfileByName("sort")
+	run, err := coll.Collect(p, 42, collector.MLPX, coll.Catalogue().Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := run.Series.Events()
+	x := make([][]float64, len(run.IPC))
+	for i := range x {
+		row := make([]float64, len(events))
+		for j, ev := range events {
+			row[j] = run.Series.MustGet(ev).Values[i]*80 + float64(i*i)*5e3
+		}
+		x[i] = row
+		run.IPC[i] = 0.005
+	}
+	ar, err := c.Classify(ctx, client.ClassifyRequest{Events: events, X: x, IPC: run.IPC})
+	if err != nil {
+		t.Fatalf("Classify inline: %v", err)
+	}
+	if !ar.Classification.Anomaly || ar.Classification.AnomalyScore <= 1 {
+		t.Errorf("drifted profile not anomalous: confidence=%v score=%v matches=%+v",
+			ar.Classification.Confidence, ar.Classification.AnomalyScore, ar.Classification.Matches)
+	}
+
+	// The classify surface is visible in /metrics.
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := snap.Fingerprint
+	if fp.ClassifyRequests != 2 || fp.Classified != 2 || fp.ClassifyAnomalies != 1 || fp.IndexRebuilds != 1 {
+		t.Errorf("fingerprint counters = %+v", fp)
+	}
+	if fp.IndexEntries != len(classifyBenches)*2 || fp.IndexVersion != cls.IndexVersion {
+		t.Errorf("index gauges = %d/%q, want %d/%q", fp.IndexEntries, fp.IndexVersion, len(classifyBenches)*2, cls.IndexVersion)
+	}
+}
+
+// TestDaemonClassifyDeterministicAcrossWorkers: the same classify
+// request against daemons running 1, 2, and 8 analysis workers yields
+// bit-identical fingerprints and identical verdicts.
+func TestDaemonClassifyDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-daemon e2e in -short")
+	}
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	var first *client.Classification
+	for _, workers := range []int{1, 2, 8} {
+		dbPath := seedClassifyStore(t, dir, "runs-"+strconv.Itoa(workers)+".db", classifyBenches, 2)
+		_, c, _, _ := startDaemon(t, "-db", dbPath, "-workers", "2", "-analysis-workers", strconv.Itoa(workers))
+		cr, err := c.Classify(ctx, client.ClassifyRequest{Benchmark: "kmeans", Runs: 2, Seed: 7})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		cls := cr.Classification
+		if first == nil {
+			first = cls
+			if cls.Matches[0].Benchmark != "kmeans" {
+				t.Errorf("nearest = %q, want kmeans", cls.Matches[0].Benchmark)
+			}
+			continue
+		}
+		if !sameBits(cls.Fingerprint, first.Fingerprint) {
+			t.Errorf("workers=%d: fingerprint differs from workers=1", workers)
+		}
+		if cls.IndexVersion != first.IndexVersion {
+			t.Errorf("workers=%d: index version %q != %q", workers, cls.IndexVersion, first.IndexVersion)
+		}
+		if cls.Matches[0] != first.Matches[0] || cls.Confidence != first.Confidence || cls.Anomaly != first.Anomaly {
+			t.Errorf("workers=%d: verdict diverged: %+v vs %+v", workers, cls, first)
+		}
+	}
+}
+
+// TestDaemonClassifyClusterTopology: a classify against a coordinator
+// fronting chaos-injected workers is bit-identical to the same
+// classify against a standalone daemon. The coordinator routes the
+// fingerprint job to a worker like any analysis; classification runs
+// against the coordinator's local index.
+func TestDaemonClassifyClusterTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-daemon e2e in -short")
+	}
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	// Standalone reference.
+	soloDB := seedClassifyStore(t, dir, "solo.db", classifyBenches, 2)
+	_, solo, _, _ := startDaemon(t, "-db", soloDB, "-workers", "2")
+	ref, err := solo.Classify(ctx, client.ClassifyRequest{Benchmark: "DataCaching", Runs: 2, Seed: 3})
+	if err != nil {
+		t.Fatalf("standalone classify: %v", err)
+	}
+
+	// Cluster: the coordinator holds the (identically seeded) store and
+	// the index; the workers compute embeddings under seeded chaos.
+	coordDB := seedClassifyStore(t, dir, "coord.db", classifyBenches, 2)
+	coordURL, coord, _, _ := startDaemon(t,
+		"-role", "coordinator", "-node-id", "coord", "-lease", "800ms", "-db", coordDB)
+	_, w1, _, _ := startDaemon(t,
+		"-role", "worker", "-node-id", "w1", "-join", coordURL,
+		"-heartbeat", "100ms", "-lease", "800ms", "-workers", "1",
+		"-node-chaos-seed", "1234", "-node-chaos-kill", "0.2")
+	_, _, _, _ = startDaemon(t,
+		"-role", "worker", "-node-id", "w2", "-join", coordURL,
+		"-heartbeat", "100ms", "-lease", "800ms", "-workers", "1",
+		"-node-chaos-seed", "5678", "-node-chaos-kill", "0.2")
+
+	waitFor(t, "coordinator ready", func() bool {
+		r, err := coord.Ready(ctx)
+		return err == nil && r.Status == "ready"
+	})
+	_ = w1
+
+	got, err := coord.Classify(ctx, client.ClassifyRequest{Benchmark: "DataCaching", Runs: 2, Seed: 3})
+	if err != nil {
+		t.Fatalf("cluster classify: %v", err)
+	}
+	if !sameBits(got.Classification.Fingerprint, ref.Classification.Fingerprint) {
+		t.Error("cluster fingerprint differs from standalone")
+	}
+	if got.Classification.IndexVersion != ref.Classification.IndexVersion {
+		t.Errorf("cluster index version %q != standalone %q",
+			got.Classification.IndexVersion, ref.Classification.IndexVersion)
+	}
+	if got.Classification.Confidence != ref.Classification.Confidence ||
+		got.Classification.Matches[0] != ref.Classification.Matches[0] ||
+		got.Classification.Anomaly != ref.Classification.Anomaly {
+		t.Errorf("cluster verdict diverged: %+v vs %+v", got.Classification, ref.Classification)
+	}
+	if got.Classification.Matches[0].Benchmark != "DataCaching" {
+		t.Errorf("nearest = %q, want DataCaching", got.Classification.Matches[0].Benchmark)
+	}
+}

@@ -279,6 +279,9 @@ func TestDaemonFlagValidation(t *testing.T) {
 		{"-grace", "-1s"},
 		{"-analysis-workers", "-3"},
 		{"-cleaner", "nope"},
+		{"-store-mem", "-5MiB"},
+		{"-store-mem", "bogus"},
+		{"-coalesce-window", "-1s"},
 		{"-no-such-flag"},
 	}
 	for _, args := range cases {

@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"counterminer/internal/clean"
+	"counterminer/internal/fingerprint"
 	"counterminer/internal/interact"
 	"counterminer/internal/rank"
 	"counterminer/internal/sgbrt"
@@ -94,13 +95,34 @@ func (d *DataSet) CleanContext(ctx context.Context, opts clean.Options) (outlier
 	return rep.TotalOutliers, rep.TotalMissing, nil
 }
 
+// Fingerprint returns the data set's workload fingerprint: the
+// counter-signature embedding of its event columns, with Y as the IPC
+// series (see internal/fingerprint). Raw and cleaned data embed
+// closely — the features are robust statistics — so the fingerprint
+// of an uncleaned perf capture can be classified against an index
+// built from cleaned analyses.
+func (d *DataSet) Fingerprint() ([]float64, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	set := timeseries.NewSet()
+	for j, ev := range d.Events {
+		col := make([]float64, len(d.X))
+		for i := range d.X {
+			col[i] = d.X[i][j]
+		}
+		set.Put(timeseries.New(ev, col))
+	}
+	return fingerprint.Embed(set, d.Y), nil
+}
+
 // AnalyzeDataContext runs the mining stages — optional cleaning,
-// EIR/MAPM importance ranking, and interaction ranking — on an
-// external data set, under the given context with the AnalyzeContext
-// cancellation contract (stage plan Clean → Rank → Interact). The
-// simulator is not involved; this is the entry point for real perf
-// measurements. Options fields that concern collection (Runs, Events,
-// StorePath) are ignored.
+// EIR/MAPM importance ranking, interaction ranking, and workload
+// fingerprinting — on an external data set, under the given context
+// with the AnalyzeContext cancellation contract (stage plan Clean →
+// Rank → Interact → Fingerprint). The simulator is not involved; this
+// is the entry point for real perf measurements. Options fields that
+// concern collection (Runs, Events, StorePath) are ignored.
 func AnalyzeDataContext(ctx context.Context, d *DataSet, opts Options) (*Analysis, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -188,6 +210,14 @@ func AnalyzeDataContext(ctx context.Context, d *DataSet, opts Options) (*Analysi
 					A: ps.A, B: ps.B, Importance: ps.Importance,
 				})
 			}
+			return nil
+		}},
+		{StageFingerprint, func(ctx context.Context) error {
+			vec, err := d.Fingerprint()
+			if err != nil {
+				return err
+			}
+			ana.Fingerprint = vec
 			return nil
 		}},
 	})

@@ -1,0 +1,368 @@
+package fingerprint
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"counterminer/internal/collector"
+	"counterminer/internal/sim"
+	"counterminer/internal/timeseries"
+)
+
+// collectEmbed collects one MLPX run of the named benchmark over the
+// full catalogue and embeds it.
+func collectEmbed(t testing.TB, coll *collector.Collector, bench string, runID int) ([]float64, sim.Profile) {
+	t.Helper()
+	p, err := sim.ProfileByName(bench)
+	if err != nil {
+		t.Fatalf("profile %s: %v", bench, err)
+	}
+	run, err := coll.Collect(p, runID, collector.MLPX, coll.Catalogue().Events())
+	if err != nil {
+		t.Fatalf("collect %s: %v", bench, err)
+	}
+	return Embed(run.Series, run.IPC), p
+}
+
+func newColl() *collector.Collector {
+	return collector.New(sim.NewCatalogue())
+}
+
+func TestFingerprintEmbedDeterministic(t *testing.T) {
+	coll := newColl()
+	a, _ := collectEmbed(t, coll, "wordcount", 1)
+	b, _ := collectEmbed(t, coll, "wordcount", 1)
+	if len(a) != Dim || len(b) != Dim {
+		t.Fatalf("embedding width %d/%d, want %d", len(a), len(b), Dim)
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("embedding not bit-identical at %d: %x vs %x", i, math.Float64bits(a[i]), math.Float64bits(b[i]))
+		}
+	}
+	norm := 0.0
+	for _, v := range a {
+		norm += v * v
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Fatalf("embedding norm %v, want 1", norm)
+	}
+}
+
+func TestFingerprintEmbedRobustToGarbage(t *testing.T) {
+	coll := newColl()
+	p, _ := sim.ProfileByName("pagerank")
+	run, err := coll.Collect(p, 1, collector.MLPX, coll.Catalogue().Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := Embed(run.Series, run.IPC)
+
+	// Poison ~2% of samples of every series with NaN/Inf; the robust
+	// features must barely move.
+	dirty := run.Series.Clone()
+	for _, ev := range dirty.Events() {
+		s := dirty.MustGet(ev)
+		for i := 0; i < s.Len(); i += 50 {
+			s.Values[i] = math.NaN()
+		}
+		if s.Len() > 25 {
+			s.Values[25] = math.Inf(1)
+		}
+	}
+	poisoned := Embed(dirty, run.IPC)
+	if d := Distance(clean, poisoned); d > 0.08 {
+		t.Fatalf("garbage moved embedding by %v, want <= 0.08", d)
+	}
+}
+
+func TestFingerprintEmbedEmptySet(t *testing.T) {
+	vec := Embed(timeseries.NewSet(), nil)
+	if len(vec) != Dim {
+		t.Fatalf("width %d", len(vec))
+	}
+	for _, v := range vec {
+		if v != 0 {
+			t.Fatalf("empty set should embed to zero vector, got %v", vec)
+		}
+	}
+	if Embed(nil, nil)[0] != 0 {
+		t.Fatal("nil set should embed to zero vector")
+	}
+}
+
+// saturate clips every series above frac of its max, mimicking the
+// fault injector's corruptSaturate (a saturating counter register) —
+// the synthetic "drifted workload" of the anomaly acceptance test.
+func saturate(set *timeseries.Set, frac float64) *timeseries.Set {
+	out := set.Clone()
+	for _, ev := range out.Events() {
+		s := out.MustGet(ev)
+		max := math.Inf(-1)
+		for _, v := range s.Values {
+			if v > max {
+				max = v
+			}
+		}
+		cap := max * frac
+		for i, v := range s.Values {
+			if v > cap {
+				s.Values[i] = cap
+			}
+		}
+	}
+	return out
+}
+
+// TestIndexSeparationCalibration is the calibration experiment behind
+// DefaultTau/DefaultFloor: across the sixteen simulated benchmarks,
+// same-benchmark runs must embed within DefaultTau of each other
+// while distinct benchmarks stay beyond it, the resulting clustering
+// must be pure (every cluster single-label), held-out runs must
+// classify to their own benchmark with confidence >= 0.9, and a
+// saturated (drifted) profile must be flagged anomalous.
+func TestIndexSeparationCalibration(t *testing.T) {
+	coll := newColl()
+	benches := sim.AllBenchmarkNames()
+	vecs := map[string][][]float64{}
+	suites := map[string]string{}
+	for _, b := range benches {
+		for run := 1; run <= 3; run++ {
+			v, p := collectEmbed(t, coll, b, run)
+			vecs[b] = append(vecs[b], v)
+			suites[b] = p.Suite.String()
+		}
+	}
+
+	maxIntra, minInter := 0.0, math.Inf(1)
+	var maxIntraAt, minInterAt string
+	for _, b := range benches {
+		for i := 0; i < len(vecs[b]); i++ {
+			for j := i + 1; j < len(vecs[b]); j++ {
+				if d := Distance(vecs[b][i], vecs[b][j]); d > maxIntra {
+					maxIntra, maxIntraAt = d, b
+				}
+			}
+		}
+	}
+	for i, a := range benches {
+		for _, b := range benches[i+1:] {
+			for _, va := range vecs[a] {
+				for _, vb := range vecs[b] {
+					if d := Distance(va, vb); d < minInter {
+						minInter, minInterAt = d, a+"/"+b
+					}
+				}
+			}
+		}
+	}
+	t.Logf("max intra-benchmark distance %.4f (%s), min inter-benchmark distance %.4f (%s)",
+		maxIntra, maxIntraAt, minInter, minInterAt)
+	if maxIntra >= DefaultTau {
+		t.Errorf("max intra distance %.4f >= tau %.2f: same-benchmark runs would split", maxIntra, DefaultTau)
+	}
+	if minInter <= DefaultTau {
+		t.Errorf("min inter distance %.4f <= tau %.2f: distinct benchmarks would merge", minInter, DefaultTau)
+	}
+
+	ix := NewIndex(Options{})
+	var entries []Entry
+	for _, b := range benches {
+		for run, v := range vecs[b] {
+			entries = append(entries, Entry{
+				Key:   fmt.Sprintf("%s/%d/MLPX", b, run+1),
+				Label: b,
+				Suite: suites[b],
+				Vec:   v,
+			})
+		}
+	}
+	ix.Fill(entries)
+	t.Logf("index: %d entries, %d clusters, version %s", ix.Len(), ix.NumClusters(), ix.Version())
+	if ix.NumClusters() != len(benches) {
+		t.Errorf("got %d clusters for %d benchmarks", ix.NumClusters(), len(benches))
+	}
+	for _, c := range ix.Clusters() {
+		if c.Members != 3 {
+			t.Errorf("cluster %s has %d members, want 3 (impure or split)", c.Label, c.Members)
+		}
+	}
+
+	// Held-out runs (not in the index) must classify to their own
+	// benchmark with high confidence and correct suite.
+	for _, b := range benches {
+		v, p := collectEmbed(t, coll, b, 7)
+		res, err := ix.Classify(v, 3)
+		if err != nil {
+			t.Fatalf("classify %s: %v", b, err)
+		}
+		if res.Matches[0].Label != b {
+			t.Errorf("%s classified as %s (d=%.4f)", b, res.Matches[0].Label, res.Matches[0].Distance)
+			continue
+		}
+		if res.Confidence < 0.9 {
+			t.Errorf("%s confidence %.4f < 0.9", b, res.Confidence)
+		}
+		if res.Anomaly {
+			t.Errorf("%s flagged anomalous (score %.3f)", b, res.AnomalyScore)
+		}
+		if len(res.Suites) == 0 || res.Suites[0].Suite != p.Suite.String() {
+			t.Errorf("%s suite confidence ranks %v, want %s first", b, res.Suites, p.Suite)
+		}
+	}
+
+	// A saturated (drifted) profile of a known benchmark must be
+	// flagged anomalous.
+	p, _ := sim.ProfileByName("kmeans")
+	run, err := coll.Collect(p, 9, collector.MLPX, coll.Catalogue().Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := Embed(saturate(run.Series, 0.25), run.IPC)
+	res, err := ix.Classify(drifted, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("drifted kmeans: nearest %s d=%.4f anomalyScore=%.3f", res.Matches[0].Label, res.Matches[0].Distance, res.AnomalyScore)
+	if !res.Anomaly {
+		t.Errorf("saturated profile not flagged anomalous (score %.3f)", res.AnomalyScore)
+	}
+}
+
+func TestIndexInsertionOrderInvariant(t *testing.T) {
+	coll := newColl()
+	benches := []string{"wordcount", "sort", "DataCaching", "WebSearch", "join"}
+	var entries []Entry
+	for _, b := range benches {
+		for run := 1; run <= 2; run++ {
+			v, p := collectEmbed(t, coll, b, run)
+			entries = append(entries, Entry{
+				Key:   fmt.Sprintf("%s/%d/MLPX", b, run),
+				Label: b,
+				Suite: p.Suite.String(),
+				Vec:   v,
+			})
+		}
+	}
+	forward := NewIndex(Options{})
+	for _, e := range entries {
+		forward.Upsert(e)
+	}
+	backward := NewIndex(Options{})
+	for i := len(entries) - 1; i >= 0; i-- {
+		backward.Upsert(entries[i])
+	}
+	bulk := NewIndex(Options{})
+	bulk.Fill(entries)
+
+	if forward.Version() != backward.Version() || forward.Version() != bulk.Version() {
+		t.Fatalf("index version depends on insertion order: %s / %s / %s",
+			forward.Version(), backward.Version(), bulk.Version())
+	}
+	fc, bc := forward.Clusters(), backward.Clusters()
+	if len(fc) != len(bc) {
+		t.Fatalf("cluster count differs: %d vs %d", len(fc), len(bc))
+	}
+	for i := range fc {
+		if fc[i].Label != bc[i].Label || fc[i].Members != bc[i].Members || fc[i].Radius != bc[i].Radius {
+			t.Fatalf("cluster %d differs: %+v vs %+v", i, fc[i], bc[i])
+		}
+	}
+}
+
+func TestIndexVersionTracksContent(t *testing.T) {
+	ix := NewIndex(Options{})
+	if ix.Version() != "empty" {
+		t.Fatalf("empty index version %q", ix.Version())
+	}
+	vec := make([]float64, Dim)
+	vec[0] = 1
+	ix.Upsert(Entry{Key: "a/1/MLPX", Label: "a", Suite: "HiBench", Vec: vec})
+	v1 := ix.Version()
+	if v1 == "empty" || v1 == "" {
+		t.Fatalf("version after upsert %q", v1)
+	}
+	// Re-upserting identical content must not change the version.
+	ix.Upsert(Entry{Key: "a/1/MLPX", Label: "a", Suite: "HiBench", Vec: vec})
+	if ix.Version() != v1 {
+		t.Fatalf("idempotent upsert changed version %s -> %s", v1, ix.Version())
+	}
+	vec2 := make([]float64, Dim)
+	vec2[1] = 1
+	ix.Upsert(Entry{Key: "b/1/MLPX", Label: "b", Suite: "HiBench", Vec: vec2})
+	if ix.Version() == v1 {
+		t.Fatal("version unchanged after new entry")
+	}
+}
+
+func TestClassifyEmptyIndex(t *testing.T) {
+	ix := NewIndex(Options{})
+	if _, err := ix.Classify(make([]float64, Dim), 3); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestClassifyMatchBound(t *testing.T) {
+	ix := NewIndex(Options{})
+	var entries []Entry
+	for i := 0; i < 5; i++ {
+		vec := make([]float64, Dim)
+		vec[i] = 1
+		entries = append(entries, Entry{Key: fmt.Sprintf("b%d/1/MLPX", i), Label: fmt.Sprintf("b%d", i), Suite: "s", Vec: vec})
+	}
+	ix.Fill(entries)
+	probe := make([]float64, Dim)
+	probe[0] = 1
+	res, err := ix.Classify(probe, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 2 {
+		t.Fatalf("got %d matches, want 2", len(res.Matches))
+	}
+	if res.Matches[0].Label != "b0" || res.Matches[0].Distance != 0 {
+		t.Fatalf("nearest = %+v", res.Matches[0])
+	}
+	res, err = ix.Classify(probe, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 5 {
+		t.Fatalf("k beyond cluster count: got %d matches, want 5", len(res.Matches))
+	}
+}
+
+func BenchmarkEmbed(b *testing.B) {
+	coll := newColl()
+	p, _ := sim.ProfileByName("wordcount")
+	run, err := coll.Collect(p, 1, collector.MLPX, coll.Catalogue().Events())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Embed(run.Series, run.IPC)
+	}
+}
+
+func BenchmarkIndexLookup(b *testing.B) {
+	coll := newColl()
+	ix := NewIndex(Options{})
+	var entries []Entry
+	var probe []float64
+	for _, bench := range sim.AllBenchmarkNames() {
+		v, p := collectEmbed(b, coll, bench, 1)
+		entries = append(entries, Entry{Key: bench + "/1/MLPX", Label: bench, Suite: p.Suite.String(), Vec: v})
+		probe = v
+	}
+	ix.Fill(entries)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Classify(probe, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// ErrEmpty is returned by Classify when the index holds no entries —
+// a daemon with an empty (or absent) store cannot classify anything.
+var ErrEmpty = errors.New("fingerprint: empty index")
+
+// Default clustering parameters, calibrated on the simulated sixteen
+// benchmarks (see TestIndexSeparationCalibration): embeddings of runs
+// of the same benchmark land within ~0.05 of each other while
+// distinct benchmarks sit ≥ ~0.25 apart, so a leader threshold of
+// 0.15 groups every benchmark into its own cluster with no merges.
+const (
+	// DefaultTau is the leader-clustering distance threshold: an entry
+	// within Tau of an existing leader joins that cluster.
+	DefaultTau = 0.15
+	// DefaultSlack multiplies a cluster's observed radius into its
+	// anomaly boundary.
+	DefaultSlack = 3.0
+	// DefaultFloor is the absolute anomaly boundary used when a
+	// cluster's radius is degenerate (singleton clusters have radius
+	// zero). Distances beyond the floor are anomalous even for
+	// tight clusters.
+	DefaultFloor = 0.12
+	// DefaultTemp is the softmax temperature converting distances into
+	// per-cluster weights for confidence aggregation.
+	DefaultTemp = 0.05
+)
+
+// Entry is one run's fingerprint with its identity labels. Key must
+// be unique across the index (the store's benchmark/runID/mode key);
+// Label is the benchmark name and Suite its suite.
+type Entry struct {
+	Key   string
+	Label string
+	Suite string
+	Vec   []float64
+}
+
+// Cluster is one group of entries sharing a behaviour signature.
+type Cluster struct {
+	// Label is the majority benchmark label of the members (ties
+	// broken lexically).
+	Label string
+	// Suite is the majority suite of the members.
+	Suite string
+	// Centroid is the unit-normalised mean of the member vectors.
+	Centroid []float64
+	// Radius is the largest member-to-centroid distance.
+	Radius float64
+	// Members is the member count.
+	Members int
+}
+
+// Match is one nearest-cluster result of a classification.
+type Match struct {
+	Label    string
+	Suite    string
+	Distance float64
+	Members  int
+}
+
+// SuiteConfidence is the aggregated classification confidence for one
+// suite.
+type SuiteConfidence struct {
+	Suite      string
+	Confidence float64
+}
+
+// Result is the outcome of classifying one embedding.
+type Result struct {
+	// Matches lists the nearest clusters, ascending by distance.
+	Matches []Match
+	// Confidence is the softmax weight of the nearest cluster — near
+	// 1 when the profile sits inside a well-separated cluster.
+	Confidence float64
+	// Suites aggregates cluster weights per suite, descending.
+	Suites []SuiteConfidence
+	// Anomaly is true when the distance to the nearest cluster
+	// exceeds that cluster's dispersion boundary: the profile does
+	// not behave like any known workload.
+	Anomaly bool
+	// AnomalyScore is distance/boundary for the nearest cluster;
+	// values above 1 are anomalous.
+	AnomalyScore float64
+	// IndexVersion is the content hash of the index that produced
+	// this result.
+	IndexVersion string
+	// Clusters and Entries describe the index size at classify time.
+	Clusters int
+	Entries  int
+}
+
+// Options tune the index; zero values take the calibrated defaults.
+type Options struct {
+	Tau   float64
+	Slack float64
+	Floor float64
+	Temp  float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tau <= 0 {
+		o.Tau = DefaultTau
+	}
+	if o.Slack <= 0 {
+		o.Slack = DefaultSlack
+	}
+	if o.Floor <= 0 {
+		o.Floor = DefaultFloor
+	}
+	if o.Temp <= 0 {
+		o.Temp = DefaultTemp
+	}
+	return o
+}
+
+// Index is an online leader-clustering index over run fingerprints.
+// It is safe for concurrent use.
+//
+// Determinism contract: the clustering is a pure function of the
+// entry set (and options), not of insertion order — every mutation
+// re-runs the leader pass over all entries in sorted-key order. Two
+// indexes holding the same entries therefore have identical clusters
+// and an identical Version() on every node of a cluster, which is
+// what lets the index version participate in the classify content
+// address without coordination.
+type Index struct {
+	opts Options
+
+	mu       sync.RWMutex
+	entries  map[string]Entry
+	order    []string // sorted keys, maintained by rebuild
+	clusters []Cluster
+	version  string
+}
+
+// NewIndex returns an empty index with the given options.
+func NewIndex(opts Options) *Index {
+	return &Index{
+		opts:    opts.withDefaults(),
+		entries: make(map[string]Entry),
+		version: "empty",
+	}
+}
+
+// Upsert adds or replaces one entry and rebuilds the clustering.
+func (ix *Index) Upsert(e Entry) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.entries[e.Key] = e
+	ix.rebuild()
+}
+
+// Fill bulk-adds (or replaces) entries with a single rebuild — the
+// startup path over the whole store.
+func (ix *Index) Fill(entries []Entry) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, e := range entries {
+		ix.entries[e.Key] = e
+	}
+	ix.rebuild()
+}
+
+// Len reports the number of entries.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.entries)
+}
+
+// NumClusters reports the number of clusters.
+func (ix *Index) NumClusters() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.clusters)
+}
+
+// Version returns the content hash of the index: entries in sorted
+// key order plus the clustering options. Empty index → "empty".
+func (ix *Index) Version() string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.version
+}
+
+// Clusters returns a copy of the current clusters.
+func (ix *Index) Clusters() []Cluster {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]Cluster, len(ix.clusters))
+	copy(out, ix.clusters)
+	return out
+}
+
+// rebuild recomputes clusters and version. Caller holds mu.
+//
+// The leader pass walks entries in sorted-key order with leader
+// centroids frozen at the leader's own vector (classic leader
+// clustering), so assignment is independent of both insertion order
+// and of previously computed centroids; member statistics (centroid,
+// radius, majority label) are derived afterwards.
+func (ix *Index) rebuild() {
+	ix.order = ix.order[:0]
+	for k := range ix.entries {
+		ix.order = append(ix.order, k)
+	}
+	sort.Strings(ix.order)
+
+	var leaders []Entry
+	assign := make([]int, len(ix.order))
+	for i, k := range ix.order {
+		e := ix.entries[k]
+		best, bestD := -1, math.Inf(1)
+		for ci := range leaders {
+			d := Distance(e.Vec, leaders[ci].Vec)
+			if d < bestD {
+				best, bestD = ci, d
+			}
+		}
+		if best >= 0 && bestD <= ix.opts.Tau {
+			assign[i] = best
+		} else {
+			leaders = append(leaders, e)
+			assign[i] = len(leaders) - 1
+		}
+	}
+
+	clusters := make([]Cluster, len(leaders))
+	memberKeys := make([][]string, len(leaders))
+	for i, k := range ix.order {
+		memberKeys[assign[i]] = append(memberKeys[assign[i]], k)
+	}
+	for ci := range clusters {
+		centroid := make([]float64, Dim)
+		for _, k := range memberKeys[ci] {
+			for j, v := range ix.entries[k].Vec {
+				if j < Dim {
+					centroid[j] += v
+				}
+			}
+		}
+		norm := 0.0
+		for _, v := range centroid {
+			norm += v * v
+		}
+		if norm > 0 {
+			inv := 1 / math.Sqrt(norm)
+			for j := range centroid {
+				centroid[j] *= inv
+			}
+		}
+		radius := 0.0
+		labelVotes := map[string]int{}
+		suiteVotes := map[string]int{}
+		for _, k := range memberKeys[ci] {
+			e := ix.entries[k]
+			if d := Distance(e.Vec, centroid); d > radius {
+				radius = d
+			}
+			labelVotes[e.Label]++
+			suiteVotes[e.Suite]++
+		}
+		clusters[ci] = Cluster{
+			Label:    majority(labelVotes),
+			Suite:    majority(suiteVotes),
+			Centroid: centroid,
+			Radius:   radius,
+			Members:  len(memberKeys[ci]),
+		}
+	}
+	// Present clusters in a stable, size-independent order.
+	sort.Slice(clusters, func(a, b int) bool {
+		if clusters[a].Label != clusters[b].Label {
+			return clusters[a].Label < clusters[b].Label
+		}
+		return clusters[a].Members > clusters[b].Members
+	})
+	ix.clusters = clusters
+	ix.version = ix.hash()
+}
+
+// hash computes the content address of the entry set and options.
+// Caller holds mu; ix.order is current.
+func (ix *Index) hash() string {
+	if len(ix.order) == 0 {
+		return "empty"
+	}
+	h := sha256.New()
+	var buf [8]byte
+	writeF := func(v float64) {
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	for _, f := range []float64{ix.opts.Tau, ix.opts.Slack, ix.opts.Floor, ix.opts.Temp} {
+		writeF(f)
+	}
+	for _, k := range ix.order {
+		e := ix.entries[k]
+		h.Write([]byte(e.Key))
+		h.Write([]byte{0})
+		h.Write([]byte(e.Label))
+		h.Write([]byte{0})
+		h.Write([]byte(e.Suite))
+		h.Write([]byte{0})
+		h.Write([]byte(strconv.Itoa(len(e.Vec))))
+		for _, v := range e.Vec {
+			writeF(v)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// majority returns the key with the most votes, ties broken lexically.
+func majority(votes map[string]int) string {
+	best, bestN := "", -1
+	keys := make([]string, 0, len(votes))
+	for k := range votes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if votes[k] > bestN {
+			best, bestN = k, votes[k]
+		}
+	}
+	return best
+}
+
+// Classify maps an embedding to its nearest clusters. k bounds the
+// number of returned matches (k ≤ 0 means 3). It returns ErrEmpty on
+// an index with no entries.
+func (ix *Index) Classify(vec []float64, k int) (*Result, error) {
+	if k <= 0 {
+		k = 3
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.entries) == 0 {
+		return nil, ErrEmpty
+	}
+
+	type scored struct {
+		ci int
+		d  float64
+	}
+	ds := make([]scored, len(ix.clusters))
+	for ci := range ix.clusters {
+		ds[ci] = scored{ci, Distance(vec, ix.clusters[ci].Centroid)}
+	}
+	sort.Slice(ds, func(a, b int) bool {
+		if ds[a].d != ds[b].d {
+			return ds[a].d < ds[b].d
+		}
+		return ix.clusters[ds[a].ci].Label < ix.clusters[ds[b].ci].Label
+	})
+
+	// Softmax weights over all clusters; numerically anchored at the
+	// nearest distance so well-separated matches get weight ~1.
+	d0 := ds[0].d
+	weights := make([]float64, len(ds))
+	sum := 0.0
+	for i, s := range ds {
+		w := math.Exp(-(s.d - d0) / ix.opts.Temp)
+		weights[i] = w
+		sum += w
+	}
+	suiteW := map[string]float64{}
+	for i, s := range ds {
+		suiteW[ix.clusters[s.ci].Suite] += weights[i] / sum
+	}
+	suites := make([]SuiteConfidence, 0, len(suiteW))
+	for s, w := range suiteW {
+		suites = append(suites, SuiteConfidence{Suite: s, Confidence: w})
+	}
+	sort.Slice(suites, func(a, b int) bool {
+		if suites[a].Confidence != suites[b].Confidence {
+			return suites[a].Confidence > suites[b].Confidence
+		}
+		return suites[a].Suite < suites[b].Suite
+	})
+
+	n := k
+	if n > len(ds) {
+		n = len(ds)
+	}
+	matches := make([]Match, n)
+	for i := 0; i < n; i++ {
+		c := ix.clusters[ds[i].ci]
+		matches[i] = Match{Label: c.Label, Suite: c.Suite, Distance: ds[i].d, Members: c.Members}
+	}
+
+	nearest := ix.clusters[ds[0].ci]
+	boundary := nearest.Radius * ix.opts.Slack
+	if boundary < ix.opts.Floor {
+		boundary = ix.opts.Floor
+	}
+	return &Result{
+		Matches:      matches,
+		Confidence:   weights[0] / sum,
+		Suites:       suites,
+		Anomaly:      d0 > boundary,
+		AnomalyScore: d0 / boundary,
+		IndexVersion: ix.version,
+		Clusters:     len(ix.clusters),
+		Entries:      len(ix.entries),
+	}, nil
+}

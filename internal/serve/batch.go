@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	counterminer "counterminer"
 	"counterminer/internal/batch"
 )
 
@@ -17,7 +18,7 @@ import (
 // these.
 type pendingJob struct {
 	key      string
-	call     *Call
+	call     *Call[*counterminer.Analysis]
 	spec     jobSpec
 	deadline time.Time
 }
@@ -28,14 +29,31 @@ type pendingJob struct {
 // generator is built once and then hit in the memo.
 func (j jobSpec) groupKey() string { return j.benchmark + "\x00" + j.colocate }
 
+// specKey is the spec's content address: the canonical request hash,
+// prefixed with the job kind so a fingerprint job and the full
+// analysis of the same benchmark never share a cache entry.
+func specKey(spec jobSpec) string {
+	k := Key(spec.benchmark, spec.colocate, spec.events, spec.opts)
+	if spec.kind != "" {
+		k = spec.kind + ":" + k
+	}
+	return k
+}
+
 // startJob submits one leader job to the admission queue under its
 // deadline. Admission failures complete the call with the typed
 // rejection so every waiter (single request, batch entry, or
 // singleflight follower) observes it instead of hanging.
 func (s *Server) startJob(pj pendingJob) {
 	err := s.queue.SubmitDeadline(pj.deadline, func(ctx context.Context) {
+		start := time.Now()
 		a, aerr := s.analyze(ctx, pj.spec)
-		s.metrics.ObserveAnalysis(a, aerr)
+		if pj.spec.kind == KindFingerprint {
+			s.metrics.ObserveEmbed(aerr, time.Since(start))
+		} else {
+			s.metrics.ObserveAnalysis(a, aerr)
+			s.syncFingerprint(pj.spec, aerr)
+		}
 		s.cache.Complete(pj.key, pj.call, a, aerr)
 	})
 	if err != nil {
@@ -118,7 +136,7 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 	type jobState struct {
 		spec jobSpec
 		key  string
-		call *Call
+		call *Call[*counterminer.Analysis]
 	}
 	results := make([]BatchJobResult, len(req.Jobs))
 	states := make([]*jobState, len(req.Jobs))
@@ -130,7 +148,7 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 			results[i].Error = &ErrorResponse{Error: herr.code, Message: herr.msg}
 			continue
 		}
-		key := Key(spec.benchmark, spec.colocate, spec.events, spec.opts)
+		key := specKey(spec)
 		states[i] = &jobState{spec: spec, key: key}
 		results[i].Key = key
 		items = append(items, batch.Item{Index: i, Key: key, Group: spec.groupKey()})
@@ -150,8 +168,8 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 	deadline := time.Now().Add(s.cfg.Budget)
 	for _, idx := range plan.Order {
 		st := states[idx]
-		ana, call, leader := s.cache.Acquire(st.key)
-		if ana != nil {
+		ana, ok, call, leader := s.cache.Acquire(st.key)
+		if ok {
 			results[idx].Cached = true
 			results[idx].Analysis = ana
 			stats.CacheHits++
@@ -166,6 +184,7 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 		err := s.queue.SubmitDeadline(deadline, func(ctx context.Context) {
 			a, aerr := s.analyze(ctx, st.spec)
 			s.metrics.ObserveAnalysis(a, aerr)
+			s.syncFingerprint(st.spec, aerr)
 			s.cache.Complete(st.key, st.call, a, aerr)
 		})
 		if err != nil {
@@ -190,7 +209,7 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 		if st.call.Err != nil {
 			results[idx].Error = jobError(st.call.Err)
 		} else {
-			results[idx].Analysis = st.call.Ana
+			results[idx].Analysis = st.call.Val
 		}
 	}
 

@@ -281,7 +281,7 @@ func TestBatchChaosPerJobErrorIsolation(t *testing.T) {
 		}
 		// Failures are never cached: the duplicate shares its leader's
 		// error within the batch, but the key stays re-runnable.
-		if _, _, leader := s.cache.Acquire(br.Jobs[1].Key); !leader {
+		if _, _, _, leader := s.cache.Acquire(br.Jobs[1].Key); !leader {
 			t.Errorf("round %d: failed key cached; a retry must re-lead", round)
 		}
 		outcomes = append(outcomes, fmt.Sprintf("%s|%s", br.Jobs[1].Error.Error, br.Jobs[3].Error.Error))

@@ -11,94 +11,95 @@ import (
 	counterminer "counterminer"
 )
 
-// Cache is the content-addressed result cache: completed Analysis
-// values keyed by the canonical request hash, held in an LRU, with
-// singleflight deduplication of in-flight keys so N concurrent
-// identical requests cost one pipeline execution.
+// Cache is the content-addressed result cache: completed values keyed
+// by the canonical request hash, held in an LRU, with singleflight
+// deduplication of in-flight keys so N concurrent identical requests
+// cost one execution. The server runs one instance per result type —
+// analyses and classifications — over the same machinery.
 //
-// Cached *Analysis values are shared between callers and must be
-// treated as immutable; the HTTP layer only ever marshals them.
-type Cache struct {
+// Cached values are shared between callers and must be treated as
+// immutable; the HTTP layer only ever marshals them.
+type Cache[V any] struct {
 	mu        sync.Mutex
 	capacity  int
 	ll        *list.List // front = most recently used
 	items     map[string]*list.Element
-	inflight  map[string]*Call
+	inflight  map[string]*Call[V]
 	evictions uint64
 }
 
 // entry is one LRU slot.
-type entry struct {
+type entry[V any] struct {
 	key string
-	ana *counterminer.Analysis
+	val V
 }
 
 // Call is one in-flight computation. Followers wait on Done; after it
-// closes, Ana/Err hold the shared result.
-type Call struct {
+// closes, Val/Err hold the shared result.
+type Call[V any] struct {
 	// Done closes when the computation completes.
 	Done chan struct{}
-	// Ana and Err are the shared outcome, valid once Done is closed.
-	Ana *counterminer.Analysis
+	// Val and Err are the shared outcome, valid once Done is closed.
+	Val V
 	Err error
 }
 
-// NewCache returns a cache holding at most capacity completed
-// analyses. capacity 0 disables retention but keeps singleflight
-// deduplication of concurrent identical requests.
-func NewCache(capacity int) *Cache {
+// NewCache returns a cache holding at most capacity completed values.
+// capacity 0 disables retention but keeps singleflight deduplication
+// of concurrent identical requests.
+func NewCache[V any](capacity int) *Cache[V] {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &Cache{
+	return &Cache[V]{
 		capacity: capacity,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
-		inflight: make(map[string]*Call),
+		inflight: make(map[string]*Call[V]),
 	}
 }
 
 // Acquire resolves a key to one of three outcomes:
 //
-//   - cache hit: ana != nil — return it to the client;
+//   - cache hit: ok == true — return val to the client;
 //   - follower: call != nil, leader == false — an identical request is
 //     already executing; wait on call.Done and share its result;
 //   - leader: call != nil, leader == true — the caller must execute
-//     the analysis and publish it with Complete (always, also on
+//     the computation and publish it with Complete (always, also on
 //     error, or followers wait forever).
-func (c *Cache) Acquire(key string) (ana *counterminer.Analysis, call *Call, leader bool) {
+func (c *Cache[V]) Acquire(key string) (val V, ok bool, call *Call[V], leader bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
+	if el, found := c.items[key]; found {
 		c.ll.MoveToFront(el)
-		return el.Value.(*entry).ana, nil, false
+		return el.Value.(*entry[V]).val, true, nil, false
 	}
-	if cl, ok := c.inflight[key]; ok {
-		return nil, cl, false
+	if cl, found := c.inflight[key]; found {
+		return val, false, cl, false
 	}
-	cl := &Call{Done: make(chan struct{})}
+	cl := &Call[V]{Done: make(chan struct{})}
 	c.inflight[key] = cl
-	return nil, cl, true
+	return val, false, cl, true
 }
 
 // Complete publishes a leader's outcome: the result is stored in the
-// call, successful analyses enter the LRU (failures and cancellations
+// call, successful values enter the LRU (failures and cancellations
 // are never cached — a retry should re-run, not replay the error), the
 // in-flight slot is released, and every follower is woken.
-func (c *Cache) Complete(key string, call *Call, ana *counterminer.Analysis, err error) {
-	call.Ana, call.Err = ana, err
+func (c *Cache[V]) Complete(key string, call *Call[V], val V, err error) {
+	call.Val, call.Err = val, err
 	c.mu.Lock()
 	delete(c.inflight, key)
-	if err == nil && ana != nil && c.capacity > 0 {
+	if err == nil && c.capacity > 0 {
 		if el, ok := c.items[key]; ok {
-			el.Value.(*entry).ana = ana
+			el.Value.(*entry[V]).val = val
 			c.ll.MoveToFront(el)
 		} else {
-			c.items[key] = c.ll.PushFront(&entry{key: key, ana: ana})
+			c.items[key] = c.ll.PushFront(&entry[V]{key: key, val: val})
 			if c.ll.Len() > c.capacity {
 				oldest := c.ll.Back()
 				c.ll.Remove(oldest)
-				delete(c.items, oldest.Value.(*entry).key)
+				delete(c.items, oldest.Value.(*entry[V]).key)
 				c.evictions++
 			}
 		}
@@ -107,18 +108,18 @@ func (c *Cache) Complete(key string, call *Call, ana *counterminer.Analysis, err
 	close(call.Done)
 }
 
-// Len reports the number of cached analyses.
-func (c *Cache) Len() int {
+// Len reports the number of cached values.
+func (c *Cache[V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
 
 // Capacity reports the LRU capacity.
-func (c *Cache) Capacity() int { return c.capacity }
+func (c *Cache[V]) Capacity() int { return c.capacity }
 
 // Evictions reports how many entries the LRU has displaced.
-func (c *Cache) Evictions() uint64 {
+func (c *Cache[V]) Evictions() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.evictions

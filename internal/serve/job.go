@@ -22,7 +22,19 @@ var (
 	// ErrNoWorkers reports a coordinator with no live registered
 	// workers to dispatch to.
 	ErrNoWorkers = errors.New("serve: no live workers registered")
+	// ErrNoIndex reports a /classify request on a node that runs
+	// without a store: there is no fingerprint index to classify
+	// against.
+	ErrNoIndex = errors.New("serve: no fingerprint index (the daemon runs without -db)")
 )
+
+// KindFingerprint marks a job that collects a benchmark's runs and
+// returns only their workload fingerprint (Analysis.Fingerprint is the
+// sole populated result field). Fingerprint jobs travel the same
+// admission, cache, and dispatch path as analyses — a coordinator
+// routes them to workers by the same benchmark-identity grouping key —
+// but skip ranking and persistence. The empty kind is a full analysis.
+const KindFingerprint = "fingerprint"
 
 // Job is one fully resolved analysis job in wire form: the benchmark
 // identity, the resolved event list, and the result-relevant option
@@ -34,6 +46,12 @@ var (
 type Job struct {
 	// Key is the job's content address (the result-cache key).
 	Key string `json:"key"`
+	// Kind distinguishes what the job computes: "" is a full analysis,
+	// KindFingerprint collects runs and returns only their embedding.
+	// It travels on the wire because Execute recomputes the content
+	// address locally — dropping it would key a fingerprint job onto
+	// the full analysis of the same benchmark.
+	Kind string `json:"kind,omitempty"`
 	// Benchmark and Colocate are the benchmark identity.
 	Benchmark string `json:"benchmark"`
 	Colocate  string `json:"colocate,omitempty"`
@@ -63,6 +81,7 @@ func (j Job) GroupKey() string { return j.Benchmark + "\x00" + j.Colocate }
 func jobFromSpec(key string, spec jobSpec) Job {
 	return Job{
 		Key:       key,
+		Kind:      spec.kind,
 		Benchmark: spec.benchmark,
 		Colocate:  spec.colocate,
 		Events:    spec.events,
@@ -82,6 +101,7 @@ func jobFromSpec(key string, spec jobSpec) Job {
 // results, so it stays out of the wire form and the content address).
 func (s *Server) specFromJob(j Job) jobSpec {
 	return jobSpec{
+		kind:      j.Kind,
 		benchmark: j.Benchmark,
 		colocate:  j.Colocate,
 		events:    j.Events,
@@ -110,8 +130,7 @@ func (s *Server) specFromJob(j Job) jobSpec {
 // Call between New and Serve; not safe to swap while serving.
 func (s *Server) SetDispatch(d func(ctx context.Context, job Job) (*counterminer.Analysis, error)) {
 	s.analyze = func(ctx context.Context, spec jobSpec) (*counterminer.Analysis, error) {
-		key := Key(spec.benchmark, spec.colocate, spec.events, spec.opts)
-		return d(ctx, jobFromSpec(key, spec))
+		return d(ctx, jobFromSpec(specKey(spec), spec))
 	}
 }
 
@@ -129,9 +148,9 @@ func (s *Server) SetDispatch(d func(ctx context.Context, job Job) (*counterminer
 func (s *Server) Execute(ctx context.Context, job Job) (*counterminer.Analysis, error) {
 	s.metrics.IncRequest()
 	spec := s.specFromJob(job)
-	key := Key(spec.benchmark, spec.colocate, spec.events, spec.opts)
-	ana, call, leader := s.cache.Acquire(key)
-	if ana != nil {
+	key := specKey(spec)
+	ana, ok, call, leader := s.cache.Acquire(key)
+	if ok {
 		s.metrics.IncCacheHit()
 		return ana, nil
 	}
@@ -146,7 +165,7 @@ func (s *Server) Execute(ctx context.Context, job Job) (*counterminer.Analysis, 
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
-	return call.Ana, call.Err
+	return call.Val, call.Err
 }
 
 // Route mounts an extra handler on the server's HTTP surface (the

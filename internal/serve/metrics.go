@@ -8,6 +8,7 @@ import (
 	counterminer "counterminer"
 	"counterminer/internal/clean"
 	"counterminer/internal/collector"
+	"counterminer/internal/fingerprint"
 	"counterminer/internal/store"
 	"counterminer/pkg/client"
 )
@@ -52,6 +53,22 @@ type Metrics struct {
 	runsFailed  uint64
 	quarantined uint64
 	storeErrors uint64
+	// fingerprint/classify counters, pre-registered like everything
+	// else: the /metrics document carries a zeroed fingerprint section
+	// before the first classification arrives.
+	classifyRequests    uint64
+	classified          uint64
+	classifyErrors      uint64
+	classifyAnomalies   uint64
+	classifyNoIndex     uint64
+	classifyCacheHits   uint64
+	classifyCacheMisses uint64
+	classifyShared      uint64
+	indexRebuilds       uint64
+	embeds              uint64
+	embedErrors         uint64
+	embedLatency        *Histogram
+	classifyLatency     *Histogram
 	// per-stage latency histograms, pre-registered over the full stage
 	// plan so the surface is complete before the first analysis.
 	stageOrder []string
@@ -75,11 +92,13 @@ type cleanerStats struct {
 // pipeline stage (in plan order, from counterminer.StageNames).
 func NewMetrics() *Metrics {
 	m := &Metrics{
-		start:        time.Now(),
-		stageOrder:   counterminer.StageNames(),
-		stages:       make(map[string]*Histogram),
-		cleanerOrder: clean.Names(),
-		cleaners:     make(map[string]*cleanerStats),
+		start:           time.Now(),
+		stageOrder:      counterminer.StageNames(),
+		stages:          make(map[string]*Histogram),
+		cleanerOrder:    clean.Names(),
+		cleaners:        make(map[string]*cleanerStats),
+		embedLatency:    NewHistogram(),
+		classifyLatency: NewHistogram(),
 	}
 	for _, s := range m.stageOrder {
 		m.stages[s] = NewHistogram()
@@ -146,6 +165,48 @@ func (m *Metrics) inc(c *uint64) {
 	m.mu.Unlock()
 }
 
+// Classify-path counters: one per /classify request, per cache
+// outcome (hit / miss-turned-execution / shared in-flight), and for
+// requests refused because the node runs without a store.
+func (m *Metrics) IncClassifyRequest()   { m.inc(&m.classifyRequests) }
+func (m *Metrics) IncClassifyNoIndex()   { m.inc(&m.classifyNoIndex) }
+func (m *Metrics) IncClassifyCacheHit()  { m.inc(&m.classifyCacheHits) }
+func (m *Metrics) IncClassifyCacheMiss() { m.inc(&m.classifyCacheMisses) }
+func (m *Metrics) IncClassifyShared()    { m.inc(&m.classifyShared) }
+
+// IncIndexRebuild counts one full fingerprint-index rebuild from the
+// store (startup, or an explicit resync).
+func (m *Metrics) IncIndexRebuild() { m.inc(&m.indexRebuilds) }
+
+// ObserveEmbed records one fingerprint-embedding execution (a
+// KindFingerprint job, local or dispatched).
+func (m *Metrics) ObserveEmbed(err error, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		m.embedErrors++
+		return
+	}
+	m.embeds++
+	m.embedLatency.Observe(d)
+}
+
+// ObserveClassify records one finished classification: outcome,
+// anomaly verdict, and end-to-end latency.
+func (m *Metrics) ObserveClassify(cls *client.Classification, err error, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		m.classifyErrors++
+		return
+	}
+	m.classified++
+	if cls != nil && cls.Anomaly {
+		m.classifyAnomalies++
+	}
+	m.classifyLatency.Observe(d)
+}
+
 // ObserveAnalysis records one finished pipeline execution: outcome
 // counters, per-stage latency, and degradation accounting.
 func (m *Metrics) ObserveAnalysis(ana *counterminer.Analysis, err error) {
@@ -199,9 +260,10 @@ func (m *Metrics) ObserveAnalysis(ana *counterminer.Analysis, err error) {
 // the counters; any field may be nil.
 type gauges struct {
 	queue     *Queue
-	cache     *Cache
+	cache     *Cache[*counterminer.Analysis]
 	coll      *collector.Collector
 	db        *store.DB
+	index     *fingerprint.Index
 	coalescer interface{ Pending() int }
 	cluster   func() client.ClusterCounters
 }
@@ -243,6 +305,26 @@ func (m *Metrics) SnapshotFrom(g gauges) Snapshot {
 			EventsQuarantined: m.quarantined,
 			StoreErrors:       m.storeErrors,
 		},
+		Fingerprint: FingerprintCounters{
+			ClassifyRequests:    m.classifyRequests,
+			Classified:          m.classified,
+			ClassifyErrors:      m.classifyErrors,
+			ClassifyAnomalies:   m.classifyAnomalies,
+			ClassifyNoIndex:     m.classifyNoIndex,
+			ClassifyCacheHits:   m.classifyCacheHits,
+			ClassifyCacheMisses: m.classifyCacheMisses,
+			ClassifyShared:      m.classifyShared,
+			IndexRebuilds:       m.indexRebuilds,
+			Embeds:              m.embeds,
+			EmbedErrors:         m.embedErrors,
+			EmbedLatency:        m.embedLatency.snapshot("embed"),
+			ClassifyLatency:     m.classifyLatency.snapshot("classify"),
+		},
+	}
+	if g.index != nil {
+		snap.Fingerprint.IndexEntries = g.index.Len()
+		snap.Fingerprint.IndexClusters = g.index.NumClusters()
+		snap.Fingerprint.IndexVersion = g.index.Version()
 	}
 	if g.queue != nil {
 		snap.Queue = QueueGauges{

@@ -138,31 +138,31 @@ func TestQueueBudgetDeadline(t *testing.T) {
 // --- cache -----------------------------------------------------------------
 
 func TestCacheSingleflightSharesOneExecution(t *testing.T) {
-	c := NewCache(4)
-	ana, call, leader := c.Acquire("k")
-	if ana != nil || call == nil || !leader {
-		t.Fatalf("first acquire: ana=%v call=%v leader=%v", ana, call, leader)
+	c := NewCache[*counterminer.Analysis](4)
+	ana, ok, call, leader := c.Acquire("k")
+	if ana != nil || ok || call == nil || !leader {
+		t.Fatalf("first acquire: ana=%v ok=%v call=%v leader=%v", ana, ok, call, leader)
 	}
-	ana2, call2, leader2 := c.Acquire("k")
-	if ana2 != nil || leader2 || call2 != call {
+	ana2, ok2, call2, leader2 := c.Acquire("k")
+	if ana2 != nil || ok2 || leader2 || call2 != call {
 		t.Fatalf("second acquire should follow the in-flight call")
 	}
 	want := &counterminer.Analysis{Benchmark: "wordcount"}
 	c.Complete("k", call, want, nil)
 	<-call2.Done
-	if call2.Ana != want || call2.Err != nil {
-		t.Fatalf("follower result = (%v, %v)", call2.Ana, call2.Err)
+	if call2.Val != want || call2.Err != nil {
+		t.Fatalf("follower result = (%v, %v)", call2.Val, call2.Err)
 	}
-	hit, _, _ := c.Acquire("k")
-	if hit != want {
+	hit, ok, _, _ := c.Acquire("k")
+	if !ok || hit != want {
 		t.Fatalf("post-completion acquire should hit the cache")
 	}
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := NewCache(2)
+	c := NewCache[*counterminer.Analysis](2)
 	for _, k := range []string{"a", "b", "c"} {
-		_, call, leader := c.Acquire(k)
+		_, _, call, leader := c.Acquire(k)
 		if !leader {
 			t.Fatalf("key %q should lead", k)
 		}
@@ -171,23 +171,23 @@ func TestCacheLRUEviction(t *testing.T) {
 	if c.Len() != 2 || c.Evictions() != 1 {
 		t.Fatalf("len=%d evictions=%d, want 2/1", c.Len(), c.Evictions())
 	}
-	if hit, _, _ := c.Acquire("a"); hit != nil {
+	if _, ok, _, _ := c.Acquire("a"); ok {
 		t.Error("oldest entry should have been evicted")
 	}
-	if hit, _, _ := c.Acquire("c"); hit == nil {
+	if _, ok, _, _ := c.Acquire("c"); !ok {
 		t.Error("newest entry should be cached")
 	}
 }
 
 func TestCacheErrorsNotCached(t *testing.T) {
-	c := NewCache(2)
-	_, call, _ := c.Acquire("k")
+	c := NewCache[*counterminer.Analysis](2)
+	_, _, call, _ := c.Acquire("k")
 	boom := errors.New("boom")
 	c.Complete("k", call, nil, boom)
 	if call.Err != boom {
 		t.Fatalf("call err = %v", call.Err)
 	}
-	_, _, leader := c.Acquire("k")
+	_, _, _, leader := c.Acquire("k")
 	if !leader {
 		t.Error("a failed key must re-lead, not replay the error")
 	}
@@ -688,19 +688,28 @@ func TestMetricsSnapshotStoreShardStats(t *testing.T) {
 	if snap.Store == nil {
 		t.Fatal("snapshot.Store is nil with a store configured")
 	}
-	if snap.Store.Shards != 1 || snap.Store.LoadedShards != 0 {
-		t.Errorf("store gauges = %+v, want 1 shard, none loaded", snap.Store)
+	// The startup fingerprint-index rebuild walks every stored run, so
+	// the shard is already loaded when the server comes up.
+	if snap.Store.Shards != 1 || snap.Store.LoadedShards != 1 || snap.Store.ShardLoads != 1 {
+		t.Errorf("store gauges = %+v, want 1 shard, loaded once by the index rebuild", snap.Store)
 	}
 	if snap.Store.MemBudgetBytes != 1<<20 {
 		t.Errorf("mem_budget_bytes = %d, want %d (from StoreMemBytes)", snap.Store.MemBudgetBytes, 1<<20)
 	}
-	// Touching the record loads its shard; the gauges follow.
+	// Touching the record hits the already-resident shard: no new load.
 	if _, ok := s.db.Get("wordcount", 1, "MLPX"); !ok {
 		t.Fatal("seeded record missing")
 	}
 	snap = s.snapshot()
 	if snap.Store.LoadedShards != 1 || snap.Store.ShardLoads != 1 {
 		t.Errorf("after Get: %+v, want loaded_shards=1 shard_loads=1", snap.Store)
+	}
+	// And the rebuild populated the index gauges.
+	if snap.Fingerprint.IndexEntries != 1 || snap.Fingerprint.IndexRebuilds != 1 {
+		t.Errorf("fingerprint gauges = %+v, want 1 entry from 1 rebuild", snap.Fingerprint)
+	}
+	if snap.Fingerprint.IndexVersion == "" || snap.Fingerprint.IndexVersion == "empty" {
+		t.Errorf("index version = %q, want a content hash", snap.Fingerprint.IndexVersion)
 	}
 
 	bare, err := New(Config{})

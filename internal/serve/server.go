@@ -38,6 +38,7 @@ import (
 	"counterminer/internal/clean"
 	"counterminer/internal/collector"
 	"counterminer/internal/fault"
+	"counterminer/internal/fingerprint"
 	"counterminer/internal/sim"
 	"counterminer/internal/store"
 	"counterminer/pkg/client"
@@ -92,6 +93,26 @@ type Config struct {
 	DefaultCleaner string
 }
 
+// ErrConfig reports an invalid Config field. New wraps it so callers
+// (the CLI flag layer in particular) can distinguish a misconfigured
+// server from an environmental failure like an unreadable store.
+var ErrConfig = errors.New("serve: invalid configuration")
+
+// validate rejects Config fields whose negative values have no
+// defined meaning. QueueDepth, CacheSize, and StoreWriteback encode
+// "none"/"off" as negatives by contract; CoalesceWindow and
+// StoreMemBytes do not, and used to fall through to surprising
+// defaults (a silently disabled window, an ignored memory budget).
+func (c Config) validate() error {
+	if c.CoalesceWindow < 0 {
+		return fmt.Errorf("%w: CoalesceWindow must be >= 0, got %v", ErrConfig, c.CoalesceWindow)
+	}
+	if c.StoreMemBytes < 0 {
+		return fmt.Errorf("%w: StoreMemBytes must be >= 0, got %d", ErrConfig, c.StoreMemBytes)
+	}
+	return nil
+}
+
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 2
@@ -120,9 +141,6 @@ func (c Config) withDefaults() Config {
 	case c.BatchMax < 0:
 		c.BatchMax = 1
 	}
-	if c.CoalesceWindow < 0 {
-		c.CoalesceWindow = 0
-	}
 	if c.DefaultCleaner == "" {
 		c.DefaultCleaner = clean.DefaultCleaner
 	}
@@ -140,9 +158,18 @@ type Server struct {
 	source   fault.RunSource
 	db       *store.DB
 	queue    *Queue
-	cache    *Cache
+	cache    *Cache[*counterminer.Analysis]
 	metrics  *Metrics
 	draining atomic.Bool
+
+	// fpIndex is the workload fingerprint index behind POST /classify:
+	// one entry per stored run, rebuilt from the store at startup and
+	// re-synced after every persisting analysis. nil on a node without
+	// a store — such a node answers /classify with 503 "no_index".
+	fpIndex *fingerprint.Index
+	// fpCache content-addresses classifications; the key includes the
+	// index version, so a rebuild naturally orphans stale entries.
+	fpCache *Cache[*client.Classification]
 
 	// coalescer, when non-nil, merges single /analyze submissions
 	// arriving within CoalesceWindow into one scheduled batch.
@@ -161,10 +188,12 @@ type Server struct {
 	clusterStats func() client.ClusterCounters
 }
 
-// jobSpec is one fully resolved analysis request: benchmark identity,
-// the resolved event list (nil = full catalogue), and the
+// jobSpec is one fully resolved analysis request: the job kind ("" =
+// full analysis, KindFingerprint = embedding only), benchmark
+// identity, the resolved event list (nil = full catalogue), and the
 // result-relevant options (already carrying AnalysisWorkers).
 type jobSpec struct {
+	kind                string
 	benchmark, colocate string
 	events              []string
 	opts                counterminer.Options
@@ -174,6 +203,9 @@ type jobSpec struct {
 // (damaged records are skipped and reported by /benchmarks); only an
 // unreadable path is.
 func New(cfg Config) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	if _, err := clean.Lookup(cfg.DefaultCleaner); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
@@ -186,7 +218,8 @@ func New(cfg Config) (*Server, error) {
 		coll:    coll,
 		source:  coll,
 		queue:   NewQueue(cfg.Workers, cfg.QueueDepth, cfg.Budget),
-		cache:   NewCache(cfg.CacheSize),
+		cache:   NewCache[*counterminer.Analysis](cfg.CacheSize),
+		fpCache: NewCache[*client.Classification](cfg.CacheSize),
 		metrics: NewMetrics(),
 		extra:   make(map[string]http.Handler),
 	}
@@ -202,6 +235,8 @@ func New(cfg Config) (*Server, error) {
 			db.SetMemBudget(cfg.StoreMemBytes)
 		}
 		s.db = db
+		s.fpIndex = fingerprint.NewIndex(fingerprint.Options{})
+		s.rebuildIndex()
 	}
 	s.analyze = s.runPipeline
 	return s, nil
@@ -220,6 +255,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/analyze/batch", s.handleAnalyzeBatch)
+	mux.HandleFunc("/classify", s.handleClassify)
 	for pattern, h := range s.extra {
 		mux.Handle(pattern, h)
 	}
@@ -340,7 +376,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // snapshot assembles the full metrics document from the server's live
 // parts.
 func (s *Server) snapshot() Snapshot {
-	g := gauges{queue: s.queue, cache: s.cache, coll: s.coll, db: s.db}
+	g := gauges{queue: s.queue, cache: s.cache, coll: s.coll, db: s.db, index: s.fpIndex}
 	if s.coalescer != nil {
 		g.coalescer = s.coalescer
 	}
@@ -398,9 +434,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	cacheKey := Key(spec.benchmark, spec.colocate, spec.events, spec.opts)
-	ana, call, leader := s.cache.Acquire(cacheKey)
-	if ana != nil {
+	cacheKey := specKey(spec)
+	ana, ok, call, leader := s.cache.Acquire(cacheKey)
+	if ok {
 		s.metrics.IncCacheHit()
 		writeJSON(w, http.StatusOK, AnalyzeResponse{
 			Key: cacheKey, Cached: true,
@@ -439,7 +475,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, AnalyzeResponse{
 		Key: cacheKey, Shared: !leader,
-		ElapsedMs: msSince(start), Analysis: call.Ana,
+		ElapsedMs: msSince(start), Analysis: call.Val,
 	})
 }
 
@@ -519,17 +555,32 @@ func (s *Server) resolve(req AnalyzeRequest) (jobSpec, *httpError) {
 
 // runPipeline is the production analyze function: one pipeline per
 // job, sharing the server's collector (memoized trace generators) and
-// store handle.
+// store handle. A fingerprint job runs only Collect + Fingerprint and
+// returns the embedding alone.
 func (s *Server) runPipeline(ctx context.Context, spec jobSpec) (*counterminer.Analysis, error) {
 	opts := spec.opts
 	opts.Events = spec.events
 	opts.Source = s.source
 	if s.db != nil {
 		opts.Sink = s.db
+		// Satellite fix: persist failures must name the store they
+		// failed against, so the wrapped error carries the path.
+		opts.StorePath = s.cfg.StorePath
 	}
 	p, err := counterminer.NewPipeline(opts)
 	if err != nil {
 		return nil, err
+	}
+	if spec.kind == KindFingerprint {
+		vec, err := p.FingerprintContext(ctx, spec.benchmark, spec.colocate)
+		if err != nil {
+			return nil, err
+		}
+		name := spec.benchmark
+		if spec.colocate != "" {
+			name += "+" + spec.colocate
+		}
+		return &counterminer.Analysis{Benchmark: name, Fingerprint: vec}, nil
 	}
 	if spec.colocate != "" {
 		return p.AnalyzeColocatedContext(ctx, spec.benchmark, spec.colocate)
@@ -570,6 +621,10 @@ func ErrorStatus(err error) (int, string) {
 		return http.StatusServiceUnavailable, "not_leader"
 	case errors.Is(err, ErrNoWorkers):
 		return http.StatusServiceUnavailable, "no_workers"
+	case errors.Is(err, ErrNoIndex):
+		return http.StatusServiceUnavailable, "no_index"
+	case errors.Is(err, fingerprint.ErrEmpty):
+		return http.StatusServiceUnavailable, "index_empty"
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "budget_exceeded"
 	case errors.Is(err, counterminer.ErrCanceled):

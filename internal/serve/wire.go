@@ -51,4 +51,16 @@ type (
 	ClusterCounters = client.ClusterCounters
 	// CleanerCounters is one cleaner's /metrics section.
 	CleanerCounters = client.CleanerCounters
+	// ClassifyRequest is POST /classify's body.
+	ClassifyRequest = client.ClassifyRequest
+	// ClassifyResponse is POST /classify's 200 body.
+	ClassifyResponse = client.ClassifyResponse
+	// Classification is the classify verdict.
+	Classification = client.Classification
+	// ClusterMatch is one nearest-cluster result.
+	ClusterMatch = client.ClusterMatch
+	// SuiteConfidence is one suite's aggregated confidence.
+	SuiteConfidence = client.SuiteConfidence
+	// FingerprintCounters is the classify/index /metrics section.
+	FingerprintCounters = client.FingerprintCounters
 )

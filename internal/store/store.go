@@ -396,6 +396,26 @@ func (db *DB) SeriesSet(benchmark string, runID int, mode string) (*timeseries.S
 	return set, nil
 }
 
+// ForEachRun calls fn for every stored run in deterministic
+// (benchmark, runID, mode) order with a deep-copied record, loading
+// one shard at a time — iteration over a catalog larger than the
+// memory budget stays bounded because shards can evict behind the
+// cursor. fn returning false stops the iteration early. This is the
+// fingerprint index's rebuild hook: the order (and therefore the
+// floating-point accumulation in anything built from it) is identical
+// on every node holding the same records.
+func (db *DB) ForEachRun(fn func(Record) bool) {
+	for _, meta := range db.List() {
+		rec, ok := db.Get(meta.Benchmark, meta.RunID, meta.Mode)
+		if !ok {
+			continue
+		}
+		if !fn(rec) {
+			return
+		}
+	}
+}
+
 // Flush writes every dirty shard to disk, each atomically (temp file +
 // rename) and byte-deterministically; clean shards are not rewritten.
 // A store opened from a legacy single file migrates to the sharded

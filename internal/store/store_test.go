@@ -249,3 +249,70 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("Len = %d, want 400", db.Len())
 	}
 }
+
+func TestForEachRunDeterministicOrder(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert out of order across benchmarks, runs, and modes.
+	for _, ins := range []struct {
+		bench string
+		run   int
+		mode  string
+	}{
+		{"sort", 2, "MLPX"}, {"join", 1, "OCOE"}, {"join", 1, "MLPX"},
+		{"sort", 1, "MLPX"}, {"aggregation", 3, "MLPX"},
+	} {
+		rec := sampleRecord(ins.bench, ins.run)
+		rec.Meta.Mode = ins.mode
+		if err := db.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	db.ForEachRun(func(rec Record) bool {
+		got = append(got, key(rec.Meta.Benchmark, rec.Meta.RunID, rec.Meta.Mode))
+		if len(rec.Series) == 0 || rec.IPC == nil {
+			t.Errorf("record %s missing series/IPC", key(rec.Meta.Benchmark, rec.Meta.RunID, rec.Meta.Mode))
+		}
+		return true
+	})
+	want := []string{"aggregation/3/MLPX", "join/1/MLPX", "join/1/OCOE", "sort/1/MLPX", "sort/2/MLPX"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order differs at %d: got %v, want %v", i, got, want)
+		}
+	}
+	// Order survives a flush + reopen (shards load lazily behind the cursor).
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reopened []string
+	db2.ForEachRun(func(rec Record) bool {
+		reopened = append(reopened, key(rec.Meta.Benchmark, rec.Meta.RunID, rec.Meta.Mode))
+		return true
+	})
+	for i := range want {
+		if reopened[i] != want[i] {
+			t.Fatalf("reopened order differs: got %v, want %v", reopened, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	db.ForEachRun(func(Record) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("early stop visited %d records, want 2", n)
+	}
+}

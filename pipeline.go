@@ -10,6 +10,7 @@ import (
 	"counterminer/internal/clean"
 	"counterminer/internal/collector"
 	"counterminer/internal/fault"
+	"counterminer/internal/fingerprint"
 	"counterminer/internal/interact"
 	"counterminer/internal/rank"
 	"counterminer/internal/sgbrt"
@@ -215,6 +216,12 @@ type Analysis struct {
 	EIRErrors    []float64
 	// OutliersReplaced and MissingFilled aggregate the cleaner's work.
 	OutliersReplaced, MissingFilled int
+	// Fingerprint is the workload's counter-signature embedding: the
+	// combined per-run embedding of the raw, as-collected series (see
+	// internal/fingerprint). It is deterministic for a given profile,
+	// seed, and event set — bit-identical at any worker count and on
+	// any node — and feeds the clustering index behind /classify.
+	Fingerprint []float64
 	// Degradation reports everything the analysis survived: retried
 	// and failed runs, quarantined event columns, store write
 	// failures. Its zero value means the analysis ran entirely clean.
@@ -356,6 +363,47 @@ func (p *Pipeline) AnalyzeColocated(benchA, benchB string) (*Analysis, error) {
 	return p.AnalyzeColocatedContext(context.Background(), benchA, benchB)
 }
 
+// FingerprintContext collects the benchmark's runs (honouring the
+// configured retry policy and run quorum) and returns the profile's
+// workload fingerprint without analysing it: the stage plan is just
+// Collect → Fingerprint. This is the /classify fast path — an
+// unknown profile is embedded from its raw series, skipping
+// validation, cleaning, and model fitting entirely (the embedding's
+// robust statistics do the tolerating; see internal/fingerprint). A
+// non-empty colocate names a second benchmark sharing the cluster.
+func (p *Pipeline) FingerprintContext(ctx context.Context, benchmark, colocate string) ([]float64, error) {
+	prof, err := sim.ProfileByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	if colocate != "" {
+		other, err := sim.ProfileByName(colocate)
+		if err != nil {
+			return nil, err
+		}
+		prof = sim.Colocate(prof, other)
+	}
+	events := p.opts.Events
+	if events == nil {
+		events = p.cat.Events()
+	}
+	ar := &analysisRun{
+		p:      p,
+		prof:   prof,
+		events: events,
+		ana:    &Analysis{Benchmark: prof.Name, Cleaner: p.cleaner.Name(), Events: len(events)},
+	}
+	ar.deg = &ar.ana.Degradation
+	sr := &stageRunner{ctx: ctx}
+	if err := sr.run([]stage{
+		{StageCollect, ar.collect},
+		{StageFingerprint, ar.fingerprint},
+	}); err != nil {
+		return nil, err
+	}
+	return ar.ana.Fingerprint, nil
+}
+
 // analysisRun carries one analysis through the stage plan: the options
 // and profile going in, the intermediate products handed from stage to
 // stage, and the Analysis being assembled.
@@ -399,6 +447,7 @@ func (p *Pipeline) analyzeProfile(ctx context.Context, prof sim.Profile) (*Analy
 		{StageClean, ar.clean},
 		{StageRank, ar.rank},
 		{StageInteract, ar.interact},
+		{StageFingerprint, ar.fingerprint},
 		{StagePersist, ar.persist},
 	})
 	ar.ana.Stages = sr.timings
@@ -612,6 +661,29 @@ func (ar *analysisRun) interact(ctx context.Context) error {
 	return nil
 }
 
+// fingerprint embeds each surviving run's raw, as-collected series
+// (every event, quarantined ones included — exactly what Persist
+// writes, so an index rebuilt from the store reproduces these
+// embeddings bit-for-bit) and combines them into the analysis's
+// workload signature. On the collect-only path (FingerprintContext)
+// no raw snapshot exists yet and the runs still carry their raw
+// series directly.
+func (ar *analysisRun) fingerprint(ctx context.Context) error {
+	vecs := make([][]float64, 0, len(ar.runs))
+	for i, r := range ar.runs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		set := r.Series
+		if ar.raw != nil {
+			set = ar.raw[i]
+		}
+		vecs = append(vecs, fingerprint.Embed(set, r.IPC))
+	}
+	ar.ana.Fingerprint = fingerprint.Combine(vecs)
+	return nil
+}
+
 // persist writes every surviving run — its raw, as-collected series —
 // into the sink and flushes. A failed write loses persistence only,
 // never the analysis; a cancellation between writes aborts before the
@@ -627,16 +699,28 @@ func (ar *analysisRun) persist(ctx context.Context) error {
 			return err
 		}
 		if err := p.persistRun(r, ar.raw[i]); err != nil {
-			deg.StoreErrors = append(deg.StoreErrors, err.Error())
+			deg.StoreErrors = append(deg.StoreErrors, p.storeErr(err))
 		}
 	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	if err := p.sink.Flush(); err != nil {
-		deg.StoreErrors = append(deg.StoreErrors, err.Error())
+		deg.StoreErrors = append(deg.StoreErrors, p.storeErr(err))
 	}
 	return nil
+}
+
+// storeErr renders a persist failure with the store path attached, so
+// the Degradation report (and the CLI printing it) tells the operator
+// where the damaged shard lives — not just that a write failed. A
+// pipeline running on an injected Sink with no configured path passes
+// the error through unchanged.
+func (p *Pipeline) storeErr(err error) string {
+	if p.opts.StorePath == "" {
+		return err.Error()
+	}
+	return fmt.Sprintf("store %s: %v", p.opts.StorePath, err)
 }
 
 // collectWithRetry wraps one run collection in the Options.Retry

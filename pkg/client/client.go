@@ -151,6 +151,17 @@ func (c *Client) AnalyzeBatch(ctx context.Context, jobs []AnalyzeRequest) (*Batc
 	return &out, nil
 }
 
+// Classify submits a profile — a benchmark identity, or an inline raw
+// counter matrix — and returns the nearest stored workloads with
+// distances, per-suite confidence, and the anomaly verdict.
+func (c *Client) Classify(ctx context.Context, req ClassifyRequest) (*ClassifyResponse, error) {
+	var out ClassifyResponse
+	if err := c.do(ctx, http.MethodPost, "/classify", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Benchmarks fetches the analyzable catalog and the store's read side.
 func (c *Client) Benchmarks(ctx context.Context) (*BenchmarksResponse, error) {
 	var out BenchmarksResponse

@@ -123,6 +123,90 @@ type BatchResponse struct {
 	ElapsedMs float64          `json:"elapsed_ms"`
 }
 
+// ClassifyRequest is POST /classify's body. The profile to classify
+// comes in one of two forms: a benchmark identity (the server collects
+// its runs, dispatching to workers in cluster mode, and embeds them),
+// or an inline raw profile — X as intervals × events counter readings
+// plus the IPC column — embedded directly on the serving node. Exactly
+// one form must be used; setting both X and Benchmark is rejected.
+type ClassifyRequest struct {
+	// Benchmark (and optionally Colocate) name a simulated workload to
+	// collect and classify. Runs/Seed mirror AnalyzeRequest.
+	Benchmark string `json:"benchmark,omitempty"`
+	Colocate  string `json:"colocate,omitempty"`
+	Runs      int    `json:"runs,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	// TopK bounds the returned nearest-cluster matches (0 = 3).
+	TopK int `json:"top_k,omitempty"`
+	// Events names the columns of an inline X (required with X); X is
+	// the raw counter matrix, one row per interval, one column per
+	// event; IPC is the per-interval IPC column (len(IPC) == len(X)).
+	Events []string    `json:"events,omitempty"`
+	X      [][]float64 `json:"x,omitempty"`
+	IPC    []float64   `json:"ipc,omitempty"`
+}
+
+// ClusterMatch is one nearest-cluster result of a classification.
+type ClusterMatch struct {
+	// Benchmark is the cluster's majority workload label; Suite its
+	// majority suite.
+	Benchmark string `json:"benchmark"`
+	Suite     string `json:"suite,omitempty"`
+	// Distance is the embedding's distance to the cluster centroid.
+	Distance float64 `json:"distance"`
+	// Members is the cluster's member (stored run) count.
+	Members int `json:"members"`
+}
+
+// SuiteConfidence is the aggregated classification confidence for one
+// benchmark suite.
+type SuiteConfidence struct {
+	Suite      string  `json:"suite"`
+	Confidence float64 `json:"confidence"`
+}
+
+// Classification is the classify verdict: the nearest workloads with
+// distances, per-suite confidence, and the anomaly decision.
+type Classification struct {
+	// Fingerprint is the profile's embedding (the vector that was
+	// matched against the index).
+	Fingerprint []float64 `json:"fingerprint"`
+	// Matches lists the nearest clusters, ascending by distance.
+	Matches []ClusterMatch `json:"matches"`
+	// Confidence is the softmax weight of the nearest cluster — near 1
+	// when the profile sits inside a well-separated cluster.
+	Confidence float64 `json:"confidence"`
+	// Suites aggregates cluster weights per suite, descending.
+	Suites []SuiteConfidence `json:"suites"`
+	// Anomaly is true when the nearest-cluster distance exceeds that
+	// cluster's dispersion boundary: the profile does not behave like
+	// any stored workload. AnomalyScore is distance/boundary (> 1 is
+	// anomalous).
+	Anomaly      bool    `json:"anomaly"`
+	AnomalyScore float64 `json:"anomaly_score"`
+	// IndexVersion is the content hash of the fingerprint index that
+	// produced this verdict; it participates in the response's cache
+	// key, so a rebuilt index never serves stale classifications.
+	IndexVersion string `json:"index_version"`
+	// Clusters and Entries describe the index size at classify time.
+	Clusters int `json:"clusters"`
+	Entries  int `json:"entries"`
+}
+
+// ClassifyResponse is POST /classify's 200 body.
+type ClassifyResponse struct {
+	// Key is the classification's content address: the profile identity
+	// plus the index version.
+	Key string `json:"key"`
+	// Cached reports a verdict served from the LRU; Shared one computed
+	// once and shared with concurrent identical requests.
+	Cached    bool    `json:"cached"`
+	Shared    bool    `json:"shared,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// Classification is the verdict.
+	Classification *Classification `json:"classification"`
+}
+
 // BenchmarkSummary summarises one benchmark's persisted runs.
 type BenchmarkSummary struct {
 	Benchmark string `json:"benchmark"`
@@ -219,8 +303,11 @@ type Snapshot struct {
 	Store *StoreShardStats `json:"store,omitempty"`
 	// Cluster is the cluster role's coordination-plane accounting; nil
 	// on a standalone daemon.
-	Cluster      *ClusterCounters `json:"cluster,omitempty"`
-	StageLatency []StageHistogram `json:"stage_latency"`
+	Cluster *ClusterCounters `json:"cluster,omitempty"`
+	// Fingerprint is the classify/index surface. Pre-registered: the
+	// section is present (zeroed) before the first classification.
+	Fingerprint  FingerprintCounters `json:"fingerprint"`
+	StageLatency []StageHistogram    `json:"stage_latency"`
 	// Cleaners breaks the Clean stage down per registered cleaner:
 	// analysis counts, correction totals, and the Clean-stage latency
 	// distribution. Pre-registered — every cleaner appears (zeroed)
@@ -341,6 +428,33 @@ type AnalysisCounters struct {
 	RunsFailed        uint64 `json:"runs_failed"`
 	EventsQuarantined uint64 `json:"events_quarantined"`
 	StoreErrors       uint64 `json:"store_errors"`
+}
+
+// FingerprintCounters is the classify/index /metrics section: request
+// and cache counters, embedding executions, anomaly verdicts, and the
+// live index gauges.
+type FingerprintCounters struct {
+	ClassifyRequests    uint64 `json:"classify_requests"`
+	Classified          uint64 `json:"classified"`
+	ClassifyErrors      uint64 `json:"classify_errors"`
+	ClassifyAnomalies   uint64 `json:"classify_anomalies"`
+	ClassifyNoIndex     uint64 `json:"classify_no_index"`
+	ClassifyCacheHits   uint64 `json:"classify_cache_hits"`
+	ClassifyCacheMisses uint64 `json:"classify_cache_misses"`
+	ClassifyShared      uint64 `json:"classify_shared"`
+	// IndexRebuilds counts full index rebuilds from the store; Embeds
+	// and EmbedErrors count fingerprint-embedding executions.
+	IndexRebuilds uint64 `json:"index_rebuilds"`
+	Embeds        uint64 `json:"embeds"`
+	EmbedErrors   uint64 `json:"embed_errors"`
+	// Live index gauges; zero-valued on a node without a store.
+	IndexEntries  int    `json:"index_entries"`
+	IndexClusters int    `json:"index_clusters"`
+	IndexVersion  string `json:"index_version,omitempty"`
+	// Latency distributions for the embedding stage and the end-to-end
+	// classify path.
+	EmbedLatency    StageHistogram `json:"embed_latency"`
+	ClassifyLatency StageHistogram `json:"classify_latency"`
 }
 
 // StageHistogram is one stage's latency distribution.

@@ -9,19 +9,21 @@ import (
 )
 
 // The pipeline's stage plan, in execution order. A full analysis runs
-// Collect → Validate → Clean → Rank → Interact → Persist; the external
-// data path (AnalyzeData) runs Clean → Rank → Interact. Every stage
-// boundary is a cancellation checkpoint, and the long interior loops
-// (retry backoff, SGBRT boosting, EIR pruning, pair ranking) check the
-// context between units of work, so cancel latency is bounded by one
-// work item rather than one analysis.
+// Collect → Validate → Clean → Rank → Interact → Fingerprint →
+// Persist; the external data path (AnalyzeData) runs Clean → Rank →
+// Interact → Fingerprint. Every stage boundary is a cancellation
+// checkpoint, and the long interior loops (retry backoff, SGBRT
+// boosting, EIR pruning, pair ranking) check the context between
+// units of work, so cancel latency is bounded by one work item rather
+// than one analysis.
 const (
-	StageCollect  = "Collect"
-	StageValidate = "Validate"
-	StageClean    = "Clean"
-	StageRank     = "Rank"
-	StageInteract = "Interact"
-	StagePersist  = "Persist"
+	StageCollect     = "Collect"
+	StageValidate    = "Validate"
+	StageClean       = "Clean"
+	StageRank        = "Rank"
+	StageInteract    = "Interact"
+	StageFingerprint = "Fingerprint"
+	StagePersist     = "Persist"
 )
 
 // StageNames returns the full analysis stage plan in execution order.
@@ -30,7 +32,7 @@ const (
 // metrics surface shows the whole plan in order before any analysis
 // has run. The slice is freshly allocated on every call.
 func StageNames() []string {
-	return []string{StageCollect, StageValidate, StageClean, StageRank, StageInteract, StagePersist}
+	return []string{StageCollect, StageValidate, StageClean, StageRank, StageInteract, StageFingerprint, StagePersist}
 }
 
 // StageTiming records one pipeline stage's wall time. The Stages slice
