@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"counterminer/internal/serve"
+)
+
+// TestLoadDriverEndToEnd drives a real in-process server with a small
+// shape of the default mix — distinct seeds, duplicate bursts, one
+// streaming batch consumer — and checks the report: zero errors, the
+// stream fully drained, and the /metrics deltas present.
+func TestLoadDriverEndToEnd(t *testing.T) {
+	s, err := serve.New(serve.Config{Workers: 2, QueueDepth: 32, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL,
+		"-clients", "2", "-requests", "4",
+		"-stream-jobs", "3",
+		"-runs", "1", "-trees", "4",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("cmload exit = %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	report := out.String()
+	for _, want := range []string{
+		"throughput", "8 ok, 0 errors",
+		"stream       3/3 events",
+		"metrics deltas",
+		"analyses executed", "generator memo hits", "handles opened",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestLoadDriverFlagValidation covers the usage errors.
+func TestLoadDriverFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-clients", "0"},
+		{"-requests", "-1"},
+		{"-dup-every", "-2"},
+		{"-benchmarks", " , "},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}

@@ -17,7 +17,14 @@
 //	                     429 when the queue is full, 503 while draining
 //	POST /analyze/batch  a whole sweep in one round-trip: duplicates
 //	                     collapse, jobs group by benchmark, one typed
-//	                     result per job in request order
+//	                     result per job in request order; add ?async=1
+//	                     for a 202 streaming handle instead
+//	GET  /batch/{h}/events  the handle's results as Server-Sent Events,
+//	                     one per completed job plus a terminal done
+//	                     event; Last-Event-ID (or ?last_event_id=N)
+//	                     resumes after a disconnect
+//	GET  /batch/{h}      poll the handle's snapshot
+//	DELETE /batch/{h}    cancel the handle's still-queued jobs
 //	GET  /benchmarks     the analyzable catalog + the store's read side
 //	GET  /metrics        counters, queue/cache/batch gauges, per-stage
 //	                     latency
@@ -66,19 +73,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("counterminerd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr       = fs.String("addr", "127.0.0.1:7070", "listen address (host:port; port 0 picks an ephemeral port)")
-		workers    = fs.Int("workers", 2, "analyses executed concurrently")
-		queueDepth = fs.Int("queue", 8, "admitted jobs waiting beyond the executing ones (0 = admit only when a worker is idle)")
-		cacheSize  = fs.Int("cache", 64, "result-cache capacity in completed analyses (0 = no caching, singleflight only)")
-		budget     = fs.Duration("budget", 2*time.Minute, "per-request compute budget, applied from admission")
-		grace      = fs.Duration("grace", 15*time.Second, "shutdown grace for in-flight HTTP exchanges")
-		dbPath     = fs.String("db", "", "persist collected runs to this store path (also backs /benchmarks)")
-		storeMem   = fs.String("store-mem", "", "store memory budget (e.g. 64MiB, 100MB): clean shards beyond it evict LRU and reload lazily (empty = unlimited)")
-		storeWB    = fs.Duration("store-writeback", 0, "background flush interval for dirty store shards (0 = store default, -1ns = off)")
-		anaWorkers = fs.Int("analysis-workers", 0, "per-analysis worker count (0 = GOMAXPROCS); never changes results")
-		batchMax   = fs.Int("batch-max", 64, "max jobs one /analyze/batch request (or one coalescing window) may carry")
-		coalesce   = fs.Duration("coalesce-window", 0, "merge single /analyze submissions arriving within this window into one scheduled batch (0 = off)")
-		cleanerDef = fs.String("cleaner", "", "default data cleaner for requests that don't name one (threshold-knn or bayes; empty = threshold-knn)")
+		addr          = fs.String("addr", "127.0.0.1:7070", "listen address (host:port; port 0 picks an ephemeral port)")
+		workers       = fs.Int("workers", 2, "analyses executed concurrently")
+		queueDepth    = fs.Int("queue", 8, "admitted jobs waiting beyond the executing ones (0 = admit only when a worker is idle)")
+		cacheSize     = fs.Int("cache", 64, "result-cache capacity in completed analyses (0 = no caching, singleflight only)")
+		budget        = fs.Duration("budget", 2*time.Minute, "per-request compute budget, applied from admission")
+		grace         = fs.Duration("grace", 15*time.Second, "shutdown grace for in-flight HTTP exchanges")
+		dbPath        = fs.String("db", "", "persist collected runs to this store path (also backs /benchmarks)")
+		storeMem      = fs.String("store-mem", "", "store memory budget (e.g. 64MiB, 100MB): clean shards beyond it evict LRU and reload lazily (empty = unlimited)")
+		storeWB       = fs.Duration("store-writeback", 0, "background flush interval for dirty store shards (0 = store default, -1ns = off)")
+		anaWorkers    = fs.Int("analysis-workers", 0, "per-analysis worker count (0 = GOMAXPROCS); never changes results")
+		batchMax      = fs.Int("batch-max", 64, "max jobs one /analyze/batch request (or one coalescing window) may carry")
+		coalesce      = fs.Duration("coalesce-window", 0, "merge single /analyze submissions arriving within this window into one scheduled batch (0 = off)")
+		cleanerDef    = fs.String("cleaner", "", "default data cleaner for requests that don't name one (threshold-knn or bayes; empty = threshold-knn)")
+		streamHandles = fs.Int("stream-handles", 32, "async batch handles open at once; beyond it /analyze/batch?async=1 answers 429")
+		streamRing    = fs.Int("stream-ring", 256, "per-handle event ring size; older events are rebuilt from stored results on resume")
+		streamHB      = fs.Duration("stream-heartbeat", 10*time.Second, "SSE comment-heartbeat interval on idle /batch/{handle}/events streams")
 
 		role      = fs.String("role", "standalone", "node role: standalone, coordinator, or worker")
 		nodeID    = fs.String("node-id", "", "stable node identity (default: role-<listen addr>)")
@@ -114,6 +124,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	case *coalesce < 0:
 		fmt.Fprintln(stderr, "counterminerd: -coalesce-window must be >= 0")
+		return 2
+	case *streamHandles <= 0 || *streamRing <= 0:
+		fmt.Fprintln(stderr, "counterminerd: -stream-handles and -stream-ring must be > 0")
+		return 2
+	case *streamHB <= 0:
+		fmt.Fprintln(stderr, "counterminerd: -stream-heartbeat must be > 0")
 		return 2
 	case *role != "standalone" && *role != "coordinator" && *role != "worker":
 		fmt.Fprintln(stderr, "counterminerd: -role must be standalone, coordinator, or worker")
@@ -155,6 +171,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		BatchMax:        *batchMax,
 		CoalesceWindow:  *coalesce,
 		DefaultCleaner:  *cleanerDef,
+		StreamHandles:   *streamHandles,
+		StreamRing:      *streamRing,
+		StreamHeartbeat: *streamHB,
 	}
 	// On the CLI, 0 means "none"; in serve.Config that is encoded as a
 	// negative (0 selects the default).

@@ -51,6 +51,11 @@ type Plan struct {
 	Groups int
 	// Deduped is how many jobs were exact duplicates of an earlier one.
 	Deduped int
+	// GroupOf maps every leader index in Order to its grouping key, so
+	// the admission layer can file each dispatched job under the same
+	// key the plan grouped it by (the cross-batch priority queue's
+	// routing key) without re-deriving it.
+	GroupOf map[int]string
 }
 
 // Schedule computes the execution plan for items. It is a pure
@@ -58,7 +63,10 @@ type Plan struct {
 // worker counts or timing — the determinism the serving layer's
 // schedule-order tests pin down.
 func Schedule(items []Item) Plan {
-	plan := Plan{Leader: make(map[int]int, len(items))}
+	plan := Plan{
+		Leader:  make(map[int]int, len(items)),
+		GroupOf: make(map[int]string, len(items)),
+	}
 	if len(items) == 0 {
 		return plan
 	}
@@ -75,6 +83,7 @@ func Schedule(items []Item) Plan {
 		}
 		leaderByKey[it.Key] = it.Index
 		plan.Leader[it.Index] = it.Index
+		plan.GroupOf[it.Index] = it.Group
 		leaders = append(leaders, it)
 	}
 

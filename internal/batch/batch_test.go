@@ -58,6 +58,22 @@ func TestScheduleGroupsByBenchmarkLargestFirst(t *testing.T) {
 	}
 }
 
+func TestScheduleGroupOfCoversLeaders(t *testing.T) {
+	// GroupOf maps every leader to its grouping key — the admission
+	// layer's routing key — and duplicates are absent (they never
+	// dispatch).
+	plan := Schedule(items("a/x", "b/y", "a/x", "c/y"))
+	want := map[int]string{0: "x", 1: "y", 3: "y"}
+	if !reflect.DeepEqual(plan.GroupOf, want) {
+		t.Errorf("GroupOf = %v, want %v", plan.GroupOf, want)
+	}
+	for _, idx := range plan.Order {
+		if _, ok := plan.GroupOf[idx]; !ok {
+			t.Errorf("leader %d missing from GroupOf", idx)
+		}
+	}
+}
+
 func TestScheduleGroupTieBreaksByFirstAppearance(t *testing.T) {
 	plan := Schedule(items("a/x", "b/y", "c/y", "d/x"))
 	// Equal sizes: x appeared first, so x dispatches first.

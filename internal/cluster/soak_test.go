@@ -35,6 +35,27 @@ func TestClusterChaosSoak(t *testing.T) {
 	}
 }
 
+// consumeStream drains st into out, failing the test on any job index
+// delivered more than once across all consumers of the handle, and
+// requires a clean terminal event.
+func consumeStream(t *testing.T, st *client.BatchStream, out map[int]*client.BatchJobResult) {
+	t.Helper()
+	defer st.Close()
+	for st.Next() {
+		r := *st.Result()
+		if _, dup := out[r.Index]; dup {
+			t.Errorf("handle %s delivered job %d twice", st.Handle(), r.Index)
+		}
+		out[r.Index] = &r
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("stream %s: %v", st.Handle(), err)
+	}
+	if d := st.Done(); d == nil || d.Status != "done" {
+		t.Fatalf("stream %s terminal event = %+v, want done", st.Handle(), st.Done())
+	}
+}
+
 func runChaosCluster(t *testing.T, jobs []client.AnalyzeRequest, golden map[string]string, goldenKeys map[string]bool, seed int64) {
 	lease := NewMemoryLease()
 	newElector := func(id NodeID) *Elector {
@@ -83,12 +104,47 @@ func runChaosCluster(t *testing.T, jobs []client.AnalyzeRequest, golden map[stri
 	}
 	waitFor(t, "fleet registered with A", func() bool { return coordA.Registry().Live() == 3 })
 
-	// Phase 1: the whole sweep through leader A, chaos active. Retries
-	// are deterministic: capped exponential backoff with seeded jitter.
+	// Phase 1: the whole sweep through leader A as a streaming batch
+	// handle, chaos active — worker kill, dropped RPCs and replies, and
+	// the coordinator's requeue machinery all run underneath the
+	// handle, which must still deliver every job's completion exactly
+	// once. The consumer itself is killed after the first event and a
+	// replacement resumes from its cursor. Retries are deterministic:
+	// capped exponential backoff with seeded jitter.
 	jitter := func(attempt int) float64 { return float64(attempt%3) / 3 }
 	cA := client.New(na.url, client.WithMaxRetries(8),
 		client.WithRetryBackoff(20*time.Millisecond, 300*time.Millisecond),
 		client.WithRetryJitter(jitter))
+	stA, err := cA.AnalyzeBatchStream(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("phase-1 async submit through A: %v", err)
+	}
+	if !stA.Next() {
+		t.Fatalf("phase-1 stream produced no events: %v", stA.Err())
+	}
+	streamed := map[int]*client.BatchJobResult{}
+	first := *stA.Result()
+	streamed[first.Index] = &first
+	cursor := stA.LastEventID()
+	stA.Close()
+	resumed := cA.StreamBatch(context.Background(), stA.Handle())
+	resumed.SetLastEventID(cursor)
+	consumeStream(t, resumed, streamed)
+	if len(streamed) != len(jobs) {
+		t.Fatalf("phase-1 stream delivered %d of %d jobs across kill-and-resume", len(streamed), len(jobs))
+	}
+	for i := range jobs {
+		jr := streamed[i]
+		if jr.Error != nil {
+			t.Fatalf("phase-1 job %s: %+v", jobs[i].Benchmark, jr.Error)
+		}
+		if scrub(t, jr.Analysis) != golden[jobs[i].Benchmark] {
+			t.Errorf("phase-1 %s: streamed cluster analysis differs from standalone", jobs[i].Benchmark)
+		}
+	}
+
+	// The same sweep synchronously is now served from A's
+	// content-addressed cache — same bits, no re-execution.
 	batch, err := cA.AnalyzeBatch(context.Background(), jobs)
 	if err != nil {
 		t.Fatalf("phase-1 batch through A: %v", err)
@@ -139,6 +195,29 @@ func runChaosCluster(t *testing.T, jobs []client.AnalyzeRequest, golden map[stri
 		}
 		if scrub(t, jr.Analysis) != golden[jobs[i].Benchmark] {
 			t.Errorf("phase-2 %s: post-failover analysis differs from standalone", jobs[i].Benchmark)
+		}
+	}
+
+	// The same sweep as a streaming handle on the new leader: the
+	// failover must not duplicate or drop a single completion event —
+	// re-dispatched jobs land on surviving workers' caches and every
+	// job streams back exactly once, bit-identical.
+	stB, err := cB.AnalyzeBatchStream(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("phase-2 async submit through B: %v", err)
+	}
+	streamedB := map[int]*client.BatchJobResult{}
+	consumeStream(t, stB, streamedB)
+	if len(streamedB) != len(jobs) {
+		t.Fatalf("phase-2 stream delivered %d of %d jobs", len(streamedB), len(jobs))
+	}
+	for i := range jobs {
+		jr := streamedB[i]
+		if jr.Error != nil {
+			t.Fatalf("phase-2 streamed job %s: %+v", jobs[i].Benchmark, jr.Error)
+		}
+		if scrub(t, jr.Analysis) != golden[jobs[i].Benchmark] {
+			t.Errorf("phase-2 %s: post-failover streamed analysis differs from standalone", jobs[i].Benchmark)
 		}
 	}
 

@@ -41,11 +41,13 @@ func specKey(spec jobSpec) string {
 }
 
 // startJob submits one leader job to the admission queue under its
-// deadline. Admission failures complete the call with the typed
-// rejection so every waiter (single request, batch entry, or
+// deadline, filed under its benchmark-identity grouping key so the
+// cross-batch priority scheduler keeps it adjacent to other work on
+// the same benchmark. Admission failures complete the call with the
+// typed rejection so every waiter (single request, batch entry, or
 // singleflight follower) observes it instead of hanging.
 func (s *Server) startJob(pj pendingJob) {
-	err := s.queue.SubmitDeadline(pj.deadline, func(ctx context.Context) {
+	_, err := s.queue.SubmitGrouped(pj.spec.groupKey(), pj.deadline, func(ctx context.Context) {
 		start := time.Now()
 		a, aerr := s.analyze(ctx, pj.spec)
 		if pj.spec.kind == KindFingerprint {
@@ -90,6 +92,60 @@ func (s *Server) dispatchCoalesced(jobs []pendingJob) {
 	}
 }
 
+// batchJob is one resolved batch member's execution state: the spec,
+// its content address, and — once dispatched — the singleflight call
+// carrying its result.
+type batchJob struct {
+	spec jobSpec
+	key  string
+	call *Call[*counterminer.Analysis]
+}
+
+// plannedBatch is the shared front half of both batch endpoints
+// (synchronous and async handle): every job resolved, invalid ones
+// parked as typed per-job errors, the rest planned by the batch
+// scheduler, with the admission-time accounting started.
+type plannedBatch struct {
+	results []BatchJobResult
+	states  []*batchJob
+	plan    batch.Plan
+	stats   BatchStats
+}
+
+// planBatch resolves every job independently (a bad job is a typed
+// per-job error, never a batch failure) and schedules the valid ones:
+// exact duplicates collapse onto one execution, the remainder grouped
+// by benchmark identity.
+func (s *Server) planBatch(jobs []AnalyzeRequest) plannedBatch {
+	results := make([]BatchJobResult, len(jobs))
+	states := make([]*batchJob, len(jobs))
+	items := make([]batch.Item, 0, len(jobs))
+	for i, jr := range jobs {
+		results[i].Index = i
+		spec, herr := s.resolve(jr)
+		if herr != nil {
+			results[i].Error = &ErrorResponse{Error: herr.code, Message: herr.msg}
+			continue
+		}
+		key := specKey(spec)
+		states[i] = &batchJob{spec: spec, key: key}
+		results[i].Key = key
+		items = append(items, batch.Item{Index: i, Key: key, Group: spec.groupKey()})
+	}
+	plan := batch.Schedule(items)
+	return plannedBatch{
+		results: results,
+		states:  states,
+		plan:    plan,
+		stats: BatchStats{
+			Submitted:     len(jobs),
+			Deduped:       plan.Deduped,
+			Groups:        plan.Groups,
+			ScheduleOrder: append([]int{}, plan.Order...),
+		},
+	}
+}
+
 // handleAnalyzeBatch is POST /analyze/batch: a whole sweep in one
 // round-trip. Jobs are resolved individually (a bad job is a typed
 // per-job error, never a batch failure), exact duplicates collapse
@@ -98,6 +154,11 @@ func (s *Server) dispatchCoalesced(jobs []pendingJob) {
 // deadline carved from the server budget, and results return as a
 // per-job array in request order with the schedule's accounting in the
 // envelope.
+//
+// With ?async=1 the batch becomes a streaming handle instead: the
+// response is an immediate 202 with the handle, and per-job results
+// flow through GET /batch/{handle}/events (SSE) or poll via
+// GET /batch/{handle} as each job completes.
 func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.IncRequest()
 	if r.Method != http.MethodPost {
@@ -128,43 +189,20 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining", ErrDraining.Error())
 		return
 	}
+	if async := r.URL.Query().Get("async"); async != "" && async != "0" && async != "false" {
+		s.handleBatchAsync(w, req)
+		return
+	}
 
 	start := time.Now()
-
-	// Resolve every job independently; invalid ones become typed
-	// per-job errors and stay out of the schedule.
-	type jobState struct {
-		spec jobSpec
-		key  string
-		call *Call[*counterminer.Analysis]
-	}
-	results := make([]BatchJobResult, len(req.Jobs))
-	states := make([]*jobState, len(req.Jobs))
-	items := make([]batch.Item, 0, len(req.Jobs))
-	for i, jr := range req.Jobs {
-		results[i].Index = i
-		spec, herr := s.resolve(jr)
-		if herr != nil {
-			results[i].Error = &ErrorResponse{Error: herr.code, Message: herr.msg}
-			continue
-		}
-		key := specKey(spec)
-		states[i] = &jobState{spec: spec, key: key}
-		results[i].Key = key
-		items = append(items, batch.Item{Index: i, Key: key, Group: spec.groupKey()})
-	}
-
-	plan := batch.Schedule(items)
-	stats := BatchStats{
-		Submitted:     len(req.Jobs),
-		Deduped:       plan.Deduped,
-		Groups:        plan.Groups,
-		ScheduleOrder: append([]int{}, plan.Order...),
-	}
+	pb := s.planBatch(req.Jobs)
+	results, states, plan, stats := pb.results, pb.states, pb.plan, pb.stats
 
 	// Dispatch leaders in plan order under one batch-level deadline:
 	// the whole sweep can hold the workers no longer than a single
-	// request could.
+	// request could. Each job is filed under its plan grouping key, so
+	// it dispatches adjacent to same-benchmark work from other batches
+	// too.
 	deadline := time.Now().Add(s.cfg.Budget)
 	for _, idx := range plan.Order {
 		st := states[idx]
@@ -181,7 +219,7 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 			// executing this key; share its call.
 			continue
 		}
-		err := s.queue.SubmitDeadline(deadline, func(ctx context.Context) {
+		_, err := s.queue.SubmitGrouped(plan.GroupOf[idx], deadline, func(ctx context.Context) {
 			a, aerr := s.analyze(ctx, st.spec)
 			s.metrics.ObserveAnalysis(a, aerr)
 			s.syncFingerprint(st.spec, aerr)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"counterminer/internal/parallel"
+	"counterminer/internal/stream"
 )
 
 // Admission-control sentinels. The HTTP layer maps them to typed JSON
@@ -24,35 +25,43 @@ var (
 )
 
 // Queue is the admission-controlled job queue in front of the analysis
-// pipeline: a bounded buffer feeding a fixed worker pool (run on
-// internal/parallel, the same pool primitive as the analysis engine
-// itself). Every admitted job gets its own deadline derived from the
-// server's per-request budget, so one slow analysis can never hold a
-// worker forever.
+// pipeline: a bounded cross-batch priority scheduler feeding a fixed
+// worker pool (run on internal/parallel, the same pool primitive as
+// the analysis engine itself). Jobs are keyed by the batch planner's
+// benchmark-identity grouping key, so jobs from different requests —
+// or different batch handles — that share a benchmark dispatch
+// adjacently and the collector's memoized trace generators stay warm
+// across clients (see stream.Scheduler for the ordering invariants).
+// Every admitted job gets its own deadline derived from the server's
+// per-request budget, so one slow analysis can never hold a worker
+// forever.
 //
 // Shutdown is graceful and split by state: Drain lets jobs that are
-// already executing finish, while jobs still waiting in the buffer get
-// their contexts canceled — they then travel the pipeline's ordinary
-// *CancelError path and their waiters see a typed cancellation, not a
-// hang.
+// already executing finish, while jobs still waiting in the scheduler
+// get their contexts canceled — they then travel the pipeline's
+// ordinary *CancelError path and their waiters see a typed
+// cancellation, not a hang.
 type Queue struct {
-	jobs   chan *queuedJob
+	sched  *stream.Scheduler[*queuedJob]
 	budget time.Duration
+	depth  int
 	done   chan struct{}
 
 	mu       sync.Mutex
 	draining bool
-	pending  map[*queuedJob]struct{}
 
 	active   atomic.Int64
 	executed atomic.Int64
 }
 
 // queuedJob is one admitted unit of work with its budget context.
+// popped flips when a worker claims the job: a cancel-if-queued (batch
+// handle cancellation) only fires while it is still false.
 type queuedJob struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	run    func(context.Context)
+	popped atomic.Bool
 }
 
 // NewQueue starts a queue with the given worker pool size, buffer
@@ -67,15 +76,15 @@ func NewQueue(workers, depth int, budget time.Duration) *Queue {
 		depth = 0
 	}
 	q := &Queue{
-		jobs:    make(chan *queuedJob, depth),
-		budget:  budget,
-		done:    make(chan struct{}),
-		pending: make(map[*queuedJob]struct{}),
+		sched:  stream.NewScheduler[*queuedJob](),
+		budget: budget,
+		depth:  depth,
+		done:   make(chan struct{}),
 	}
 	go func() {
 		defer close(q.done)
 		// One "item" per worker, each running the pull loop until the
-		// jobs channel closes: the analysis engine's pool primitive
+		// scheduler closes: the analysis engine's pool primitive
 		// doubles as the server's resident worker pool.
 		parallel.ForEachWorker(workers, workers, func(_, _ int) error {
 			q.loop()
@@ -85,18 +94,22 @@ func NewQueue(workers, depth int, budget time.Duration) *Queue {
 	return q
 }
 
-// loop is one worker: pull, claim (so Drain no longer cancels the
-// job), execute under the job's budget context, release the timer.
+// loop is one worker: pull the highest-priority job, claim it (so
+// Drain and handle cancellation no longer touch it), execute under the
+// job's budget context, release the timer, and mark the group idle.
 func (q *Queue) loop() {
-	for j := range q.jobs {
-		q.mu.Lock()
-		delete(q.pending, j)
-		q.mu.Unlock()
+	for {
+		j, group, ok := q.sched.Pop()
+		if !ok {
+			return
+		}
+		j.popped.Store(true)
 		q.active.Add(1)
 		j.run(j.ctx)
 		j.cancel()
 		q.active.Add(-1)
 		q.executed.Add(1)
+		q.sched.Done(group)
 	}
 }
 
@@ -118,10 +131,28 @@ func (q *Queue) Submit(run func(context.Context)) error {
 // batch-level deadline, so a sweep's total hold on the workers is
 // bounded exactly like a single request's.
 func (q *Queue) SubmitDeadline(deadline time.Time, run func(context.Context)) error {
+	_, err := q.SubmitGrouped("", deadline, run)
+	return err
+}
+
+// SubmitGrouped is SubmitDeadline with the job filed under a
+// benchmark-identity grouping key for cross-batch priority dispatch.
+// On success it also returns a cancel function that cancels the job's
+// context only while it still waits in the scheduler — the batch-handle
+// cancellation path: a queued job then executes immediately into the
+// pipeline's *CancelError, while a job already claimed by a worker is
+// left to finish normally.
+func (q *Queue) SubmitGrouped(group string, deadline time.Time, run func(context.Context)) (func(), error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.draining {
-		return ErrDraining
+		return nil, ErrDraining
+	}
+	// Mirror of the old channel-buffer admission: a job is admitted
+	// while fewer than depth jobs wait, plus one per idle worker (a
+	// send to an idle receiver never consumed buffer space).
+	if q.sched.Len() >= q.depth+q.sched.Waiters() {
+		return nil, ErrQueueFull
 	}
 	var (
 		ctx    context.Context
@@ -133,22 +164,23 @@ func (q *Queue) SubmitDeadline(deadline time.Time, run func(context.Context)) er
 		ctx, cancel = context.WithCancel(context.Background())
 	}
 	j := &queuedJob{ctx: ctx, cancel: cancel, run: run}
-	select {
-	case q.jobs <- j:
-		q.pending[j] = struct{}{}
-		return nil
-	default:
+	if _, ok := q.sched.Enqueue(group, j); !ok {
 		cancel()
-		return ErrQueueFull
+		return nil, ErrDraining
 	}
+	return func() {
+		if !j.popped.Load() {
+			j.cancel()
+		}
+	}, nil
 }
 
 // Drain shuts the queue down gracefully: new submissions are rejected
 // with ErrDraining, jobs already executing run to completion, and jobs
-// still waiting in the buffer have their contexts canceled (they still
-// execute, but observe cancellation immediately and return through the
-// pipeline's *CancelError path). Drain blocks until every worker has
-// exited; it is idempotent.
+// still waiting in the scheduler have their contexts canceled (they
+// still execute, but observe cancellation immediately and return
+// through the pipeline's *CancelError path). Drain blocks until every
+// worker has exited; it is idempotent.
 func (q *Queue) Drain() {
 	q.mu.Lock()
 	if q.draining {
@@ -157,20 +189,21 @@ func (q *Queue) Drain() {
 		return
 	}
 	q.draining = true
-	for j := range q.pending {
-		j.cancel()
-	}
+	// Flag, cancellations, and close happen under q.mu so no Submit can
+	// slip a job in between: every queued job at this instant is
+	// canceled, and nothing is admitted after.
+	q.sched.ForEach(func(j *queuedJob) { j.cancel() })
+	q.sched.Close()
 	q.mu.Unlock()
-	close(q.jobs)
 	<-q.done
 }
 
 // Depth reports how many admitted jobs are waiting for a worker.
-func (q *Queue) Depth() int { return len(q.jobs) }
+func (q *Queue) Depth() int { return q.sched.Len() }
 
 // Capacity reports the buffer depth the queue admits beyond the
 // executing jobs.
-func (q *Queue) Capacity() int { return cap(q.jobs) }
+func (q *Queue) Capacity() int { return q.depth }
 
 // Active reports how many jobs are executing right now.
 func (q *Queue) Active() int { return int(q.active.Load()) }
@@ -178,3 +211,9 @@ func (q *Queue) Active() int { return int(q.active.Load()) }
 // Executed reports how many jobs have finished executing (successfully
 // or not) since the queue started.
 func (q *Queue) Executed() int { return int(q.executed.Load()) }
+
+// GroupDepths reports the scheduler's live per-grouping-key gauges
+// (depth, executing, oldest wait), sorted by key — the observability
+// the single global depth gauge cannot give: a starved or inverted
+// group is visible directly.
+func (q *Queue) GroupDepths() []stream.GroupDepth { return q.sched.Groups() }

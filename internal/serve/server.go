@@ -41,6 +41,7 @@ import (
 	"counterminer/internal/fingerprint"
 	"counterminer/internal/sim"
 	"counterminer/internal/store"
+	"counterminer/internal/stream"
 	"counterminer/pkg/client"
 )
 
@@ -91,6 +92,19 @@ type Config struct {
 	// do not name one (default clean.DefaultCleaner). Must be a
 	// registered cleaner name; New rejects anything else.
 	DefaultCleaner string
+	// StreamHandles caps how many async batch handles may be open at
+	// once; further POST /analyze/batch?async=1 requests answer 429
+	// (default 32). Twice as many finished handles are retained for
+	// late polling before expiring.
+	StreamHandles int
+	// StreamRing sizes each handle's event ring buffer, the frames a
+	// resuming consumer replays without re-encoding (default 256;
+	// evicted frames are rebuilt from the stored results, so a small
+	// ring costs CPU on resume, never data).
+	StreamRing int
+	// StreamHeartbeat paces the SSE comment heartbeats that keep idle
+	// streams alive through proxies (default 10s).
+	StreamHeartbeat time.Duration
 }
 
 // ErrConfig reports an invalid Config field. New wraps it so callers
@@ -109,6 +123,15 @@ func (c Config) validate() error {
 	}
 	if c.StoreMemBytes < 0 {
 		return fmt.Errorf("%w: StoreMemBytes must be >= 0, got %d", ErrConfig, c.StoreMemBytes)
+	}
+	if c.StreamHandles < 0 {
+		return fmt.Errorf("%w: StreamHandles must be >= 0, got %d", ErrConfig, c.StreamHandles)
+	}
+	if c.StreamRing < 0 {
+		return fmt.Errorf("%w: StreamRing must be >= 0, got %d", ErrConfig, c.StreamRing)
+	}
+	if c.StreamHeartbeat < 0 {
+		return fmt.Errorf("%w: StreamHeartbeat must be >= 0, got %v", ErrConfig, c.StreamHeartbeat)
 	}
 	return nil
 }
@@ -144,6 +167,15 @@ func (c Config) withDefaults() Config {
 	if c.DefaultCleaner == "" {
 		c.DefaultCleaner = clean.DefaultCleaner
 	}
+	if c.StreamHandles == 0 {
+		c.StreamHandles = 32
+	}
+	if c.StreamRing == 0 {
+		c.StreamRing = 256
+	}
+	if c.StreamHeartbeat == 0 {
+		c.StreamHeartbeat = 10 * time.Second
+	}
 	return c
 }
 
@@ -161,6 +193,10 @@ type Server struct {
 	cache    *Cache[*counterminer.Analysis]
 	metrics  *Metrics
 	draining atomic.Bool
+
+	// streams is the async batch-handle registry: open handles, their
+	// event logs and subscribers, and the /metrics stream section.
+	streams *stream.Registry
 
 	// fpIndex is the workload fingerprint index behind POST /classify:
 	// one entry per stored run, rebuilt from the store at startup and
@@ -222,6 +258,7 @@ func New(cfg Config) (*Server, error) {
 		fpCache: NewCache[*client.Classification](cfg.CacheSize),
 		metrics: NewMetrics(),
 		extra:   make(map[string]http.Handler),
+		streams: stream.NewRegistry(cfg.StreamHandles, 2*cfg.StreamHandles, cfg.StreamRing),
 	}
 	if cfg.CoalesceWindow > 0 {
 		s.coalescer = batch.NewCoalescer[pendingJob](cfg.CoalesceWindow, cfg.BatchMax, s.dispatchCoalesced)
@@ -255,6 +292,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/analyze/batch", s.handleAnalyzeBatch)
+	mux.HandleFunc("/batch/", s.handleBatchHandle)
 	mux.HandleFunc("/classify", s.handleClassify)
 	for pattern, h := range s.extra {
 		mux.Handle(pattern, h)
@@ -317,6 +355,16 @@ func (s *Server) drainWork() {
 		s.coalescer.Close()
 	}
 	s.queue.Drain()
+	// With the queue drained every job has completed (canceled jobs
+	// through the *CancelError path), so handle watchers finish in
+	// moments; wait them out, then force-finish any straggler — every
+	// open SSE stream gets its terminal event and returns before the
+	// listener shuts down.
+	grace := s.cfg.ShutdownGrace / 2
+	if grace > 2*time.Second {
+		grace = 2 * time.Second
+	}
+	s.streams.Drain(grace)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -381,7 +429,9 @@ func (s *Server) snapshot() Snapshot {
 		g.coalescer = s.coalescer
 	}
 	g.cluster = s.clusterStats
-	return s.metrics.SnapshotFrom(g)
+	snap := s.metrics.SnapshotFrom(g)
+	snap.Stream = s.streams.Stats(streamGroupGauges(s.queue.GroupDepths()))
+	return snap
 }
 
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {

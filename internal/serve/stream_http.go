@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	counterminer "counterminer"
+	"counterminer/internal/stream"
+)
+
+// handleBatchAsync is POST /analyze/batch?async=1: the batch becomes a
+// streaming handle. The request is planned and dispatched exactly like
+// a synchronous batch — same resolution, deduplication, grouping, and
+// admission — but instead of holding the connection until the slowest
+// job finishes, the server answers 202 with a handle immediately and
+// publishes each job's result as an event the moment it completes.
+// Consumers stream the events (GET /batch/{handle}/events, SSE), poll
+// the snapshot (GET /batch/{handle}), or cancel still-queued jobs
+// (DELETE /batch/{handle}).
+func (s *Server) handleBatchAsync(w http.ResponseWriter, req BatchRequest) {
+	pb := s.planBatch(req.Jobs)
+	h, err := s.streams.Open(len(req.Jobs), pb.stats)
+	if err != nil {
+		s.metrics.IncBatchRejected()
+		writeError(w, http.StatusTooManyRequests, "handle_limit", err.Error())
+		return
+	}
+
+	// Dispatch leaders in plan order under one batch-level deadline,
+	// each filed under its plan grouping key — from here on, the
+	// cross-batch priority scheduler interleaves this handle's jobs
+	// adjacently with same-benchmark work from every other client.
+	//
+	// Completions are deliberately deferred: nothing lands on the
+	// handle until the final stats are set, so even a cache hit that
+	// finishes the whole batch synchronously publishes a terminal event
+	// with complete accounting.
+	type watcher struct {
+		idx     int
+		call    *Call[*counterminer.Analysis]
+		deduped bool
+	}
+	var (
+		immediate []int // indexes completing with pb.results[idx] as-is
+		watchers  []watcher
+		cancels   []func()
+	)
+	stats := pb.stats
+	deadline := time.Now().Add(s.cfg.Budget)
+	for _, idx := range pb.plan.Order {
+		st := pb.states[idx]
+		ana, ok, call, leader := s.cache.Acquire(st.key)
+		if ok {
+			pb.results[idx].Cached = true
+			pb.results[idx].Analysis = ana
+			stats.CacheHits++
+			immediate = append(immediate, idx)
+			continue
+		}
+		st.call = call
+		if leader {
+			cancelJob, err := s.queue.SubmitGrouped(pb.plan.GroupOf[idx], deadline, func(ctx context.Context) {
+				a, aerr := s.analyze(ctx, st.spec)
+				s.metrics.ObserveAnalysis(a, aerr)
+				s.syncFingerprint(st.spec, aerr)
+				s.cache.Complete(st.key, st.call, a, aerr)
+			})
+			if err != nil {
+				// The typed rejection completes the call; the watcher
+				// below turns it into this job's event.
+				s.cache.Complete(st.key, st.call, nil, err)
+			} else {
+				stats.Executed++
+				cancels = append(cancels, cancelJob)
+			}
+		}
+		watchers = append(watchers, watcher{idx: idx, call: call})
+	}
+	// Invalid jobs complete immediately with their typed resolve error;
+	// exact duplicates ride their leader's outcome — an event of their
+	// own when the leader executes, an immediate completion when it was
+	// served from the LRU.
+	for i, st := range pb.states {
+		if st == nil {
+			immediate = append(immediate, i)
+			continue
+		}
+		lead := pb.plan.Leader[i]
+		if lead == i {
+			continue
+		}
+		if c := pb.states[lead].call; c != nil {
+			watchers = append(watchers, watcher{idx: i, call: c, deduped: true})
+		} else {
+			res := pb.results[lead]
+			res.Index = i
+			res.Deduped = true
+			pb.results[i] = res
+			immediate = append(immediate, i)
+		}
+	}
+
+	h.SetStats(stats)
+	h.SetOnCancel(func() {
+		// Cancel only this handle's still-queued jobs: they execute
+		// immediately into the pipeline's *CancelError and complete
+		// through the ordinary watcher path. Executing jobs — and
+		// followers sharing another request's execution — finish
+		// normally.
+		for _, cancel := range cancels {
+			cancel()
+		}
+	})
+	for _, idx := range immediate {
+		h.Complete(idx, pb.results[idx])
+	}
+	var wg sync.WaitGroup
+	for _, wt := range watchers {
+		wg.Add(1)
+		go func(wt watcher) {
+			defer wg.Done()
+			<-wt.call.Done
+			res := BatchJobResult{Index: wt.idx, Key: pb.states[wt.idx].key, Deduped: wt.deduped}
+			if wt.call.Err != nil {
+				res.Error = jobError(wt.call.Err)
+			} else {
+				res.Analysis = wt.call.Val
+			}
+			h.Complete(wt.idx, res)
+		}(wt)
+	}
+	go func() {
+		// Fold the batch into /metrics once every event has landed, so
+		// the error count is final (a drain force-finish races benignly:
+		// the handle's stats are terminal either way by now).
+		wg.Wait()
+		if snap := h.Snapshot(); snap.Stats != nil {
+			s.metrics.ObserveBatch(*snap.Stats)
+		}
+	}()
+
+	writeJSON(w, http.StatusAccepted, BatchHandleResponse{
+		Handle:       h.ID(),
+		Total:        h.Total(),
+		EventsPath:   "/batch/" + h.ID() + "/events",
+		SnapshotPath: "/batch/" + h.ID(),
+	})
+}
+
+// handleBatchHandle routes /batch/{handle} and /batch/{handle}/events:
+// snapshot polling, SSE streaming, and cancellation for one async
+// batch handle.
+func (s *Server) handleBatchHandle(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest()
+	rest := strings.TrimPrefix(r.URL.Path, "/batch/")
+	parts := strings.Split(rest, "/")
+	if parts[0] == "" || len(parts) > 2 || (len(parts) == 2 && parts[1] != "events") {
+		writeError(w, http.StatusNotFound, "not_found", "use /batch/{handle} or /batch/{handle}/events")
+		return
+	}
+	h, ok := s.streams.Get(parts[0])
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_handle",
+			fmt.Sprintf("unknown batch handle %q (expired, or never issued)", parts[0]))
+		return
+	}
+	if len(parts) == 2 {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+			return
+		}
+		s.serveEvents(w, r, h)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, h.Snapshot())
+	case http.MethodDelete:
+		h.Cancel()
+		writeJSON(w, http.StatusOK, h.Snapshot())
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET or DELETE")
+	}
+}
+
+// serveEvents is GET /batch/{handle}/events: the handle's completions
+// as Server-Sent Events — one `result` event per job in completion
+// order, a terminal `done` event carrying the final BatchStats, and
+// comment heartbeats to keep idle proxies from reaping the connection.
+// Every event carries its sequence number as the SSE id, and a
+// reconnecting consumer resumes with Last-Event-ID (header, or the
+// last_event_id query parameter for curl): exactly the missed events
+// replay, served from the per-handle ring buffer or rebuilt from the
+// stored results when evicted.
+func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request, h *stream.Handle) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "internal", "streaming unsupported by this connection")
+		return
+	}
+	var cursor uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			cursor = n
+		}
+	}
+	if v := r.URL.Query().Get("last_event_id"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			cursor = n
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	sub := h.Subscribe()
+	defer h.Unsubscribe(sub)
+	hb := time.NewTicker(s.cfg.StreamHeartbeat)
+	defer hb.Stop()
+	for {
+		evs, terminal := h.EventsSince(cursor)
+		for _, ev := range evs {
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Name, ev.Data)
+		}
+		if len(evs) > 0 {
+			cursor = evs[len(evs)-1].Seq
+			s.streams.AddEventsSent(len(evs))
+			fl.Flush()
+		}
+		if terminal {
+			// The done event is out; the stream is complete. Drain
+			// relies on this return so http.Server.Shutdown can finish
+			// inside its grace window.
+			return
+		}
+		select {
+		case <-sub.C:
+		case <-hb.C:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// streamGroupGauges renders the queue's per-grouping-key state for the
+// /metrics stream section, translating scheduler keys into display
+// form.
+func streamGroupGauges(depths []stream.GroupDepth) []StreamGroupGauge {
+	out := make([]StreamGroupGauge, len(depths))
+	for i, gd := range depths {
+		g := StreamGroupGauge{
+			Group:     displayGroup(gd.Group),
+			Depth:     gd.Depth,
+			Executing: gd.Executing,
+		}
+		if !gd.Oldest.IsZero() {
+			g.OldestWaitMs = msSince(gd.Oldest)
+		}
+		out[i] = g
+	}
+	return out
+}
+
+// displayGroup turns a scheduler grouping key (benchmark + NUL +
+// colocate) into its display form: "wordcount", "wordcount+sort", or
+// "(ungrouped)" for keyless submissions.
+func displayGroup(key string) string {
+	var parts []string
+	for _, p := range strings.Split(key, "\x00") {
+		if p != "" {
+			parts = append(parts, p)
+		}
+	}
+	if len(parts) == 0 {
+		return "(ungrouped)"
+	}
+	return strings.Join(parts, "+")
+}

@@ -63,4 +63,16 @@ type (
 	SuiteConfidence = client.SuiteConfidence
 	// FingerprintCounters is the classify/index /metrics section.
 	FingerprintCounters = client.FingerprintCounters
+	// BatchHandleResponse is POST /analyze/batch?async=1's 202 body.
+	BatchHandleResponse = client.BatchHandleResponse
+	// BatchSnapshot is GET /batch/{handle}'s body.
+	BatchSnapshot = client.BatchSnapshot
+	// BatchJobState is one job's state inside a BatchSnapshot.
+	BatchJobState = client.BatchJobState
+	// StreamDone is the terminal SSE event's data payload.
+	StreamDone = client.StreamDone
+	// StreamCounters is the streaming subsystem's /metrics section.
+	StreamCounters = client.StreamCounters
+	// StreamGroupGauge is one grouping key's queue-depth gauge.
+	StreamGroupGauge = client.StreamGroupGauge
 )

@@ -1,0 +1,259 @@
+package stream
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drainOrder runs `workers` concurrent poppers against a scheduler
+// pre-loaded with jobs, simulating execution with Done after each pop,
+// and returns the values in global dispatch order (reconstructed from
+// the lock-assigned pop tickets, so recording never races).
+func drainOrder(t *testing.T, s *Scheduler[int], workers, total int) []int {
+	t.Helper()
+	type popped struct {
+		ticket uint64
+		val    int
+	}
+	var (
+		mu   sync.Mutex
+		got  []popped
+		wg   sync.WaitGroup
+		done = make(chan struct{})
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, g, ticket, ok := s.popTicket()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				got = append(got, popped{ticket, v})
+				n := len(got)
+				mu.Unlock()
+				s.Done(g)
+				if n == total {
+					close(done)
+				}
+			}
+		}()
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("poppers stalled: got %d of %d", len(got), total)
+	}
+	s.Close()
+	wg.Wait()
+	order := make([]int, total)
+	seen := make(map[uint64]bool)
+	for _, p := range got {
+		if p.ticket < 1 || p.ticket > uint64(total) || seen[p.ticket] {
+			t.Fatalf("bad ticket %d (total %d, dup=%v)", p.ticket, total, seen[p.ticket])
+		}
+		seen[p.ticket] = true
+		order[p.ticket-1] = p.val
+	}
+	return order
+}
+
+// TestSchedulerDeterministicAcrossWorkers pins the tentpole's ordering
+// contract: for a job set enqueued before dispatch begins, the pop
+// order is a pure function of the enqueue order — identical under 1, 2,
+// and 8 concurrent poppers.
+func TestSchedulerDeterministicAcrossWorkers(t *testing.T) {
+	// Three interleaved "handles" sharing benchmark groups: the enqueue
+	// order deliberately scatters each group's jobs.
+	type job struct {
+		group string
+		val   int
+	}
+	var jobs []job
+	val := 0
+	for round := 0; round < 4; round++ {
+		for _, g := range []string{"wordcount", "sort", "pagerank", "wordcount", "sort"} {
+			jobs = append(jobs, job{g, val})
+			val++
+		}
+	}
+	var want []int
+	for _, workers := range []int{1, 2, 8} {
+		s := NewScheduler[int]()
+		for _, j := range jobs {
+			if _, ok := s.Enqueue(j.group, j.val); !ok {
+				t.Fatalf("enqueue rejected before Close")
+			}
+		}
+		order := drainOrder(t, s, workers, len(jobs))
+		if want == nil {
+			want = order
+			// Sanity: dispatch must be group-contiguous — every group's
+			// jobs adjacent, groups in first-seen order.
+			groupOf := func(v int) string { return jobs[v].group }
+			for i := 1; i < len(order); i++ {
+				cur, prev := groupOf(order[i]), groupOf(order[i-1])
+				if cur != prev {
+					for j := 0; j < i-1; j++ {
+						if groupOf(order[j]) == cur {
+							t.Fatalf("group %q not contiguous in order %v", cur, order)
+						}
+					}
+				}
+			}
+			continue
+		}
+		if !reflect.DeepEqual(order, want) {
+			t.Fatalf("workers=%d dispatch order %v, want %v", workers, order, want)
+		}
+	}
+}
+
+// TestSchedulerActiveGroupJumpsLine verifies the adjacency feature: a
+// job arriving for a group that is currently executing dispatches ahead
+// of queued jobs from inactive groups, regardless of arrival order.
+func TestSchedulerActiveGroupJumpsLine(t *testing.T) {
+	s := NewScheduler[string]()
+	s.Enqueue("B", "b1")
+	s.Enqueue("A", "a1")
+	if v, g, _ := s.Pop(); v != "b1" || g != "B" {
+		t.Fatalf("pop 1: got %q/%q, want b1/B", v, g)
+	}
+	if v, _, _ := s.Pop(); v != "a1" {
+		t.Fatalf("pop 2: got %q, want a1", v)
+	}
+	// b1 finishes; B is idle and empty, so it is forgotten.
+	s.Done("B")
+	// New work arrives: B first, then A — but A is still executing a1,
+	// so a2 jumps the line.
+	s.Enqueue("B", "b2")
+	s.Enqueue("A", "a2")
+	if v, _, _ := s.Pop(); v != "a2" {
+		t.Fatalf("active group did not jump the line: got %q, want a2", v)
+	}
+	if v, _, _ := s.Pop(); v != "b2" {
+		t.Fatalf("pop 4: got %q, want b2", v)
+	}
+}
+
+// TestSchedulerFirstSeenStable verifies starvation-freedom's mechanism:
+// a group's first-seen rank holds while it has work, so later-arriving
+// groups never displace it among equally-active peers.
+func TestSchedulerFirstSeenStable(t *testing.T) {
+	s := NewScheduler[string]()
+	s.Enqueue("old", "o1")
+	s.Enqueue("new", "n1")
+	s.Enqueue("old", "o2")
+	s.Enqueue("new", "n2")
+	var got []string
+	for i := 0; i < 4; i++ {
+		v, g, ok := s.Pop()
+		if !ok {
+			t.Fatal("unexpected close")
+		}
+		got = append(got, v)
+		s.Done(g)
+	}
+	want := []string{"o1", "o2", "n1", "n2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("pop order %v, want %v", got, want)
+	}
+}
+
+// TestSchedulerCloseDrains verifies Close semantics: enqueues are
+// refused, queued jobs still pop in priority order, then ok=false.
+func TestSchedulerCloseDrains(t *testing.T) {
+	s := NewScheduler[int]()
+	s.Enqueue("g", 1)
+	s.Enqueue("g", 2)
+	s.Close()
+	if _, ok := s.Enqueue("g", 3); ok {
+		t.Fatal("enqueue accepted after Close")
+	}
+	for want := 1; want <= 2; want++ {
+		v, _, ok := s.Pop()
+		if !ok || v != want {
+			t.Fatalf("drain pop: got %d/%v, want %d/true", v, ok, want)
+		}
+	}
+	if _, _, ok := s.Pop(); ok {
+		t.Fatal("Pop reported ok on a closed, empty scheduler")
+	}
+}
+
+// TestSchedulerGroups verifies the per-group gauges: depth, executing,
+// oldest-wait, deterministic key order, and visibility of
+// executing-but-empty groups.
+func TestSchedulerGroups(t *testing.T) {
+	s := NewScheduler[int]()
+	s.Enqueue("b", 1)
+	s.Enqueue("a", 2)
+	s.Enqueue("a", 3)
+	if _, g, ok := s.Pop(); !ok || g != "b" {
+		t.Fatalf("pop group %q, want b", g)
+	}
+	gs := s.Groups()
+	if len(gs) != 2 || gs[0].Group != "a" || gs[1].Group != "b" {
+		t.Fatalf("groups %+v, want [a b]", gs)
+	}
+	if gs[0].Depth != 2 || gs[0].Executing != 0 || gs[0].Oldest.IsZero() {
+		t.Fatalf("group a gauge %+v", gs[0])
+	}
+	if gs[1].Depth != 0 || gs[1].Executing != 1 || !gs[1].Oldest.IsZero() {
+		t.Fatalf("group b gauge %+v", gs[1])
+	}
+	s.Done("b")
+	if gs := s.Groups(); len(gs) != 1 {
+		t.Fatalf("idle empty group not forgotten: %+v", gs)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len %d, want 2", s.Len())
+	}
+}
+
+// TestSchedulerWaiters verifies the idle-popper gauge the admission
+// policy folds into its capacity check.
+func TestSchedulerWaiters(t *testing.T) {
+	s := NewScheduler[int]()
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		s.Pop()
+	}()
+	<-started
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Waiters() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Waiters never reached 1")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Enqueue("g", 1)
+	for s.Waiters() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Waiters never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+}
+
+// TestSchedulerForEach verifies the drain-cancel visitor sees exactly
+// the queued (unpopped) jobs.
+func TestSchedulerForEach(t *testing.T) {
+	s := NewScheduler[int]()
+	for i := 1; i <= 4; i++ {
+		s.Enqueue(fmt.Sprintf("g%d", i%2), i)
+	}
+	s.Pop()
+	seen := map[int]bool{}
+	s.ForEach(func(v int) { seen[v] = true })
+	if len(seen) != 3 || seen[1] {
+		t.Fatalf("ForEach visited %v, want the 3 unpopped jobs", seen)
+	}
+}

@@ -151,6 +151,42 @@ func (c *Client) AnalyzeBatch(ctx context.Context, jobs []AnalyzeRequest) (*Batc
 	return &out, nil
 }
 
+// AnalyzeBatchAsync submits a sweep as a streaming batch handle: the
+// call returns as soon as the server has planned and admitted the jobs,
+// and per-job results are consumed afterwards — streamed with
+// AnalyzeBatchStream, polled with BatchSnapshot, or canceled with
+// CancelBatch. Overload rejections (handle limit, draining) retry like
+// every other call.
+func (c *Client) AnalyzeBatchAsync(ctx context.Context, jobs []AnalyzeRequest) (*BatchHandleResponse, error) {
+	var out BatchHandleResponse
+	if err := c.do(ctx, http.MethodPost, "/analyze/batch?async=1", BatchRequest{Jobs: jobs}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// BatchSnapshot polls an async batch handle: overall status, per-job
+// state, and — once terminal — the final stats.
+func (c *Client) BatchSnapshot(ctx context.Context, handle string) (*BatchSnapshot, error) {
+	var out BatchSnapshot
+	if err := c.do(ctx, http.MethodGet, "/batch/"+handle, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CancelBatch cancels an async batch handle's still-queued jobs (they
+// complete with typed "canceled" errors; executing jobs finish
+// normally) and returns the handle's snapshot. Canceling a terminal
+// handle is a no-op that still returns the snapshot.
+func (c *Client) CancelBatch(ctx context.Context, handle string) (*BatchSnapshot, error) {
+	var out BatchSnapshot
+	if err := c.do(ctx, http.MethodDelete, "/batch/"+handle, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Classify submits a profile — a benchmark identity, or an inline raw
 // counter matrix — and returns the nearest stored workloads with
 // distances, per-suite confidence, and the anomaly verdict.
@@ -261,7 +297,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if err != nil {
 			return err
 		}
-		if resp.StatusCode == http.StatusOK {
+		if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
 			if out == nil {
 				return nil
 			}

@@ -1,0 +1,198 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sseFrame renders one event as its wire frame.
+func sseFrame(id int, name string, v any) string {
+	data, _ := json.Marshal(v)
+	return fmt.Sprintf("id: %d\nevent: %s\ndata: %s\n\n", id, name, data)
+}
+
+// streamServer serves the async-batch surface for the iterator tests:
+// POST /analyze/batch answers a fixed handle, GET /batch/h1/events
+// delegates to events.
+func streamServer(t *testing.T, events http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/analyze/batch", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("async") != "1" {
+			t.Errorf("batch submit missing async=1: %s", r.URL.String())
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(BatchHandleResponse{Handle: "h1", Total: 2, EventsPath: "/batch/h1/events"})
+	})
+	mux.HandleFunc("/batch/h1/events", events)
+	return httptest.NewServer(mux)
+}
+
+// TestBatchStreamYieldsResultsAndDone pins the iterator's happy path:
+// results in server order, heartbeat comments skipped, terminal stats
+// surfaced by Done.
+func TestBatchStreamYieldsResultsAndDone(t *testing.T) {
+	ts := streamServer(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, ": heartbeat\n\n")
+		fmt.Fprint(w, sseFrame(1, "result", BatchJobResult{Index: 1, Key: "k1"}))
+		fmt.Fprint(w, sseFrame(2, "result", BatchJobResult{Index: 0, Key: "k0"}))
+		fmt.Fprint(w, sseFrame(3, "done", StreamDone{Status: "done", Stats: BatchStats{Submitted: 2}}))
+	})
+	defer ts.Close()
+
+	st, err := New(ts.URL).AnalyzeBatchStream(context.Background(), []AnalyzeRequest{{Benchmark: "a"}, {Benchmark: "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var got []int
+	for st.Next() {
+		got = append(got, st.Result().Index)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Fatalf("yielded indexes %v, want [1 0] (completion order)", got)
+	}
+	d := st.Done()
+	if d == nil || d.Status != "done" || d.Stats.Submitted != 2 {
+		t.Fatalf("done event %+v", d)
+	}
+	if st.LastEventID() != 3 {
+		t.Fatalf("cursor %d, want 3", st.LastEventID())
+	}
+}
+
+// TestBatchStreamReconnectResumes pins the resume contract: a dropped
+// connection reconnects with Last-Event-ID and the consumer observes
+// every event exactly once across the break.
+func TestBatchStreamReconnectResumes(t *testing.T) {
+	var conns atomic.Int64
+	ts := streamServer(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		switch conns.Add(1) {
+		case 1:
+			if r.Header.Get("Last-Event-ID") != "" {
+				t.Errorf("first connect carried Last-Event-ID %q", r.Header.Get("Last-Event-ID"))
+			}
+			fmt.Fprint(w, sseFrame(1, "result", BatchJobResult{Index: 0, Key: "k0"}))
+			// Drop the connection mid-stream.
+		default:
+			if got := r.Header.Get("Last-Event-ID"); got != "1" {
+				t.Errorf("resume carried Last-Event-ID %q, want 1", got)
+			}
+			fmt.Fprint(w, sseFrame(2, "result", BatchJobResult{Index: 1, Key: "k1"}))
+			fmt.Fprint(w, sseFrame(3, "done", StreamDone{Status: "done"}))
+		}
+	})
+	defer ts.Close()
+
+	c := New(ts.URL, WithMaxRetries(2))
+	c.sleep = func(context.Context, time.Duration) error { return nil }
+	st, err := c.AnalyzeBatchStream(context.Background(), []AnalyzeRequest{{Benchmark: "a"}, {Benchmark: "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var got []int
+	for st.Next() {
+		got = append(got, st.Result().Index)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("stream error after resume: %v", err)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("yielded %v across reconnect, want [0 1]", got)
+	}
+	if conns.Load() != 2 {
+		t.Fatalf("connections = %d, want 2", conns.Load())
+	}
+}
+
+// TestBatchStreamPermanentErrorFatal pins that a typed permanent
+// rejection (unknown handle) ends the stream without reconnect churn.
+func TestBatchStreamPermanentErrorFatal(t *testing.T) {
+	var conns atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/batch/gone/events", func(w http.ResponseWriter, r *http.Request) {
+		conns.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(ErrorResponse{Error: "unknown_handle", Message: "gone"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := New(ts.URL, WithMaxRetries(3))
+	st := c.StreamBatch(context.Background(), "gone")
+	if st.Next() {
+		t.Fatal("Next reported an event from a 404 stream")
+	}
+	apiErr, ok := st.Err().(*APIError)
+	if !ok || apiErr.Code != "unknown_handle" {
+		t.Fatalf("stream error %v, want typed unknown_handle", st.Err())
+	}
+	if conns.Load() != 1 {
+		t.Fatalf("connections = %d, want 1 (no retries on permanent error)", conns.Load())
+	}
+}
+
+// TestBatchStreamRetriesExhausted pins the bound: consecutive
+// connection failures beyond MaxRetries surface as the stream error.
+func TestBatchStreamRetriesExhausted(t *testing.T) {
+	var conns atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/batch/h1/events", func(w http.ResponseWriter, r *http.Request) {
+		conns.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		// Always drop before any event: never makes progress.
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := New(ts.URL, WithMaxRetries(2))
+	c.sleep = func(context.Context, time.Duration) error { return nil }
+	st := c.StreamBatch(context.Background(), "h1")
+	if st.Next() {
+		t.Fatal("Next reported an event from a dead stream")
+	}
+	if st.Err() == nil {
+		t.Fatal("no stream error after exhausted retries")
+	}
+	if conns.Load() != 3 {
+		t.Fatalf("connections = %d, want 3 (initial + 2 retries)", conns.Load())
+	}
+}
+
+// TestBatchSnapshotAndCancel round-trips the polling and cancellation
+// calls.
+func TestBatchSnapshotAndCancel(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/batch/h1", func(w http.ResponseWriter, r *http.Request) {
+		status := "open"
+		if r.Method == http.MethodDelete {
+			status = "canceled"
+		}
+		json.NewEncoder(w).Encode(BatchSnapshot{Handle: "h1", Status: status, Total: 1})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := New(ts.URL)
+	snap, err := c.BatchSnapshot(context.Background(), "h1")
+	if err != nil || snap.Status != "open" {
+		t.Fatalf("snapshot %+v, %v", snap, err)
+	}
+	snap, err = c.CancelBatch(context.Background(), "h1")
+	if err != nil || snap.Status != "canceled" {
+		t.Fatalf("cancel %+v, %v", snap, err)
+	}
+}

@@ -123,6 +123,97 @@ type BatchResponse struct {
 	ElapsedMs float64          `json:"elapsed_ms"`
 }
 
+// BatchHandleResponse is POST /analyze/batch?async=1's 202 body: the
+// handle to stream (GET /batch/{handle}/events), poll
+// (GET /batch/{handle}), or cancel (DELETE /batch/{handle}).
+type BatchHandleResponse struct {
+	// Handle is the batch's identifier.
+	Handle string `json:"handle"`
+	// Total is the job count admitted under the handle.
+	Total int `json:"total"`
+	// EventsPath and SnapshotPath are the ready-made request paths.
+	EventsPath   string `json:"events_path"`
+	SnapshotPath string `json:"snapshot_path"`
+}
+
+// BatchJobState is one job's state inside a BatchSnapshot: the result
+// so far plus a lifecycle status.
+type BatchJobState struct {
+	BatchJobResult
+	// Status is "pending", "done", or "error".
+	Status string `json:"status"`
+}
+
+// BatchSnapshot is GET /batch/{handle}'s body: the polled view of an
+// asynchronous batch.
+type BatchSnapshot struct {
+	Handle string `json:"handle"`
+	// Status is "open", "done", or "canceled".
+	Status    string          `json:"status"`
+	Total     int             `json:"total"`
+	Completed int             `json:"completed"`
+	Jobs      []BatchJobState `json:"jobs"`
+	// Stats is the final accounting, present once the handle is
+	// terminal.
+	Stats *BatchStats `json:"stats,omitempty"`
+}
+
+// StreamDone is the data payload of a stream's terminal "done" SSE
+// event.
+type StreamDone struct {
+	// Status is "done", or "canceled" when the handle was canceled
+	// before completion.
+	Status string `json:"status"`
+	// Stats is the batch's final accounting.
+	Stats BatchStats `json:"stats"`
+}
+
+// StreamGroupGauge is one benchmark-identity grouping key's live
+// admission-queue state — the per-group depth that makes priority
+// inversion observable where a single global depth gauge cannot.
+type StreamGroupGauge struct {
+	// Group is the grouping key in display form (benchmark, with a "+"
+	// joining a colocated pair).
+	Group string `json:"group"`
+	// Depth is how many jobs of the group wait for a worker; Executing
+	// how many run right now.
+	Depth     int `json:"depth"`
+	Executing int `json:"executing"`
+	// OldestWaitMs is how long the group's oldest queued job has waited
+	// (0 when nothing is queued).
+	OldestWaitMs float64 `json:"oldest_wait_ms"`
+}
+
+// StreamCounters is the streaming subsystem's /metrics section.
+// Pre-registered: present (zeroed) before the first async batch.
+type StreamCounters struct {
+	// HandlesOpened / HandlesFinished / HandlesCanceled count handle
+	// lifecycle transitions; HandlesExpired counts finished handles
+	// dropped from retention.
+	HandlesOpened   uint64 `json:"handles_opened"`
+	HandlesFinished uint64 `json:"handles_finished"`
+	HandlesCanceled uint64 `json:"handles_canceled"`
+	HandlesExpired  uint64 `json:"handles_expired"`
+	// OpenHandles / RetainedHandles / Subscribers are live gauges.
+	OpenHandles     int `json:"open_handles"`
+	RetainedHandles int `json:"retained_handles"`
+	Subscribers     int `json:"subscribers"`
+	// EventsSent counts SSE frames written to subscribers (heartbeat
+	// comments excluded).
+	EventsSent uint64 `json:"events_sent"`
+	// RingEvictions counts ring-buffer slots overwritten by newer
+	// events; RingRebuilds counts resume reads that re-encoded an
+	// evicted event from the stored per-job result (an eviction costs a
+	// re-marshal, never data).
+	RingEvictions uint64 `json:"ring_evictions"`
+	RingRebuilds  uint64 `json:"ring_rebuilds"`
+	// LateCompletions counts duplicate completions dropped by handles —
+	// the exactly-once guard's hit counter.
+	LateCompletions uint64 `json:"late_completions"`
+	// QueueGroups is the admission queue's per-grouping-key state.
+	QueueGroups []StreamGroupGauge `json:"queue_groups"`
+}
+
 // ClassifyRequest is POST /classify's body. The profile to classify
 // comes in one of two forms: a benchmark identity (the server collects
 // its runs, dispatching to workers in cluster mode, and embeds them),
@@ -313,6 +404,11 @@ type Snapshot struct {
 	// distribution. Pre-registered — every cleaner appears (zeroed)
 	// from the first scrape.
 	Cleaners []CleanerCounters `json:"cleaners"`
+	// Stream is the streaming-batch subsystem: handle lifecycle, SSE
+	// fanout, ring-buffer accounting, and the admission queue's
+	// per-grouping-key depth. Pre-registered — present (zeroed) before
+	// the first async batch.
+	Stream StreamCounters `json:"stream"`
 }
 
 // CleanerCounters is one cleaner's /metrics section: how often it ran,
